@@ -1,0 +1,21 @@
+"""Helpers shared by the per-figure benchmark harnesses.
+
+Every benchmark regenerates one of the paper's tables or figures and asserts
+its qualitative shape.  Simulation-backed figures share one memoized
+validation run (:func:`repro.analysis.validation.cached_validation`) through
+``BENCH_CONFIG`` so the whole suite stays within a few minutes of wall-clock
+time; see EXPERIMENTS.md for how to rerun at larger scale.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.validation import ValidationConfig
+
+#: reduced-scale configuration used by all simulation-backed benchmarks.
+BENCH_CONFIG = ValidationConfig(batch=8, max_ctas=60, layers_per_network=2)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

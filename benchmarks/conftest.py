@@ -1,0 +1,13 @@
+"""Pytest fixtures for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The reduced-scale validation configuration shared by all benchmarks."""
+    return BENCH_CONFIG

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 4 (GoogLeNet L1/L2 cache miss rates)."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig04_miss_rates
+
+
+def test_fig04_googlenet_miss_rates(benchmark):
+    result = run_once(benchmark, fig04_miss_rates.run, batch=8, max_ctas=60)
+    rates = {row["layer"]: row for row in result.rows}
+
+    # Paper's motivation: miss rates vary widely across layer configurations
+    # (L1 roughly 13%-50%, L2 roughly 8%-90% on hardware).  The simulated
+    # spread must be similarly wide at both levels.
+    l1_spread = (result.summary["l1_miss_rate_max"]
+                 - result.summary["l1_miss_rate_min"])
+    l2_spread = (result.summary["l2_miss_rate_max"]
+                 - result.summary["l2_miss_rate_min"])
+    assert l1_spread > 0.25
+    assert l2_spread > 0.4
+
+    # Reuse-heavy 3x3/5x5 layers miss far less in L2 than 1x1 layers.
+    assert rates["3a_3x3"]["L2 miss rate"] < rates["3a_1x1"]["L2 miss rate"]
+    assert rates["conv2_3x3"]["L2 miss rate"] < rates["conv2_3x3r"]["L2 miss rate"]
+    print()
+    print(result.render())

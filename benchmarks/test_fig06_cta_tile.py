@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 6 (CTA tile width vs output channel count)."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig06_cta_tile
+
+
+def test_fig06_cta_tile_width_steps(benchmark):
+    result = run_once(benchmark, fig06_cta_tile.run)
+    series = dict(result.series["CTA tile width (blkN)"])
+    # the paper's profiled staircase: 32 -> 64 -> 128 as Co grows.
+    assert series[14] == 32
+    assert series[40] == 64
+    assert series[105] == 128
+    widths = list(series.values())
+    assert widths == sorted(widths)
+    assert result.summary["narrow_tiles_use_blk_k_4"]
+    assert result.summary["wide_tiles_use_blk_k_8"]
+    print()
+    print(result.render())

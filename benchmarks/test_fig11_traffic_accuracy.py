@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 11 (normalized traffic estimates, 3 GPUs)."""
+
+from bench_utils import BENCH_CONFIG, run_once
+
+from repro.experiments import fig11_traffic_accuracy
+
+
+def test_fig11_traffic_estimates_track_measurements(benchmark):
+    result = run_once(benchmark, fig11_traffic_accuracy.run, config=BENCH_CONFIG)
+
+    # Every per-layer, per-level ratio must stay within small factors of 1.0
+    # (the paper reports GMAEs of a few percent to ~12%; the pure-Python
+    # substrate is coarser but the estimates must remain the right order of
+    # magnitude and centred near 1).
+    for row in result.rows:
+        for level in ("l1", "l2", "dram"):
+            assert 0.2 < row[f"{level}_ratio"] < 5.0, (row["layer"], level)
+
+    # DRAM is the tightest level, as in the paper.
+    for gpu in ("TITAN Xp", "P100", "V100"):
+        assert result.summary[f"{gpu} DRAM GMAE"] < 0.6
+        assert result.summary[f"{gpu} DRAM GMAE"] <= (
+            result.summary[f"{gpu} L2 GMAE"] + 0.05)
+    print()
+    print(result.render())

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 12 (DeLTA vs prior fixed-miss-rate traffic)."""
+
+from bench_utils import BENCH_CONFIG, run_once
+
+from repro.experiments import fig12_prior_traffic
+
+
+def test_fig12_delta_beats_prior_methodology(benchmark):
+    result = run_once(benchmark, fig12_prior_traffic.run, config=BENCH_CONFIG)
+
+    # Headline of Fig. 12: DeLTA's traffic stays near the measurement while
+    # the 100%-miss-rate methodology over-predicts by large factors,
+    # especially for layers with large filters; 1x1 layers are its best case.
+    assert 0.4 < result.summary["delta_dram_geomean_ratio"] < 2.5
+    assert result.summary["prior_dram_geomean_ratio"] > 3.0
+    assert result.summary["prior_overprediction_vs_delta_dram"] > 3.0
+    assert result.summary["prior_dram_max_ratio"] > 10.0
+
+    for row in result.rows:
+        assert row["prior_dram_ratio"] >= row["delta_dram_ratio"] * 0.9
+        if row["filter"] in ("3x3", "5x5", "7x7", "11x11"):
+            assert row["prior_dram_ratio"] > 2.0
+    print()
+    print(result.render())

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 13 (execution time accuracy, TITAN Xp)."""
+
+from bench_utils import BENCH_CONFIG, run_once
+
+from repro.experiments import fig13_perf_titanxp
+
+
+def test_fig13_execution_time_accuracy_titanxp(benchmark):
+    result = run_once(benchmark, fig13_perf_titanxp.run, config=BENCH_CONFIG)
+
+    # Paper: GMAE 6.0% with a modest spread; the reduced-scale simulator is
+    # coarser but the estimates must remain within a small factor and the
+    # dominant bottleneck must be arithmetic throughput.
+    assert result.summary["time_gmae"] < 0.8
+    for row in result.rows:
+        assert 0.3 < row["time_ratio"] < 3.0, row["layer"]
+    assert result.summary["compute_bound_fraction"] >= 0.5
+    print()
+    print(result.render())

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 14 (execution time accuracy, TESLA V100)."""
+
+from bench_utils import BENCH_CONFIG, run_once
+
+from repro.experiments import fig14_perf_v100
+
+
+def test_fig14_execution_time_accuracy_v100(benchmark):
+    result = run_once(benchmark, fig14_perf_v100.run, config=BENCH_CONFIG)
+
+    # Paper: GMAE 6.5% on V100; reduced-scale shape check as for Fig. 13.
+    assert result.summary["time_gmae"] < 0.8
+    for row in result.rows:
+        assert 0.3 < row["time_ratio"] < 3.0, row["layer"]
+    assert result.summary["gpu"] == "V100"
+    print()
+    print(result.render())

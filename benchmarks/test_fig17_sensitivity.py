@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 17 (traffic sensitivity sweeps)."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig17_sensitivity
+
+#: trimmed sweep values keeping the benchmark within tens of seconds while
+#: spanning the same parameter ranges as the paper's appendix.
+SWEEPS = {
+    "out_channels": (32, 64, 128, 256),
+    "in_channels": (64, 256, 512),
+    "feature_size": (8, 16, 32),
+    "batch": (8, 16, 32),
+}
+
+
+def test_fig17_sensitivity_sweeps(benchmark):
+    result = run_once(benchmark, fig17_sensitivity.run, sweeps=SWEEPS,
+                      max_ctas=40)
+
+    # Every sweep point must stay within a small factor of the measurement.
+    for row in result.rows:
+        for level in ("l1", "l2", "dram"):
+            assert 0.2 < row[f"{level}_ratio"] < 5.0, (row["parameter"], row["value"])
+
+    # DRAM accuracy is the paper's headline for these sweeps: GMAE of a few
+    # percent across output/input channel counts and batch sizes.
+    for parameter in ("out_channels", "in_channels", "batch"):
+        assert result.summary[f"{parameter} DRAM GMAE"] < 0.5
+
+    # Fig. 17a: the CTA tile width follows the output channel count.
+    co_rows = [row for row in result.rows if row["parameter"] == "out_channels"]
+    widths = {row["value"]: row["cta_tile_width"] for row in co_rows}
+    assert widths[32] == 32 and widths[64] == 64 and widths[128] == 128
+    print()
+    print(result.render())

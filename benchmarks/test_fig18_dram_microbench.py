@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 18 (DRAM latency vs offered bandwidth)."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig18_dram_microbench
+
+
+def test_fig18_dram_latency_curves(benchmark):
+    result = run_once(benchmark, fig18_dram_microbench.run)
+    rows = {row["gpu"]: row for row in result.rows}
+
+    # Annotated paper numbers: ~500/580/500 cycles unloaded latency and
+    # 430/550/850 GB/s effective bandwidth for TITAN Xp / P100 / V100.
+    assert 400 < rows["TITAN Xp"]["unloaded_latency_cycles"] < 600
+    assert 500 < rows["P100"]["unloaded_latency_cycles"] < 650
+    assert 330 < rows["TITAN Xp"]["effective_bandwidth_gbps"] < 520
+    assert 430 < rows["P100"]["effective_bandwidth_gbps"] < 660
+    assert 650 < rows["V100"]["effective_bandwidth_gbps"] < 1000
+
+    # curve shape: latency flat at low load, sharply higher near saturation.
+    for name, series in result.series.items():
+        latencies = [latency for _, latency in series]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > 3 * latencies[0]
+    print()
+    print(result.render())

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 19 (absolute execution cycles, TITAN Xp)."""
+
+from bench_utils import BENCH_CONFIG, run_once
+
+from repro.experiments import fig19_cycles
+
+
+def test_fig19_execution_cycles(benchmark):
+    result = run_once(benchmark, fig19_cycles.run, config=BENCH_CONFIG)
+
+    # Layer runtimes span a wide dynamic range and DeLTA tracks them
+    # regardless of the absolute magnitude.
+    assert result.summary["dynamic_range"] > 3.0
+    assert result.summary["cycles_gmae"] < 0.8
+    for row in result.rows:
+        assert row["model_cycles"] > 0
+        assert 0.3 < row["ratio"] < 3.0, row["layer"]
+    print()
+    print(result.render())

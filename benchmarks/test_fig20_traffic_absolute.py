@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 20 (absolute L1/L2/DRAM traffic, TITAN Xp)."""
+
+from bench_utils import BENCH_CONFIG, run_once
+
+from repro.experiments import fig20_traffic_absolute
+
+
+def test_fig20_absolute_traffic(benchmark):
+    result = run_once(benchmark, fig20_traffic_absolute.run, config=BENCH_CONFIG)
+
+    for row in result.rows:
+        # the memory hierarchy filters traffic: L1 >= L2 >= DRAM, in both the
+        # measured and the modeled series.
+        assert row["l1_measured_gb"] >= row["l2_measured_gb"] >= row["dram_measured_gb"]
+        assert row["l1_model_gb"] >= row["l2_model_gb"] >= row["dram_model_gb"]
+        # model tracks the measured volume within a small factor at each level.
+        for level in ("l1", "l2", "dram"):
+            measured = row[f"{level}_measured_gb"]
+            model = row[f"{level}_model_gb"]
+            assert measured > 0
+            assert 0.2 < model / measured < 5.0
+
+    assert result.summary["DRAM GMAE"] < 0.6
+    print()
+    print(result.render())

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table I (GPU device specifications)."""
+
+from bench_utils import run_once
+
+from repro.experiments import tab01_specs
+
+
+def test_tab01_device_specifications(benchmark):
+    result = run_once(benchmark, tab01_specs.run)
+    names = [row["Specification"] for row in result.rows]
+    assert names == ["TITAN Xp", "P100", "V100"]
+    # headline relationships of Table I: V100 has the most SMs, the largest
+    # L2 and the highest DRAM bandwidth; P100 has the lowest FP32 throughput.
+    by_name = {row["Specification"]: row for row in result.rows}
+    assert by_name["V100"]["NumSM"] > by_name["P100"]["NumSM"] > by_name["TITAN Xp"]["NumSM"]
+    assert by_name["V100"]["BW_DRAM (GB/s)"] > by_name["P100"]["BW_DRAM (GB/s)"]
+    assert by_name["P100"]["BW_MAC FP32 (GFLOPS)"] < by_name["TITAN Xp"]["BW_MAC FP32 (GFLOPS)"]
+    print()
+    print(result.render())

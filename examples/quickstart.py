@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate traffic, execution time and bottleneck of one layer.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ConvLayerConfig, DeltaModel, TITAN_XP, TESLA_V100
+
+def main() -> None:
+    # A GoogLeNet-style convolution layer: 96 input channels, 28x28 feature
+    # map, 128 output channels, 3x3 filter, mini-batch 256.
+    layer = ConvLayerConfig.square(
+        "inception_3a_3x3", batch=256, in_channels=96, in_size=28,
+        out_channels=128, filter_size=3, stride=1, padding=1)
+    print(layer.describe())
+    print(f"im2col GEMM: M x N x K = {layer.gemm_shape().m} x "
+          f"{layer.gemm_shape().n} x {layer.gemm_shape().k}")
+    print()
+
+    for gpu in (TITAN_XP, TESLA_V100):
+        model = DeltaModel(gpu)
+        traffic = model.traffic(layer)
+        estimate = model.estimate(layer)
+        print(f"--- {gpu.name} ---")
+        print(f"  L1 traffic:   {traffic.l1_bytes / 1e9:8.2f} GB "
+              f"(MLI ifmap {traffic.l1.mli_ifmap:.2f}, filter {traffic.l1.mli_filter:.2f})")
+        print(f"  L2 traffic:   {traffic.l2_bytes / 1e9:8.2f} GB "
+              f"(L1 miss rate {traffic.l1_miss_rate:.0%})")
+        print(f"  DRAM traffic: {traffic.dram_bytes / 1e9:8.2f} GB "
+              f"(L2 miss rate {traffic.l2_miss_rate:.0%})")
+        print(f"  execution time: {estimate.time_seconds * 1e3:.2f} ms "
+              f"({estimate.cycles / 1e6:.1f} Mcycles)")
+        print(f"  bottleneck: {estimate.bottleneck.value}, "
+              f"achieved {estimate.throughput_tflops:.1f} TFLOP/s "
+              f"({estimate.mac_efficiency:.0%} of peak)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

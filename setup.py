@@ -1,0 +1,11 @@
+"""Setuptools shim so editable installs work in offline environments.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists because PEP 660 editable installs require the ``wheel`` package, which
+is not available in fully offline environments.  ``pip install -e .`` falls
+back to the legacy ``setup.py develop`` path through this shim.
+"""
+
+from setuptools import setup
+
+setup()

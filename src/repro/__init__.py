@@ -1,0 +1,70 @@
+"""DeLTA reproduction: GPU performance model for CNN convolution layers.
+
+This package reproduces "DeLTA: GPU Performance Model for Deep Learning
+Applications with In-depth Memory System Traffic Analysis" (ISPASS 2019).
+
+Public API highlights
+---------------------
+* :class:`repro.DeltaModel` — the analytical traffic + performance model.
+* :mod:`repro.gpu` — device specifications (TITAN Xp, P100, V100) and the
+  design-space options of the scaling study.
+* :mod:`repro.networks` — the benchmark CNNs (AlexNet, VGG16, GoogLeNet,
+  ResNet152) expressed as convolution layer configurations.
+* :mod:`repro.sim` — a trace-driven GPU memory-hierarchy simulator used as
+  the "measured" reference in place of hardware profiling.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .core import (
+    Bottleneck,
+    ConvLayerConfig,
+    CtaTile,
+    DeltaModel,
+    ExecutionEstimate,
+    FixedMissRateModel,
+    GemmShape,
+    PerformanceModel,
+    ScalingStudy,
+    TrafficEstimate,
+    TrafficModel,
+)
+from .gpu import TESLA_P100, TESLA_V100, TITAN_XP, GpuSpec, all_devices, get_device
+from .networks import (
+    ConvNetwork,
+    alexnet,
+    get_network,
+    googlenet,
+    paper_benchmark_suite,
+    resnet152,
+    vgg16,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Bottleneck",
+    "ConvLayerConfig",
+    "CtaTile",
+    "DeltaModel",
+    "ExecutionEstimate",
+    "FixedMissRateModel",
+    "GemmShape",
+    "PerformanceModel",
+    "ScalingStudy",
+    "TrafficEstimate",
+    "TrafficModel",
+    "GpuSpec",
+    "TITAN_XP",
+    "TESLA_P100",
+    "TESLA_V100",
+    "all_devices",
+    "get_device",
+    "ConvNetwork",
+    "alexnet",
+    "vgg16",
+    "googlenet",
+    "resnet152",
+    "get_network",
+    "paper_benchmark_suite",
+]

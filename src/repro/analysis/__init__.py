@@ -1,0 +1,52 @@
+"""Validation, metrics and analysis harnesses for the evaluation."""
+
+from .metrics import AccuracySummary, geometric_mean, gmae, mean, ratio, stdev
+from .sensitivity import (
+    DEFAULT_SWEEPS,
+    SensitivitySweep,
+    SweepPoint,
+    reference_layer,
+    run_all_sweeps,
+    run_sweep,
+)
+from .tables import format_cell, render_series, render_table
+from .validation import (
+    FULL_VALIDATION,
+    MEMORY_LEVELS,
+    QUICK_VALIDATION,
+    LayerValidation,
+    ValidationConfig,
+    ValidationReport,
+    cached_validation,
+    select_layers,
+    validate_gpu,
+    validate_layer,
+)
+
+__all__ = [
+    "AccuracySummary",
+    "gmae",
+    "geometric_mean",
+    "mean",
+    "stdev",
+    "ratio",
+    "render_table",
+    "render_series",
+    "format_cell",
+    "ValidationConfig",
+    "ValidationReport",
+    "LayerValidation",
+    "QUICK_VALIDATION",
+    "FULL_VALIDATION",
+    "MEMORY_LEVELS",
+    "select_layers",
+    "validate_gpu",
+    "validate_layer",
+    "cached_validation",
+    "SensitivitySweep",
+    "SweepPoint",
+    "reference_layer",
+    "run_sweep",
+    "run_all_sweeps",
+    "DEFAULT_SWEEPS",
+]

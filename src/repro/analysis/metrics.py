@@ -1,0 +1,92 @@
+"""Accuracy metrics used throughout the evaluation (Section VII).
+
+The paper summarizes model accuracy with the geometric mean absolute error
+(GMAE) of the model/measured ratio and its standard deviation.  These helpers
+operate on plain sequences of floats so they can be reused by tests,
+benchmarks and the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def ratio(model: float, measured: float) -> float:
+    """model / measured, guarding against a zero measurement."""
+    if measured == 0:
+        raise ZeroDivisionError("measured value is zero; ratio undefined")
+    return model / measured
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def gmae(ratios: Sequence[float]) -> float:
+    """Geometric mean absolute error of model/measured ratios.
+
+    Each ratio r contributes ``max(r, 1/r) - 1``; the GMAE is the geometric
+    mean of ``max(r, 1/r)`` minus one, i.e. the typical multiplicative error.
+    """
+    ratios = list(ratios)
+    if not ratios:
+        raise ValueError("gmae of empty sequence")
+    folded = [max(r, 1.0 / r) for r in ratios if r > 0]
+    if not folded:
+        raise ValueError("gmae requires positive ratios")
+    return geometric_mean(folded) - 1.0
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (the paper reports spread, not a CI)."""
+    values = list(values)
+    if not values:
+        raise ValueError("stdev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """GMAE / spread summary of a set of model-vs-measured ratios."""
+
+    count: int
+    gmae: float
+    mean_ratio: float
+    stdev_ratio: float
+    min_ratio: float
+    max_ratio: float
+
+    @classmethod
+    def from_ratios(cls, ratios: Sequence[float]) -> "AccuracySummary":
+        ratios = [r for r in ratios if r > 0]
+        if not ratios:
+            raise ValueError("AccuracySummary requires at least one positive ratio")
+        return cls(
+            count=len(ratios),
+            gmae=gmae(ratios),
+            mean_ratio=mean(ratios),
+            stdev_ratio=stdev(ratios),
+            min_ratio=min(ratios),
+            max_ratio=max(ratios),
+        )
+
+    def describe(self) -> str:
+        return (f"n={self.count} GMAE={self.gmae:.1%} mean={self.mean_ratio:.2f} "
+                f"stdev={self.stdev_ratio:.2f} "
+                f"range=[{self.min_ratio:.2f}, {self.max_ratio:.2f}]")

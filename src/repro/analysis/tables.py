@@ -1,0 +1,56 @@
+"""Plain-text table and series rendering for experiment output.
+
+Every experiment returns rows (dicts) and/or series; these helpers render them
+as aligned ASCII tables so benchmark output and the CLI can print exactly the
+rows the paper's tables and figures report, without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    """Render one table cell with a sensible default float format."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping[str, Cell]],
+                 columns: Sequence[str] | None = None,
+                 precision: int = 3) -> str:
+    """Render a list of row dicts as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = list(columns)
+    body = [[format_cell(row.get(col, ""), precision) for col in header]
+            for row in rows]
+    widths = [max(len(header[i]), *(len(line[i]) for line in body))
+              for i in range(len(header))]
+    lines = []
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def render_series(name: str, pairs: Iterable[Sequence[Cell]],
+                  headers: Sequence[str] = ("x", "y"),
+                  precision: int = 3) -> str:
+    """Render an (x, y) series as a two-column table with a title."""
+    rows = [{headers[0]: pair[0], headers[1]: pair[1]} for pair in pairs]
+    return f"{name}\n" + render_table(rows, columns=list(headers), precision=precision)

@@ -1,0 +1,199 @@
+"""Model-vs-measured validation harness (Fig. 11, 13, 14, 15, 19, 20).
+
+The harness runs DeLTA's analytical model and the simulator substrate on the
+same layer population and collects, per layer:
+
+* traffic at each memory level (estimated and measured),
+* execution time / cycles (estimated and measured), and
+* the predicted performance bottleneck,
+
+from which the figures' normalized bars and accuracy distributions are
+derived.  Because full-scale (mini-batch 256) cache simulation is intractable
+in pure Python, validation runs use a reduced mini-batch and a bounded number
+of simulated CTAs; the defaults are chosen so the whole paper suite completes
+in a few minutes (see :class:`ValidationConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.bottleneck import Bottleneck
+from ..core.layer import ConvLayerConfig
+from ..core.model import DeltaModel
+from ..gpu.spec import GpuSpec
+from ..networks.registry import paper_benchmark_suite
+from ..sim.engine import ConvLayerSimulator, SimResult, SimulatorConfig
+from .metrics import AccuracySummary
+
+MEMORY_LEVELS: Tuple[str, ...] = ("l1", "l2", "dram")
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Scale knobs for the validation runs."""
+
+    #: mini-batch used for both model and simulator (paper uses 256; the
+    #: substitute simulator uses a smaller batch, see DESIGN.md).
+    batch: int = 16
+    #: cap on exactly-simulated CTAs per layer.
+    max_ctas: Optional[int] = 90
+    #: restrict each network to at most this many (unique) layers; None = all.
+    layers_per_network: Optional[int] = 4
+
+    def simulator_config(self) -> SimulatorConfig:
+        return SimulatorConfig(max_ctas=self.max_ctas)
+
+
+#: a configuration that runs every unique layer of the paper suite.
+FULL_VALIDATION = ValidationConfig(layers_per_network=None)
+
+#: the fast default used by benchmarks and tests.
+QUICK_VALIDATION = ValidationConfig()
+
+
+@dataclass(frozen=True)
+class LayerValidation:
+    """Model-vs-measured record for one layer on one GPU."""
+
+    network: str
+    layer: ConvLayerConfig
+    gpu: GpuSpec
+    model_traffic: Dict[str, float]
+    measured_traffic: Dict[str, float]
+    model_time: float
+    measured_time: float
+    bottleneck: Bottleneck
+
+    def traffic_ratio(self, level: str) -> float:
+        measured = self.measured_traffic[level]
+        if measured <= 0:
+            return float("nan")
+        return self.model_traffic[level] / measured
+
+    @property
+    def time_ratio(self) -> float:
+        if self.measured_time <= 0:
+            return float("nan")
+        return self.model_time / self.measured_time
+
+    @property
+    def model_cycles(self) -> float:
+        return self.model_time * self.gpu.core_clock_hz
+
+    @property
+    def measured_cycles(self) -> float:
+        return self.measured_time * self.gpu.core_clock_hz
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "network": self.network,
+            "layer": self.layer.name,
+            "gpu": self.gpu.name,
+        }
+        for level in MEMORY_LEVELS:
+            row[f"{level}_ratio"] = self.traffic_ratio(level)
+        row["time_ratio"] = self.time_ratio
+        row["bottleneck"] = self.bottleneck.value
+        return row
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Validation of one GPU over a set of layers."""
+
+    gpu: GpuSpec
+    records: Tuple[LayerValidation, ...]
+
+    def traffic_ratios(self, level: str) -> List[float]:
+        return [record.traffic_ratio(level) for record in self.records
+                if record.measured_traffic[level] > 0]
+
+    def time_ratios(self) -> List[float]:
+        return [record.time_ratio for record in self.records
+                if record.measured_time > 0]
+
+    def traffic_summary(self, level: str) -> AccuracySummary:
+        return AccuracySummary.from_ratios(self.traffic_ratios(level))
+
+    def time_summary(self) -> AccuracySummary:
+        return AccuracySummary.from_ratios(self.time_ratios())
+
+    def bottleneck_counts(self) -> Dict[Bottleneck, int]:
+        counts: Dict[Bottleneck, int] = {}
+        for record in self.records:
+            counts[record.bottleneck] = counts.get(record.bottleneck, 0) + 1
+        return counts
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [record.as_row() for record in self.records]
+
+
+def select_layers(config: ValidationConfig = QUICK_VALIDATION
+                  ) -> List[Tuple[str, ConvLayerConfig]]:
+    """The (network, layer) population used for a validation run."""
+    suite = paper_benchmark_suite(batch=config.batch, unique=True)
+    if config.layers_per_network is None:
+        return suite
+    selected: List[Tuple[str, ConvLayerConfig]] = []
+    counts: Dict[str, int] = {}
+    for network, layer in suite:
+        taken = counts.get(network, 0)
+        if taken < config.layers_per_network:
+            selected.append((network, layer))
+            counts[network] = taken + 1
+    return selected
+
+
+def validate_layer(network: str, layer: ConvLayerConfig, gpu: GpuSpec,
+                   simulator_config: Optional[SimulatorConfig] = None,
+                   model: Optional[DeltaModel] = None,
+                   sim_result: Optional[SimResult] = None) -> LayerValidation:
+    """Run model and simulator for one layer and collect the comparison."""
+    model = model or DeltaModel(gpu)
+    if sim_result is None:
+        simulator = ConvLayerSimulator(gpu, simulator_config or SimulatorConfig())
+        sim_result = simulator.run(layer)
+    traffic = model.traffic(layer)
+    estimate = model.estimate(layer)
+    return LayerValidation(
+        network=network,
+        layer=layer,
+        gpu=gpu,
+        model_traffic={level: traffic.level_bytes(level) for level in MEMORY_LEVELS},
+        measured_traffic={level: sim_result.traffic.level_bytes(level)
+                          for level in MEMORY_LEVELS},
+        model_time=estimate.time_seconds,
+        measured_time=sim_result.time_seconds,
+        bottleneck=estimate.bottleneck,
+    )
+
+
+def validate_gpu(gpu: GpuSpec,
+                 config: ValidationConfig = QUICK_VALIDATION,
+                 layers: Optional[Sequence[Tuple[str, ConvLayerConfig]]] = None
+                 ) -> ValidationReport:
+    """Validate DeLTA against the simulator for one GPU."""
+    population = list(layers) if layers is not None else select_layers(config)
+    model = DeltaModel(gpu)
+    simulator_config = config.simulator_config()
+    records = tuple(
+        validate_layer(network, layer, gpu,
+                       simulator_config=simulator_config, model=model)
+        for network, layer in population
+    )
+    return ValidationReport(gpu=gpu, records=records)
+
+
+@lru_cache(maxsize=None)
+def cached_validation(gpu: GpuSpec,
+                      config: ValidationConfig = QUICK_VALIDATION) -> ValidationReport:
+    """Memoized :func:`validate_gpu` so multiple experiments share one run.
+
+    Simulation is by far the most expensive step of the evaluation; several
+    figures (11, 12, 13, 14, 15, 19, 20) reuse the same model-vs-measured
+    records, so the benchmarks and the CLI call this cached entry point.
+    """
+    return validate_gpu(gpu, config)

@@ -1,0 +1,106 @@
+"""Command line interface: run experiments, inspect layers, list networks.
+
+Examples
+--------
+Run a fast experiment and print its tables::
+
+    delta-repro experiment fig16
+
+Estimate one network on one GPU::
+
+    delta-repro estimate --network resnet152 --gpu v100 --batch 256
+
+List everything that is available::
+
+    delta-repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.tables import render_table
+from .core.model import DeltaModel
+from .experiments.registry import available_experiments, run_experiment
+from .gpu.devices import all_devices, get_device
+from .networks.registry import available_networks, get_network
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("Networks:", ", ".join(available_networks()))
+    print("GPUs:", ", ".join(gpu.name for gpu in all_devices()))
+    print("Experiments:", ", ".join(available_experiments()))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment_id)
+    print(result.render(precision=args.precision))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    gpu = get_device(args.gpu)
+    network = get_network(args.network, batch=args.batch,
+                          paper_subset=args.paper_subset)
+    model = DeltaModel(gpu)
+    rows = []
+    total = 0.0
+    for layer in (network.unique_layers() if args.unique else network.conv_layers()):
+        estimate = model.estimate(layer)
+        total += estimate.time_seconds
+        rows.append({
+            "layer": layer.name,
+            "time_ms": estimate.time_seconds * 1e3,
+            "bottleneck": estimate.bottleneck.value,
+            "TFLOP/s": estimate.throughput_tflops,
+            "L1_GB": estimate.traffic.l1_bytes / 1e9,
+            "L2_GB": estimate.traffic.l2_bytes / 1e9,
+            "DRAM_GB": estimate.traffic.dram_bytes / 1e9,
+        })
+    print(f"{network.name} on {gpu.name} (batch {args.batch})")
+    print(render_table(rows, precision=args.precision))
+    print(f"total conv time: {total * 1e3:.2f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="delta-repro",
+        description="DeLTA GPU performance model reproduction (ISPASS 2019)",
+    )
+    parser.add_argument("--precision", type=int, default=3,
+                        help="decimal places in printed tables")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list networks, GPUs and experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    exp_parser = subparsers.add_parser("experiment",
+                                       help="run one paper table/figure experiment")
+    exp_parser.add_argument("experiment_id", choices=available_experiments())
+    exp_parser.set_defaults(func=_cmd_experiment)
+
+    est_parser = subparsers.add_parser("estimate",
+                                       help="estimate a network's conv layers on a GPU")
+    est_parser.add_argument("--network", required=True)
+    est_parser.add_argument("--gpu", default="titanxp")
+    est_parser.add_argument("--batch", type=int, default=256)
+    est_parser.add_argument("--unique", action="store_true",
+                            help="only evaluate unique layer configurations")
+    est_parser.add_argument("--paper-subset", action="store_true",
+                            help="restrict to the layers shown in the paper's figures")
+    est_parser.set_defaults(func=_cmd_estimate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

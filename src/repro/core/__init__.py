@@ -1,0 +1,63 @@
+"""DeLTA core: the paper's analytical traffic and performance models."""
+
+from .bottleneck import Bottleneck
+from .baselines import (
+    PAPER_MISS_RATES,
+    FixedMissRateModel,
+    FixedMissRateTrafficModel,
+)
+from .dram import DramModelOptions, DramTraffic, estimate_dram_traffic
+from .l1 import L1Traffic, estimate_l1_traffic, filter_mli, ifmap_mli
+from .l2 import L2ModelOptions, L2Traffic, estimate_l2_traffic
+from .layer import ConvLayerConfig, GemmShape
+from .model import DeltaModel
+from .performance import ExecutionEstimate, PerformanceModel
+from .scaling import ScalingResult, ScalingStudy
+from .streams import StreamTimes, compute_stream_times
+from .tiling import (
+    CtaTile,
+    GemmGrid,
+    active_ctas_per_sm,
+    build_grid,
+    cta_batch_size,
+    ctas_per_sm,
+    select_cta_tile,
+    waves,
+)
+from .traffic import TrafficEstimate, TrafficModel
+
+__all__ = [
+    "Bottleneck",
+    "ConvLayerConfig",
+    "GemmShape",
+    "CtaTile",
+    "GemmGrid",
+    "select_cta_tile",
+    "build_grid",
+    "active_ctas_per_sm",
+    "ctas_per_sm",
+    "cta_batch_size",
+    "waves",
+    "L1Traffic",
+    "L2Traffic",
+    "DramTraffic",
+    "L2ModelOptions",
+    "DramModelOptions",
+    "estimate_l1_traffic",
+    "estimate_l2_traffic",
+    "estimate_dram_traffic",
+    "ifmap_mli",
+    "filter_mli",
+    "TrafficModel",
+    "TrafficEstimate",
+    "StreamTimes",
+    "compute_stream_times",
+    "PerformanceModel",
+    "ExecutionEstimate",
+    "DeltaModel",
+    "FixedMissRateModel",
+    "FixedMissRateTrafficModel",
+    "PAPER_MISS_RATES",
+    "ScalingStudy",
+    "ScalingResult",
+]

@@ -1,0 +1,31 @@
+"""Performance bottleneck categories reported by the DeLTA performance model."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Bottleneck(str, Enum):
+    """The GPU resource that bounds a convolution layer's execution time.
+
+    Categories follow Fig. 13/14 of the paper: arithmetic throughput
+    (``MAC_BW``), shared memory bandwidth (``SMEM_BW``), the bandwidth of each
+    memory hierarchy level (``L1_BW``, ``L2_BW``, ``DRAM_BW``) and DRAM
+    latency exposure when too few CTAs are resident to hide the global load
+    time (``DRAM_LAT``).
+    """
+
+    MAC_BW = "MAC_BW"
+    SMEM_BW = "SMEM_BW"
+    L1_BW = "L1_BW"
+    L2_BW = "L2_BW"
+    DRAM_BW = "DRAM_BW"
+    DRAM_LAT = "DRAM_LAT"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """True if the bottleneck is in the memory system rather than compute."""
+        return self not in (Bottleneck.MAC_BW, Bottleneck.SMEM_BW)

@@ -1,0 +1,102 @@
+"""DRAM traffic model (Section IV-C of the paper).
+
+The L2 cache is shared by all SMs, so the CTAs of one *CTA batch* (all CTAs
+executing concurrently) can reuse each other's data.  With the column-wise CTA
+scheduling the paper assumes for the tall-and-skinny im2col GEMM:
+
+* filter data have short re-reference distances (every CTA in a batch shares
+  them) and a small total footprint, so they are read from DRAM once;
+* IFmap data are re-read once per *column* of CTA tiles, because the
+  re-reference distance between CTA columns exceeds the L2 capacity.
+
+    Eq. 10  T_DRAM_IFmap  = padded IFmap size * (columns of CTA tiles)
+            T_DRAM_Filter = filter size
+            T_DRAM        = T_DRAM_IFmap + T_DRAM_Filter
+
+For 1x1 convolutions with stride > 1 only the sampled IFmap positions are
+read, which the model accounts for by shrinking the effective IFmap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from .layer import ConvLayerConfig
+from .tiling import GemmGrid
+
+
+SchedulingOrder = Literal["column", "row"]
+
+
+@dataclass(frozen=True)
+class DramModelOptions:
+    """Assumptions of the DRAM traffic model.
+
+    ``scheduling`` selects the CTA scheduling order assumed for inter-CTA
+    reuse: the paper's column-wise order (IFmap re-read per CTA column) or a
+    row-wise order (filters re-read per CTA row) used as an ablation.
+    ``include_output_write`` adds the epilogue OFmap write-back to the DRAM
+    traffic total (the paper's figures report load traffic only).
+    """
+
+    scheduling: SchedulingOrder = "column"
+    include_output_write: bool = False
+
+
+@dataclass(frozen=True)
+class DramTraffic:
+    """DRAM traffic of one convolution layer."""
+
+    ifmap_bytes: float
+    filter_bytes: float
+    output_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.ifmap_bytes + self.filter_bytes + self.output_bytes
+
+    @property
+    def load_bytes(self) -> float:
+        return self.ifmap_bytes + self.filter_bytes
+
+
+def effective_ifmap_elements(layer: ConvLayerConfig) -> float:
+    """Padded IFmap footprint actually referenced by the convolution.
+
+    The footprint includes the zero padding (the model follows the paper and
+    treats padded rows/columns as part of the address range), but excludes the
+    input positions a strided 1x1 convolution never touches.
+    """
+    if layer.is_pointwise and layer.stride > 1:
+        touched = layer.out_height * layer.out_width
+        return float(layer.batch * layer.in_channels * touched)
+    return float(layer.batch * layer.in_channels
+                 * layer.padded_height * layer.padded_width)
+
+
+def estimate_dram_traffic(layer: ConvLayerConfig, grid: GemmGrid,
+                          options: DramModelOptions = DramModelOptions()) -> DramTraffic:
+    """Eq. 10: DRAM load traffic of the layer, in bytes."""
+    ifmap_elements = effective_ifmap_elements(layer)
+    filter_elements = float(layer.filter_elements)
+
+    if options.scheduling == "column":
+        ifmap_passes = grid.ctas_n
+        filter_passes = 1
+    elif options.scheduling == "row":
+        ifmap_passes = 1
+        filter_passes = grid.ctas_m
+    else:  # pragma: no cover - guarded by Literal type
+        raise ValueError(f"unknown scheduling order {options.scheduling!r}")
+
+    ifmap_bytes = ifmap_elements * ifmap_passes * layer.dtype_bytes
+    filter_bytes = filter_elements * filter_passes * layer.dtype_bytes
+    output_bytes = 0.0
+    if options.include_output_write:
+        output_bytes = float(layer.ofmap_elements * layer.dtype_bytes)
+    return DramTraffic(
+        ifmap_bytes=ifmap_bytes,
+        filter_bytes=filter_bytes,
+        output_bytes=output_bytes,
+    )

@@ -1,0 +1,163 @@
+"""L2 cache traffic model (Section IV-B of the paper).
+
+The IFmap matrix produced by im2col contains many duplicated elements; the L1
+cache (private to an SM) captures the reuse *within* one CTA's
+``blkM x blkK`` input tile, so only the unique data of each tile reaches L2.
+The model estimates the unique footprint of a tile from the address range it
+spans:
+
+    Eq. 5  DIST_V  = blkM * ((Wi + 2P) * Stride) / (Wi + 2P - Wf + 1)
+    Eq. 6  A_DIST_V = DIST_V * blkK / (Hf * Wf)
+    Eq. 7  DIST_H  = ((blkK-1)/Wf) * ((Wi - Wf + 1) + Stride*(Wf - blkK + 1))
+                   + ((Wf - blkK + 1)/Wf) * (Stride * (blkK - 1))
+    Eq. 8  A_DIST_H = DIST_H * (1 + blkM / ((Hi + 2P - Hf + 1)/Stride)^2)
+    Eq. 9  T_L2 = (A_DIST_IFmap + DIST_Filter) * (K/blkK) * NumCTA
+
+For 1x1 convolutions and FC layers all IFmap-matrix elements are unique so
+the distances reduce to the tile height and width; filter tiles are always
+unique (``blkN x blkK`` elements per main loop).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+from ..gpu.spec import GpuSpec
+from .layer import ConvLayerConfig
+from .tiling import CtaTile, GemmGrid
+
+
+ChannelSpanMode = Literal["paper", "at-least-one"]
+
+
+@dataclass(frozen=True)
+class L2ModelOptions:
+    """Tunable assumptions of the L2 traffic model.
+
+    ``channel_span_mode`` controls the Eq. 6 factor ``blkK / (Hf*Wf)``:
+
+    * ``"paper"`` applies the equation exactly as printed.
+    * ``"at-least-one"`` clamps the factor to a minimum of 1, i.e. a tile
+      never covers less than one vertical address range.  This is the
+      ablation called out in DESIGN.md.
+    """
+
+    channel_span_mode: ChannelSpanMode = "paper"
+    #: round per-tile traffic up to whole sectors (hardware moves sectors).
+    quantize_to_sectors: bool = False
+
+
+@dataclass(frozen=True)
+class L2Traffic:
+    """L2 load traffic of one convolution layer."""
+
+    ifmap_bytes: float
+    filter_bytes: float
+    #: per-main-loop unique IFmap footprint, in elements.
+    ifmap_elements_per_loop: float
+    #: per-main-loop filter footprint, in elements.
+    filter_elements_per_loop: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.ifmap_bytes + self.filter_bytes
+
+    @property
+    def elements_per_loop(self) -> float:
+        return self.ifmap_elements_per_loop + self.filter_elements_per_loop
+
+
+def vertical_distance(layer: ConvLayerConfig, tile: CtaTile) -> float:
+    """Eq. 5: address span (in elements) along one IFmap-matrix column."""
+    if layer.is_pointwise:
+        # Every element of a pointwise column is unique and contiguous in M
+        # only through the feature-map layout; the span equals the tile height.
+        return float(tile.blk_m)
+    numerator = layer.padded_width * layer.stride
+    denominator = layer.padded_width - layer.filter_width + 1
+    return tile.blk_m * numerator / denominator
+
+
+def average_vertical_distance(layer: ConvLayerConfig, tile: CtaTile,
+                              options: L2ModelOptions = L2ModelOptions()) -> float:
+    """Eq. 6: vertical span averaged over the channels a blkK tile touches."""
+    dist_v = vertical_distance(layer, tile)
+    if layer.is_pointwise:
+        return dist_v
+    span = tile.blk_k / layer.filter_pixels
+    if options.channel_span_mode == "at-least-one":
+        span = max(1.0, span)
+    return dist_v * span
+
+
+def horizontal_distance(layer: ConvLayerConfig, tile: CtaTile) -> float:
+    """Eq. 7: address span (in elements) across the blkK columns of a tile."""
+    if layer.is_pointwise:
+        return float(tile.blk_k)
+    wf = layer.filter_width
+    blk_k = tile.blk_k
+    strd = layer.stride
+    wi = layer.in_width
+    within_row_edges = (blk_k - 1) / wf
+    within_row_step = (wi - wf + 1) + strd * (wf - blk_k + 1)
+    same_row = (wf - blk_k + 1) / wf
+    same_row_step = strd * (blk_k - 1)
+    dist_h = within_row_edges * within_row_step + same_row * same_row_step
+    # The address span across neighbouring columns can never be negative nor
+    # smaller than the number of distinct columns minus one would imply for a
+    # dense layout; clamp at 0 to keep pathological configurations sane.
+    return max(0.0, dist_h)
+
+
+def average_horizontal_distance(layer: ConvLayerConfig, tile: CtaTile) -> float:
+    """Eq. 8: horizontal span including extra samples inside one blkM tile."""
+    dist_h = horizontal_distance(layer, tile)
+    if layer.is_pointwise:
+        return dist_h
+    rows_per_sample = (layer.padded_height - layer.filter_height + 1) / layer.stride
+    sample_pixels = rows_per_sample ** 2
+    if sample_pixels <= 0:
+        return dist_h
+    return dist_h * (1.0 + tile.blk_m / sample_pixels)
+
+
+def ifmap_tile_unique_elements(layer: ConvLayerConfig, tile: CtaTile,
+                               options: L2ModelOptions = L2ModelOptions()) -> float:
+    """Unique IFmap elements requested from L2 per main-loop iteration."""
+    if layer.is_pointwise:
+        # No reuse within the tile: every element is unique.
+        return float(tile.blk_m * min(tile.blk_k, layer.gemm_shape().k))
+    unique = (average_vertical_distance(layer, tile, options)
+              + average_horizontal_distance(layer, tile))
+    # The unique footprint can never exceed the tile itself.
+    return min(unique, float(tile.blk_m * tile.blk_k))
+
+
+def filter_tile_elements(layer: ConvLayerConfig, tile: CtaTile) -> float:
+    """Filter elements requested from L2 per main-loop iteration (all unique)."""
+    gemm = layer.gemm_shape()
+    return float(min(tile.blk_n, gemm.n) * min(tile.blk_k, gemm.k))
+
+
+def estimate_l2_traffic(layer: ConvLayerConfig, grid: GemmGrid, gpu: GpuSpec,
+                        options: L2ModelOptions = L2ModelOptions()) -> L2Traffic:
+    """Eq. 9: total L2 load traffic of the layer, in bytes."""
+    tile = grid.tile
+    ifmap_per_loop = ifmap_tile_unique_elements(layer, tile, options)
+    filter_per_loop = filter_tile_elements(layer, tile)
+    if options.quantize_to_sectors:
+        elems_per_sector = gpu.sector_bytes / layer.dtype_bytes
+        ifmap_per_loop = math.ceil(ifmap_per_loop / elems_per_sector) * elems_per_sector
+        filter_per_loop = math.ceil(filter_per_loop / elems_per_sector) * elems_per_sector
+
+    loops = grid.main_loops_per_cta * grid.num_ctas
+    ifmap_bytes = ifmap_per_loop * loops * layer.dtype_bytes
+    filter_bytes = filter_per_loop * loops * layer.dtype_bytes
+    return L2Traffic(
+        ifmap_bytes=ifmap_bytes,
+        filter_bytes=filter_bytes,
+        ifmap_elements_per_loop=ifmap_per_loop,
+        filter_elements_per_loop=filter_per_loop,
+    )

@@ -1,0 +1,81 @@
+"""High-level DeLTA facade: one object that answers traffic and time queries.
+
+:class:`DeltaModel` is the public entry point most users want::
+
+    from repro import DeltaModel, TITAN_XP, alexnet
+
+    model = DeltaModel(TITAN_XP)
+    for layer in alexnet(batch=256).conv_layers():
+        estimate = model.estimate(layer)
+        print(layer.name, estimate.time_seconds, estimate.bottleneck)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..gpu.spec import GpuSpec
+from .dram import DramModelOptions
+from .l1 import ReplicationMode
+from .l2 import L2ModelOptions
+from .layer import ConvLayerConfig
+from .performance import ExecutionEstimate, PerformanceModel
+from .traffic import TrafficEstimate, TrafficModel
+
+
+@dataclass(frozen=True)
+class DeltaModel:
+    """The complete DeLTA model: memory traffic (Sec. IV) + performance (Sec. V)."""
+
+    gpu: GpuSpec
+    l2_options: L2ModelOptions = field(default_factory=L2ModelOptions)
+    dram_options: DramModelOptions = field(default_factory=DramModelOptions)
+    #: how often each input matrix is streamed through L1 (see repro.core.l1).
+    l1_replication: ReplicationMode = "per-cta"
+    #: CTA tile height/width family (128 for stock kernels, 256 for Fig. 16a
+    #: options 7-9).
+    cta_tile_hw: int = 128
+
+    @property
+    def traffic_model(self) -> TrafficModel:
+        return TrafficModel(
+            gpu=self.gpu,
+            l2_options=self.l2_options,
+            dram_options=self.dram_options,
+            l1_replication=self.l1_replication,
+            cta_tile_hw=self.cta_tile_hw,
+        )
+
+    @property
+    def performance_model(self) -> PerformanceModel:
+        return PerformanceModel(gpu=self.gpu, traffic_model=self.traffic_model)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def traffic(self, layer: ConvLayerConfig) -> TrafficEstimate:
+        """Estimate L1/L2/DRAM traffic for one layer."""
+        return self.traffic_model.estimate(layer)
+
+    def estimate(self, layer: ConvLayerConfig) -> ExecutionEstimate:
+        """Estimate execution time and bottleneck for one layer."""
+        return self.performance_model.estimate(layer)
+
+    def estimate_layers(self, layers: Iterable[ConvLayerConfig]) -> List[ExecutionEstimate]:
+        """Estimate every layer of a network (or any layer iterable)."""
+        return [self.estimate(layer) for layer in layers]
+
+    def total_time(self, layers: Iterable[ConvLayerConfig]) -> float:
+        """Total predicted execution time (seconds) of a sequence of layers."""
+        return sum(estimate.time_seconds for estimate in self.estimate_layers(layers))
+
+    def for_gpu(self, gpu: GpuSpec) -> "DeltaModel":
+        """A copy of this model targeting a different (e.g. scaled) GPU."""
+        return DeltaModel(
+            gpu=gpu,
+            l2_options=self.l2_options,
+            dram_options=self.dram_options,
+            l1_replication=self.l1_replication,
+            cta_tile_hw=self.cta_tile_hw,
+        )

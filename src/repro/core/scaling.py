@@ -1,0 +1,101 @@
+"""GPU resource-scaling study (Section VII-C, Fig. 16).
+
+The study evaluates the 9 design options of Fig. 16a (multipliers on SM count,
+per-SM MAC throughput, register/SMEM capacity and bandwidth, L1/L2/DRAM
+bandwidth, and the GEMM CTA tile size) on the full set of ResNet152
+convolution layers and reports, per option, the speedup over the baseline
+TITAN Xp and the distribution of performance bottlenecks across layers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..gpu.design_options import DesignOption, PAPER_DESIGN_OPTIONS
+from ..gpu.spec import GpuSpec
+from .bottleneck import Bottleneck
+from .layer import ConvLayerConfig
+from .model import DeltaModel
+from .performance import ExecutionEstimate
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Outcome of one design option on a workload (a list of conv layers)."""
+
+    option: DesignOption
+    gpu: GpuSpec
+    total_time_seconds: float
+    speedup: float
+    #: per-layer execution estimates, in workload order.
+    estimates: Tuple[ExecutionEstimate, ...]
+
+    @property
+    def bottleneck_distribution(self) -> Dict[Bottleneck, float]:
+        """Fraction of layer *time* attributed to each bottleneck category."""
+        total = sum(est.time_seconds for est in self.estimates)
+        if total <= 0:
+            return {}
+        shares: Counter = Counter()
+        for est in self.estimates:
+            shares[est.bottleneck] += est.time_seconds
+        return {key: value / total for key, value in shares.items()}
+
+    @property
+    def bottleneck_counts(self) -> Dict[Bottleneck, int]:
+        """Number of layers bound by each bottleneck category."""
+        return dict(Counter(est.bottleneck for est in self.estimates))
+
+
+@dataclass(frozen=True)
+class ScalingStudy:
+    """Run the Fig. 16 design-space exploration on an arbitrary workload."""
+
+    baseline: GpuSpec
+    options: Sequence[DesignOption] = PAPER_DESIGN_OPTIONS
+
+    def _model_for(self, option: Optional[DesignOption]) -> DeltaModel:
+        if option is None:
+            return DeltaModel(self.baseline)
+        return DeltaModel(option.apply(self.baseline), cta_tile_hw=option.cta_tile_hw)
+
+    def run(self, layers: Sequence[ConvLayerConfig]) -> List[ScalingResult]:
+        """Evaluate the baseline and every option; results exclude the baseline."""
+        layers = list(layers)
+        if not layers:
+            raise ValueError("scaling study needs at least one layer")
+
+        baseline_model = self._model_for(None)
+        baseline_estimates = tuple(baseline_model.estimate(layer) for layer in layers)
+        baseline_time = sum(est.time_seconds for est in baseline_estimates)
+
+        results: List[ScalingResult] = []
+        for option in self.options:
+            model = self._model_for(option)
+            estimates = tuple(model.estimate(layer) for layer in layers)
+            total = sum(est.time_seconds for est in estimates)
+            speedup = baseline_time / total if total > 0 else float("inf")
+            results.append(ScalingResult(
+                option=option,
+                gpu=model.gpu,
+                total_time_seconds=total,
+                speedup=speedup,
+                estimates=estimates,
+            ))
+        return results
+
+    def baseline_result(self, layers: Sequence[ConvLayerConfig]) -> ScalingResult:
+        """The baseline GPU evaluated on the same workload (speedup = 1)."""
+        model = self._model_for(None)
+        estimates = tuple(model.estimate(layer) for layer in layers)
+        total = sum(est.time_seconds for est in estimates)
+        identity = DesignOption(name="baseline")
+        return ScalingResult(
+            option=identity,
+            gpu=self.baseline,
+            total_time_seconds=total,
+            speedup=1.0,
+            estimates=estimates,
+        )

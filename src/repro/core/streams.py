@@ -1,0 +1,109 @@
+"""Execution streams of the software-pipelined GEMM main loop (Section V).
+
+The cuDNN/CUTLASS GEMM main loop overlaps three streams (Fig. 9):
+
+* the **global load stream** (GLS) fetches the next input tiles from the
+  global memory (served by L1, L2 or DRAM) and stages them in shared memory;
+* the **shared memory access stream** (SAS) moves the previously staged tiles
+  from shared memory into registers;
+* the **compute stream** (CS) performs the multiply-accumulate operations.
+
+This module computes the per-main-loop execution time of each stream
+(Eq. 11-13) plus the pure bandwidth-transfer times used by the
+memory-bandwidth bottleneck case (Eq. 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.spec import GpuSpec
+from .tiling import CtaTile
+from .traffic import TrafficEstimate
+
+
+@dataclass(frozen=True)
+class StreamTimes:
+    """Per-main-loop execution time (seconds) of each stream and resource."""
+
+    #: global load stream (Eq. 11): latency + transfer of the slowest level.
+    gls: float
+    #: shared memory access stream (Eq. 12).
+    sas: float
+    #: compute stream (Eq. 13).
+    cs: float
+    #: pure transfer times per level, without pipeline latency (Eq. 18 inputs).
+    l1_bw: float
+    l2_bw: float
+    dram_bw: float
+    #: per-level load times including pipeline latency (Eq. 11 terms).
+    gls_l1: float
+    gls_l2: float
+    gls_dram: float
+
+    @property
+    def compute_or_smem(self) -> float:
+        """max(tCS, tSAS): the non-memory-system critical path per loop."""
+        return max(self.cs, self.sas)
+
+
+def gls_time(traffic: TrafficEstimate, gpu: GpuSpec) -> tuple:
+    """Eq. 11: per-loop global load time and its per-level components."""
+    clock = gpu.core_clock_hz
+    lat_l1 = gpu.lat_l1_cycles / clock
+    lat_l2 = gpu.lat_l2_cycles / clock
+    lat_dram = gpu.lat_dram_cycles / clock
+
+    l1_bw = gpu.l1_bw_per_sm
+    l2_bw_per_sm = gpu.l2_bw / gpu.num_sm
+    dram_bw_per_sm = gpu.dram_bw / gpu.num_sm
+
+    t_l1 = lat_l1 + traffic.l1_bytes_per_loop / l1_bw
+    t_l2 = lat_l2 + traffic.l2_bytes_per_loop / l2_bw_per_sm
+    t_dram = lat_dram + traffic.dram_bytes_per_loop / dram_bw_per_sm
+    return max(t_l1, t_l2, t_dram), t_l1, t_l2, t_dram
+
+
+def sas_time(tile: CtaTile, gpu: GpuSpec, dtype_bytes: int) -> float:
+    """Eq. 12: per-loop shared memory store + load time."""
+    store_bytes = (tile.blk_m + tile.blk_n) * tile.blk_k * dtype_bytes
+    load_bytes = ((tile.warp_m + tile.warp_n) * tile.blk_k
+                  * tile.num_warps * dtype_bytes)
+    return (store_bytes / gpu.smem_st_bw_per_sm
+            + load_bytes / gpu.smem_ld_bw_per_sm)
+
+
+def cs_time(tile: CtaTile, gpu: GpuSpec) -> float:
+    """Eq. 13: per-loop compute (MAC) time on one SM."""
+    macs = tile.macs_per_loop
+    macs_per_second_per_sm = gpu.macs_per_second / gpu.num_sm
+    return macs / macs_per_second_per_sm
+
+
+def bandwidth_times(traffic: TrafficEstimate, gpu: GpuSpec) -> tuple:
+    """Pure per-loop transfer times at L1 (per SM), L2 and DRAM (per-SM share)."""
+    t_l1 = traffic.l1_bytes_per_loop / gpu.l1_bw_per_sm
+    t_l2 = traffic.l2_bytes_per_loop / (gpu.l2_bw / gpu.num_sm)
+    t_dram = traffic.dram_bytes_per_loop / (gpu.dram_bw / gpu.num_sm)
+    return t_l1, t_l2, t_dram
+
+
+def compute_stream_times(traffic: TrafficEstimate, gpu: GpuSpec) -> StreamTimes:
+    """All per-main-loop stream times for one layer on one GPU."""
+    tile = traffic.grid.tile
+    dtype_bytes = traffic.layer.dtype_bytes
+    t_gls, gls_l1, gls_l2, gls_dram = gls_time(traffic, gpu)
+    t_sas = sas_time(tile, gpu, dtype_bytes)
+    t_cs = cs_time(tile, gpu)
+    bw_l1, bw_l2, bw_dram = bandwidth_times(traffic, gpu)
+    return StreamTimes(
+        gls=t_gls,
+        sas=t_sas,
+        cs=t_cs,
+        l1_bw=bw_l1,
+        l2_bw=bw_l2,
+        dram_bw=bw_dram,
+        gls_l1=gls_l1,
+        gls_l2=gls_l2,
+        gls_dram=gls_dram,
+    )

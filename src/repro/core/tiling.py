@@ -1,0 +1,181 @@
+"""GEMM blocking: CTA tiles, warp tiles and SM occupancy.
+
+The paper profiles the cuDNN implicit-GEMM kernels and finds three CTA tile
+shapes in use (Section IV-B, Fig. 6):
+
+    (blkM x blkN) x blkK  =  (128 x 128) x 8,  (128 x 64) x 4,  (128 x 32) x 4.
+
+``blkM`` is always 128; ``blkN`` follows the number of output channels (a
+narrow GEMM uses a narrow tile), and ``blkK`` is 8 for the widest tile and 4
+otherwise.  The scaling study (Fig. 16a, options 7-9) additionally uses a
+256-wide tile, which we extrapolate as (256 x 256) x 8 with proportionally
+larger warp tiles.
+
+This module also estimates the number of CTAs that can be resident on one SM
+(active CTAs), which the performance model needs for the latency-hiding cases
+of Fig. 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..gpu.spec import FP32_BYTES, WARP_SIZE, GpuSpec
+from .layer import ConvLayerConfig, GemmShape
+
+
+@dataclass(frozen=True)
+class CtaTile:
+    """One CTA's share of the blocked GEMM."""
+
+    blk_m: int
+    blk_n: int
+    blk_k: int
+    #: warp tile height / width inside the CTA tile.
+    warp_m: int
+    warp_n: int
+
+    def __post_init__(self) -> None:
+        for attr in ("blk_m", "blk_n", "blk_k", "warp_m", "warp_n"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+        if self.blk_m % self.warp_m or self.blk_n % self.warp_n:
+            raise ValueError("warp tile must evenly divide the CTA tile")
+
+    @property
+    def num_warps(self) -> int:
+        """Warps per CTA (each warp owns one warp tile of the output)."""
+        return (self.blk_m // self.warp_m) * (self.blk_n // self.warp_n)
+
+    @property
+    def threads(self) -> int:
+        return self.num_warps * WARP_SIZE
+
+    @property
+    def input_elements_per_loop(self) -> int:
+        """IFmap + filter elements staged through SMEM per main-loop iteration."""
+        return (self.blk_m + self.blk_n) * self.blk_k
+
+    @property
+    def macs_per_loop(self) -> int:
+        """MAC operations per main-loop iteration."""
+        return self.blk_m * self.blk_n * self.blk_k
+
+    @property
+    def output_elements(self) -> int:
+        """Accumulator (and epilogue) elements per CTA."""
+        return self.blk_m * self.blk_n
+
+    def smem_bytes_per_cta(self, dtype_bytes: int = FP32_BYTES) -> int:
+        """Shared memory footprint: double-buffered IFmap + filter stages."""
+        return 2 * self.input_elements_per_loop * dtype_bytes
+
+    def registers_bytes_per_cta(self, dtype_bytes: int = FP32_BYTES) -> int:
+        """Register footprint: accumulators plus double-buffered operand fragments.
+
+        Each thread holds (warp_m*warp_n/32) accumulators plus two operand
+        fragments of warp_m/8 + warp_n/8 elements (the CUTLASS-style register
+        blocking the paper's Fig. 3 depicts), plus a fixed overhead for
+        addresses and loop state.
+        """
+        accumulators = self.blk_m * self.blk_n
+        fragments = 2 * (self.warp_m + self.warp_n) * self.num_warps
+        overhead_regs_per_thread = 32
+        overhead = overhead_regs_per_thread * self.threads
+        return (accumulators + fragments + overhead) * dtype_bytes
+
+
+def select_cta_tile(gemm: GemmShape, tile_hw: int = 128) -> CtaTile:
+    """Select the CTA tile cuDNN would use for a GEMM of this shape (Fig. 6).
+
+    ``tile_hw`` is the maximum tile height/width of the kernel family; the
+    stock kernels use 128 and the scaling-study options 7-9 use 256.
+    """
+    if tile_hw not in (128, 256):
+        raise ValueError(f"unsupported CTA tile height/width {tile_hw}")
+
+    if tile_hw == 256:
+        return CtaTile(blk_m=256, blk_n=256, blk_k=8, warp_m=128, warp_n=64)
+
+    n = gemm.n
+    if n <= 32:
+        # Narrow GEMM: (128 x 32) x 4 with four 32x32 warp tiles.
+        return CtaTile(blk_m=128, blk_n=32, blk_k=4, warp_m=32, warp_n=32)
+    if n <= 64:
+        # (128 x 64) x 4 with four 64x32 warp tiles.
+        return CtaTile(blk_m=128, blk_n=64, blk_k=4, warp_m=64, warp_n=32)
+    # (128 x 128) x 8 with eight 64x32 warp tiles.
+    return CtaTile(blk_m=128, blk_n=128, blk_k=8, warp_m=64, warp_n=32)
+
+
+@dataclass(frozen=True)
+class GemmGrid:
+    """The CTA tile array covering the whole GEMM (Section IV-C, Fig. 8)."""
+
+    gemm: GemmShape
+    tile: CtaTile
+
+    @property
+    def ctas_m(self) -> int:
+        """Number of CTA rows (along M)."""
+        return math.ceil(self.gemm.m / self.tile.blk_m)
+
+    @property
+    def ctas_n(self) -> int:
+        """Number of CTA columns (along N)."""
+        return math.ceil(self.gemm.n / self.tile.blk_n)
+
+    @property
+    def num_ctas(self) -> int:
+        return self.ctas_m * self.ctas_n
+
+    @property
+    def main_loops_per_cta(self) -> int:
+        """Main-loop iterations per CTA: ceil(K / blkK)."""
+        return math.ceil(self.gemm.k / self.tile.blk_k)
+
+    @property
+    def total_main_loops(self) -> int:
+        return self.num_ctas * self.main_loops_per_cta
+
+    @property
+    def aspect_ratio(self) -> float:
+        """CTA rows per CTA column; im2col grids are very tall."""
+        return self.ctas_m / self.ctas_n
+
+
+def build_grid(layer: ConvLayerConfig, tile_hw: int = 128) -> GemmGrid:
+    """Convenience: GEMM grid for a convolution layer."""
+    gemm = layer.gemm_shape()
+    return GemmGrid(gemm=gemm, tile=select_cta_tile(gemm, tile_hw=tile_hw))
+
+
+def active_ctas_per_sm(tile: CtaTile, gpu: GpuSpec,
+                       dtype_bytes: int = FP32_BYTES) -> int:
+    """Number of CTAs that can be simultaneously resident on one SM.
+
+    Determined by the ratio between one CTA's register/SMEM requirements and
+    the per-SM capacities (Section V, "Multi-CTA Interleaving").  At least one
+    CTA is always schedulable: the GEMM kernels are tuned to fit.
+    """
+    by_smem = gpu.smem_bytes // max(1, tile.smem_bytes_per_cta(dtype_bytes))
+    by_regs = gpu.register_file_bytes // max(1, tile.registers_bytes_per_cta(dtype_bytes))
+    active = min(by_smem, by_regs, gpu.max_ctas_per_sm)
+    return max(1, int(active))
+
+
+def ctas_per_sm(grid: GemmGrid, gpu: GpuSpec) -> int:
+    """CTAs processed by the most-loaded SM (round-robin CTA distribution)."""
+    return math.ceil(grid.num_ctas / gpu.num_sm)
+
+
+def cta_batch_size(tile: CtaTile, gpu: GpuSpec) -> int:
+    """CTAs executing concurrently across the whole device (one CTA batch)."""
+    return active_ctas_per_sm(tile, gpu) * gpu.num_sm
+
+
+def waves(grid: GemmGrid, gpu: GpuSpec) -> int:
+    """Number of CTA batches (waves) needed to run the whole GEMM."""
+    return math.ceil(grid.num_ctas / cta_batch_size(grid.tile, gpu))

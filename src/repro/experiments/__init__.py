@@ -1,0 +1,18 @@
+"""One module per reproduced table/figure of the paper's evaluation."""
+
+from .base import ExperimentResult, make_result
+from .registry import (
+    FAST_EXPERIMENTS,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "make_result",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+    "FAST_EXPERIMENTS",
+]

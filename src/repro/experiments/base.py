@@ -1,0 +1,63 @@
+"""Common result container for the per-figure/table experiments.
+
+Every module in :mod:`repro.experiments` exposes a ``run(...)`` function that
+returns an :class:`ExperimentResult`: the rows/series the corresponding paper
+table or figure reports, a small summary dict with the headline numbers, and a
+``render()`` method that prints everything as plain text (used by the CLI and
+captured by the benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..analysis.tables import render_series, render_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one reproduced table or figure."""
+
+    #: experiment identifier, e.g. "fig11" or "tab01".
+    experiment_id: str
+    #: human readable title (matches the paper's caption).
+    title: str
+    #: table rows (one dict per row).
+    rows: Tuple[Dict[str, object], ...] = ()
+    #: named (x, y) series, for figure-style results.
+    series: Dict[str, Tuple[Tuple[object, object], ...]] = field(default_factory=dict)
+    #: headline numbers (GMAE, speedups, ...), used by tests and benchmarks.
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    def render(self, precision: int = 3) -> str:
+        """Render the result as plain text (tables first, then series)."""
+        parts: List[str] = [f"[{self.experiment_id}] {self.title}"]
+        if self.summary:
+            summary_rows = [{"metric": key, "value": value}
+                            for key, value in self.summary.items()]
+            parts.append(render_table(summary_rows, columns=["metric", "value"],
+                                      precision=precision))
+        if self.rows:
+            parts.append(render_table(list(self.rows), precision=precision))
+        for name, pairs in self.series.items():
+            parts.append(render_series(name, pairs, precision=precision))
+        return "\n\n".join(parts)
+
+
+def make_result(experiment_id: str, title: str,
+                rows: Sequence[Mapping[str, object]] = (),
+                series: Mapping[str, Sequence[Sequence[object]]] | None = None,
+                summary: Mapping[str, object] | None = None) -> ExperimentResult:
+    """Convenience constructor that normalizes containers to tuples."""
+    frozen_series = {
+        name: tuple((pair[0], pair[1]) for pair in pairs)
+        for name, pairs in (series or {}).items()
+    }
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        rows=tuple(dict(row) for row in rows),
+        series=frozen_series,
+        summary=dict(summary or {}),
+    )

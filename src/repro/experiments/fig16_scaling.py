@@ -1,0 +1,67 @@
+"""Fig. 16: GPU resource scaling study on ResNet152.
+
+Panel (a) lists the nine design options (multipliers over the TITAN Xp
+baseline), panel (b) their speedup on the full set of ResNet152 convolution
+layers, and panel (c) the distribution of performance bottlenecks per option.
+The paper's headline observations:
+
+* conventional scaling (2x/4x SMs, options 1-2) yields ~1.9x / ~3.4x;
+* adding MAC throughput alone (options 3-4) saturates around 2x;
+* balanced scaling (option 5) matches option 2 with far fewer resources;
+* the large-tile, high-DRAM-bandwidth design (option 9) reaches ~6.4x.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.scaling import ScalingStudy
+from ..gpu.design_options import DesignOption, PAPER_DESIGN_OPTIONS
+from ..gpu.devices import TITAN_XP
+from ..gpu.spec import GpuSpec
+from ..networks.resnet import resnet152
+from .base import ExperimentResult, make_result
+
+EXPERIMENT_ID = "fig16"
+TITLE = "Fig. 16: GPU resource scaling study (ResNet152 conv layers)"
+
+
+def run(baseline: GpuSpec = TITAN_XP,
+        options: Sequence[DesignOption] = PAPER_DESIGN_OPTIONS,
+        batch: int = 256) -> ExperimentResult:
+    """Run the design-space exploration of Fig. 16."""
+    layers = resnet152(batch=batch).conv_layers()
+    study = ScalingStudy(baseline=baseline, options=tuple(options))
+    results = study.run(layers)
+
+    option_rows = [option.as_row() for option in options]
+    speedup_rows = []
+    bottleneck_rows = []
+    for result in results:
+        speedup_rows.append({
+            "option": result.option.name,
+            "speedup": result.speedup,
+            "total_time_ms": result.total_time_seconds * 1e3,
+        })
+        distribution = result.bottleneck_distribution
+        bottleneck_rows.append({
+            "option": result.option.name,
+            **{key.value: distribution.get(key, 0.0)
+               for key in sorted(distribution, key=lambda k: k.value)},
+        })
+
+    speedups = {row["option"]: row["speedup"] for row in speedup_rows}
+    summary = {
+        "baseline": baseline.name,
+        "layers": len(layers),
+        "batch": batch,
+        "best_option": max(speedups, key=speedups.get),
+        "best_speedup": max(speedups.values()),
+        "option2_speedup": speedups.get("2"),
+        "option5_speedup": speedups.get("5"),
+        "option9_speedup": speedups.get("9"),
+    }
+    series = {"speedup vs TITAN Xp": [(name, value) for name, value in speedups.items()]}
+    rows = option_rows + speedup_rows + bottleneck_rows
+    return make_result(EXPERIMENT_ID, TITLE, rows=rows, series=series,
+                       summary=summary)

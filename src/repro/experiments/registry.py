@@ -1,0 +1,65 @@
+"""Registry mapping experiment identifiers to their ``run`` callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import ExperimentResult
+from . import (
+    fig04_miss_rates,
+    fig06_cta_tile,
+    fig11_traffic_accuracy,
+    fig12_prior_traffic,
+    fig13_perf_titanxp,
+    fig14_perf_v100,
+    fig15_perf_distribution,
+    fig16_scaling,
+    fig17_sensitivity,
+    fig18_dram_microbench,
+    fig19_cycles,
+    fig20_traffic_absolute,
+    tab01_specs,
+)
+
+ExperimentRunner = Callable[..., ExperimentResult]
+
+_EXPERIMENTS: Dict[str, ExperimentRunner] = {
+    "tab01": tab01_specs.run,
+    "fig04": fig04_miss_rates.run,
+    "fig06": fig06_cta_tile.run,
+    "fig11": fig11_traffic_accuracy.run,
+    "fig12": fig12_prior_traffic.run,
+    "fig13": fig13_perf_titanxp.run,
+    "fig14": fig14_perf_v100.run,
+    "fig15": fig15_perf_distribution.run,
+    "fig16": fig16_scaling.run,
+    "fig17": fig17_sensitivity.run,
+    "fig18": fig18_dram_microbench.run,
+    "fig19": fig19_cycles.run,
+    "fig20": fig20_traffic_absolute.run,
+}
+
+#: experiments that need no simulation and therefore run in well under a second.
+FAST_EXPERIMENTS = ("tab01", "fig06", "fig16", "fig18")
+
+
+def available_experiments() -> List[str]:
+    """Identifiers accepted by :func:`run_experiment`."""
+    return sorted(_EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> ExperimentRunner:
+    """Look up an experiment's ``run`` callable by identifier."""
+    key = experiment_id.strip().lower()
+    try:
+        return _EXPERIMENTS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{available_experiments()}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by identifier."""
+    return get_experiment(experiment_id)(**kwargs)

@@ -1,0 +1,22 @@
+"""GPU device specifications and design-space options."""
+
+from .spec import FP32_BYTES, GIGA, KIB, MIB, WARP_SIZE, GpuSpec
+from .devices import TESLA_P100, TESLA_V100, TITAN_XP, all_devices, get_device
+from .design_options import DesignOption, PAPER_DESIGN_OPTIONS, get_design_option
+
+__all__ = [
+    "GpuSpec",
+    "GIGA",
+    "KIB",
+    "MIB",
+    "FP32_BYTES",
+    "WARP_SIZE",
+    "TITAN_XP",
+    "TESLA_P100",
+    "TESLA_V100",
+    "all_devices",
+    "get_device",
+    "DesignOption",
+    "PAPER_DESIGN_OPTIONS",
+    "get_design_option",
+]

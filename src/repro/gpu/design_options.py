@@ -1,0 +1,92 @@
+"""GPU design options for the scaling study (Fig. 16a of the paper).
+
+Each option multiplies a subset of the baseline (TITAN Xp) resources.  Option
+columns follow the paper's table exactly; the ``cta_tile_hw`` column gives the
+CTA tile height/width the GEMM kernel is assumed to use on that design (128
+for the stock kernels, 256 for the "bigger tile" designs 7-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .spec import GpuSpec
+
+
+@dataclass(frozen=True)
+class DesignOption:
+    """One column of the paper's Fig. 16a design-option table."""
+
+    name: str
+    num_sm: float = 1.0
+    mac_bw: float = 1.0
+    regs: float = 1.0
+    smem_size: float = 1.0
+    smem_bw: float = 1.0
+    l1_bw: float = 1.0
+    l2_bw: float = 1.0
+    dram_bw: float = 1.0
+    #: CTA tile height/width used by the GEMM kernel on this design.
+    cta_tile_hw: int = 128
+
+    def apply(self, base: GpuSpec) -> GpuSpec:
+        """Scale ``base`` by this option's multipliers."""
+        spec = base.scaled(
+            num_sm=self.num_sm,
+            mac_bw=self.mac_bw,
+            regs=self.regs,
+            smem_size=self.smem_size,
+            smem_bw=self.smem_bw,
+            l1_bw=self.l1_bw,
+            l2_bw=self.l2_bw,
+            dram_bw=self.dram_bw,
+        )
+        return spec.with_name(f"{base.name} [{self.name}]")
+
+    def as_row(self) -> Dict[str, float]:
+        """Row representation used when printing the Fig. 16a table."""
+        return {
+            "option": self.name,
+            "NSM": self.num_sm,
+            "MACBW/SM": self.mac_bw,
+            "REGS/SM": self.regs,
+            "SMEM_SIZE/SM": self.smem_size,
+            "SMEM_BW/SM": self.smem_bw,
+            "L1BW/SM": self.l1_bw,
+            "L2BW": self.l2_bw,
+            "DRAMBW": self.dram_bw,
+            "CTA tile H,W": self.cta_tile_hw,
+        }
+
+
+#: The nine design options of Fig. 16a, keyed "1" .. "9".
+PAPER_DESIGN_OPTIONS: Tuple[DesignOption, ...] = (
+    DesignOption("1", num_sm=2.0, l2_bw=1.5, dram_bw=1.5),
+    DesignOption("2", num_sm=4.0, l2_bw=2.0, dram_bw=2.0),
+    DesignOption("3", mac_bw=2.0),
+    DesignOption("4", mac_bw=4.0),
+    DesignOption("5", mac_bw=4.0, regs=2.0, smem_size=2.0, smem_bw=2.0,
+                 l1_bw=1.5, l2_bw=1.5, dram_bw=1.5),
+    DesignOption("6", mac_bw=6.0, regs=2.0, smem_size=2.0, smem_bw=2.0,
+                 l1_bw=2.0, l2_bw=1.5, dram_bw=2.0),
+    DesignOption("7", mac_bw=8.0, regs=3.0, smem_size=3.0, smem_bw=3.0,
+                 l1_bw=2.0, l2_bw=2.0, dram_bw=2.0, cta_tile_hw=256),
+    DesignOption("8", num_sm=2.0, mac_bw=4.0, regs=2.0, smem_size=2.0,
+                 smem_bw=2.0, l1_bw=2.0, l2_bw=2.0, dram_bw=2.0,
+                 cta_tile_hw=256),
+    DesignOption("9", mac_bw=8.0, regs=3.0, smem_size=3.0, smem_bw=3.0,
+                 l1_bw=2.0, l2_bw=2.0, dram_bw=3.0, cta_tile_hw=256),
+)
+
+_BY_NAME: Dict[str, DesignOption] = {opt.name: opt for opt in PAPER_DESIGN_OPTIONS}
+
+
+def get_design_option(name: str) -> DesignOption:
+    """Return the paper design option with the given name ("1" .. "9")."""
+    try:
+        return _BY_NAME[str(name)]
+    except KeyError:
+        raise KeyError(
+            f"unknown design option {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

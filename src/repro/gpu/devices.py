@@ -1,0 +1,95 @@
+"""Concrete GPU device specifications (Table I of the paper).
+
+Bandwidths come from Table I (measured, effective bandwidths), latencies from
+the micro-benchmark results reported in Appendix B (Fig. 18) and from prior
+micro-benchmarking work the paper cites.  The L1 request granularity is 128 B
+on Pascal and 32 B on Volta, which is what the paper found to match hardware
+behaviour best (Section VII-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from .spec import GIGA, KIB, MIB, GpuSpec
+
+TITAN_XP = GpuSpec(
+    name="TITAN Xp",
+    num_sm=30,
+    core_clock_hz=1.58e9,
+    fp32_flops=12134 * GIGA,
+    register_file_bytes=256 * KIB,
+    smem_bytes=96 * KIB,
+    l1_bw_per_sm=92 * GIGA,
+    l2_bw=1051 * GIGA,
+    dram_bw=430 * GIGA,
+    l2_size=3 * MIB,
+    l1_size=48 * KIB,
+    l1_request_bytes=128,
+    lat_l1_cycles=32.0,
+    lat_l2_cycles=220.0,
+    lat_dram_cycles=500.0,
+)
+
+TESLA_P100 = GpuSpec(
+    name="P100",
+    num_sm=56,
+    core_clock_hz=1.2e9,
+    fp32_flops=8602 * GIGA,
+    register_file_bytes=256 * KIB,
+    smem_bytes=64 * KIB,
+    l1_bw_per_sm=38.1 * GIGA,
+    l2_bw=1382 * GIGA,
+    dram_bw=550 * GIGA,
+    l2_size=4 * MIB,
+    l1_size=24 * KIB,
+    l1_request_bytes=128,
+    lat_l1_cycles=32.0,
+    lat_l2_cycles=234.0,
+    lat_dram_cycles=580.0,
+)
+
+TESLA_V100 = GpuSpec(
+    name="V100",
+    num_sm=84,
+    core_clock_hz=1.38e9,
+    fp32_flops=14837 * GIGA,
+    register_file_bytes=256 * KIB,
+    smem_bytes=94 * KIB,
+    l1_bw_per_sm=94.1 * GIGA,
+    l2_bw=2167 * GIGA,
+    dram_bw=850 * GIGA,
+    l2_size=6 * MIB,
+    l1_size=128 * KIB,
+    l1_request_bytes=32,
+    lat_l1_cycles=28.0,
+    lat_l2_cycles=200.0,
+    lat_dram_cycles=500.0,
+)
+
+_DEVICES: Dict[str, GpuSpec] = {
+    "titanxp": TITAN_XP,
+    "titan xp": TITAN_XP,
+    "titan_xp": TITAN_XP,
+    "p100": TESLA_P100,
+    "tesla p100": TESLA_P100,
+    "v100": TESLA_V100,
+    "tesla v100": TESLA_V100,
+}
+
+
+def get_device(name: str) -> GpuSpec:
+    """Look up a device specification by (case-insensitive) name."""
+    key = name.strip().lower()
+    try:
+        return _DEVICES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU device {name!r}; known devices: "
+            f"{sorted(set(d.name for d in _DEVICES.values()))}"
+        ) from None
+
+
+def all_devices() -> Iterable[GpuSpec]:
+    """The three devices evaluated in the paper, in paper order."""
+    return (TITAN_XP, TESLA_P100, TESLA_V100)

@@ -1,0 +1,27 @@
+"""Benchmark CNNs used in the paper's evaluation."""
+
+from .alexnet import alexnet
+from .base import ConvNetwork
+from .googlenet import googlenet, googlenet_paper_subset
+from .registry import (
+    PAPER_NETWORK_ORDER,
+    available_networks,
+    get_network,
+    paper_benchmark_suite,
+)
+from .resnet import resnet152, resnet152_paper_subset
+from .vgg import vgg16
+
+__all__ = [
+    "ConvNetwork",
+    "alexnet",
+    "vgg16",
+    "googlenet",
+    "googlenet_paper_subset",
+    "resnet152",
+    "resnet152_paper_subset",
+    "get_network",
+    "available_networks",
+    "paper_benchmark_suite",
+    "PAPER_NETWORK_ORDER",
+]

@@ -1,0 +1,31 @@
+"""AlexNet convolution layers (Krizhevsky et al., single-tower variant).
+
+Feature map sizes follow the standard ImageNet configuration with a 224x224
+input: conv1 runs at stride 4 and the two max-pooling layers reduce the
+feature map to 27x27 and 13x13 before conv2 and conv3 respectively.
+"""
+
+from __future__ import annotations
+
+from ..core.layer import ConvLayerConfig
+from .base import ConvNetwork
+
+DEFAULT_BATCH = 256
+
+
+def alexnet(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """The five AlexNet convolution layers at the given mini-batch size."""
+    sq = ConvLayerConfig.square
+    layers = (
+        sq("conv1", batch, in_channels=3, in_size=224, out_channels=64,
+           filter_size=11, stride=4, padding=2),
+        sq("conv2", batch, in_channels=64, in_size=27, out_channels=192,
+           filter_size=5, stride=1, padding=2),
+        sq("conv3", batch, in_channels=192, in_size=13, out_channels=384,
+           filter_size=3, stride=1, padding=1),
+        sq("conv4", batch, in_channels=384, in_size=13, out_channels=256,
+           filter_size=3, stride=1, padding=1),
+        sq("conv5", batch, in_channels=256, in_size=13, out_channels=256,
+           filter_size=3, stride=1, padding=1),
+    )
+    return ConvNetwork(name="AlexNet", layers=layers)

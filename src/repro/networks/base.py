@@ -1,0 +1,98 @@
+"""Network container: an ordered collection of convolution layer configs.
+
+The paper evaluates DeLTA on the convolution layers of AlexNet, VGG16,
+GoogLeNet and ResNet152.  Because many layers in these networks share the
+exact same configuration, results are reported on the *unique* subset
+(Section VI); :meth:`ConvNetwork.unique_layers` reproduces that subset while
+:meth:`ConvNetwork.conv_layers` returns the full list (used, e.g., for the
+ResNet152 scaling study which sums over all 152 conv layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..core.layer import ConvLayerConfig
+
+
+def _structural_key(layer: ConvLayerConfig) -> Tuple:
+    """Configuration identity of a layer, ignoring its name."""
+    return (
+        layer.batch,
+        layer.in_channels,
+        layer.in_height,
+        layer.in_width,
+        layer.out_channels,
+        layer.filter_height,
+        layer.filter_width,
+        layer.stride,
+        layer.padding,
+    )
+
+
+@dataclass(frozen=True)
+class ConvNetwork:
+    """A CNN reduced to its convolution layers, in forward order."""
+
+    name: str
+    layers: Tuple[ConvLayerConfig, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"network {self.name!r} has no layers")
+
+    def __iter__(self) -> Iterator[ConvLayerConfig]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def conv_layers(self) -> List[ConvLayerConfig]:
+        """All convolution layers, in forward order."""
+        return list(self.layers)
+
+    def unique_layers(self) -> List[ConvLayerConfig]:
+        """The unique-configuration subset, preserving first occurrence order."""
+        seen: Dict[Tuple, ConvLayerConfig] = {}
+        for layer in self.layers:
+            key = _structural_key(layer)
+            if key not in seen:
+                seen[key] = layer
+        return list(seen.values())
+
+    def layer(self, name: str) -> ConvLayerConfig:
+        """Look up a layer by name."""
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"network {self.name!r} has no layer named {name!r}")
+
+    def with_batch(self, batch: int) -> "ConvNetwork":
+        """The same network at a different mini-batch size."""
+        return ConvNetwork(
+            name=self.name,
+            layers=tuple(layer.with_batch(batch) for layer in self.layers),
+        )
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulate operations of all conv layers."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_flops(self) -> int:
+        return 2 * self.total_macs
+
+    def describe(self) -> str:
+        lines = [f"{self.name}: {len(self.layers)} conv layers, "
+                 f"{self.total_flops / 1e9:.1f} GFLOPs per batch"]
+        lines.extend("  " + layer.describe() for layer in self.layers)
+        return "\n".join(lines)
+
+
+def prefixed(network_name: str, layers: Sequence[ConvLayerConfig]) -> Tuple[ConvLayerConfig, ...]:
+    """Prefix layer names with the network name for unambiguous reporting."""
+    return tuple(layer.with_name(f"{network_name}/{layer.name}")
+                 if not layer.name.startswith(f"{network_name}/") else layer
+                 for layer in layers)

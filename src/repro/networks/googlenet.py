@@ -1,0 +1,92 @@
+"""GoogLeNet (Inception v1) convolution layers.
+
+The stem plus the nine inception modules are generated from the channel table
+of Szegedy et al. (2015).  Each inception module contributes five convolution
+layers (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5); the pooling-projection 1x1
+convolution is included as ``_pool_proj``.  The paper evaluates the stem and
+modules 3a, 4b, 4e and 5a (Section VI); :func:`googlenet_paper_subset`
+extracts exactly those layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.layer import ConvLayerConfig
+from .base import ConvNetwork
+
+DEFAULT_BATCH = 256
+
+#: inception module table: name -> (feature size, in_channels,
+#:   n1x1, n3x3red, n3x3, n5x5red, n5x5, pool_proj)
+_INCEPTION_TABLE: Tuple[Tuple[str, Tuple[int, int, int, int, int, int, int, int]], ...] = (
+    ("3a", (28, 192, 64, 96, 128, 16, 32, 32)),
+    ("3b", (28, 256, 128, 128, 192, 32, 96, 64)),
+    ("4a", (14, 480, 192, 96, 208, 16, 48, 64)),
+    ("4b", (14, 512, 160, 112, 224, 24, 64, 64)),
+    ("4c", (14, 512, 128, 128, 256, 24, 64, 64)),
+    ("4d", (14, 512, 112, 144, 288, 32, 64, 64)),
+    ("4e", (14, 528, 256, 160, 320, 32, 128, 128)),
+    ("5a", (7, 832, 256, 160, 320, 32, 128, 128)),
+    ("5b", (7, 832, 384, 192, 384, 48, 128, 128)),
+)
+
+
+def _inception_layers(batch: int, name: str, size: int, cin: int, n1x1: int,
+                      n3x3red: int, n3x3: int, n5x5red: int, n5x5: int,
+                      pool_proj: int) -> List[ConvLayerConfig]:
+    sq = ConvLayerConfig.square
+    return [
+        sq(f"{name}_1x1", batch, in_channels=cin, in_size=size,
+           out_channels=n1x1, filter_size=1),
+        sq(f"{name}_3x3red", batch, in_channels=cin, in_size=size,
+           out_channels=n3x3red, filter_size=1),
+        sq(f"{name}_3x3", batch, in_channels=n3x3red, in_size=size,
+           out_channels=n3x3, filter_size=3, padding=1),
+        sq(f"{name}_5x5red", batch, in_channels=cin, in_size=size,
+           out_channels=n5x5red, filter_size=1),
+        sq(f"{name}_5x5", batch, in_channels=n5x5red, in_size=size,
+           out_channels=n5x5, filter_size=5, padding=2),
+        sq(f"{name}_pool_proj", batch, in_channels=cin, in_size=size,
+           out_channels=pool_proj, filter_size=1),
+    ]
+
+
+def googlenet(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """All GoogLeNet convolution layers at the given mini-batch size."""
+    sq = ConvLayerConfig.square
+    layers: List[ConvLayerConfig] = [
+        sq("conv1", batch, in_channels=3, in_size=224, out_channels=64,
+           filter_size=7, stride=2, padding=3),
+        sq("conv2_3x3r", batch, in_channels=64, in_size=56, out_channels=64,
+           filter_size=1),
+        sq("conv2_3x3", batch, in_channels=64, in_size=56, out_channels=192,
+           filter_size=3, padding=1),
+    ]
+    for name, (size, cin, n1, n3r, n3, n5r, n5, proj) in _INCEPTION_TABLE:
+        layers.extend(_inception_layers(batch, name, size, cin, n1, n3r, n3,
+                                        n5r, n5, proj))
+    return ConvNetwork(name="GoogLeNet", layers=tuple(layers))
+
+
+#: layer-name prefixes evaluated in the paper's figures.
+PAPER_MODULES = ("conv1", "conv2_3x3", "conv2_3x3r", "3a", "4b", "4e", "5a")
+
+#: branch suffixes shown in the paper's per-layer figures (pool projections
+#: are omitted there because they duplicate the 1x1 branch shape).
+PAPER_BRANCHES = ("_1x1", "_3x3", "_3x3red", "_5x5", "_5x5red")
+
+
+def googlenet_paper_subset(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """The GoogLeNet layers shown in the paper's evaluation figures."""
+    network = googlenet(batch)
+    selected: List[ConvLayerConfig] = []
+    for layer in network.layers:
+        if layer.name in ("conv1", "conv2_3x3", "conv2_3x3r"):
+            selected.append(layer)
+            continue
+        module = layer.name.split("_")[0]
+        suffix = layer.name[len(module):]
+        if module in PAPER_MODULES and suffix in PAPER_BRANCHES:
+            selected.append(layer)
+    return ConvNetwork(name="GoogLeNet", layers=tuple(selected))

@@ -1,0 +1,71 @@
+"""Network registry: look up the paper's benchmark CNNs by name.
+
+The registry exposes both the full networks and the "paper subset" variants
+used in the per-layer evaluation figures, plus :func:`paper_benchmark_suite`
+which reproduces the layer population of Fig. 11/13/14 (unique conv layers of
+all four CNNs, in paper order).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.layer import ConvLayerConfig
+from .alexnet import alexnet
+from .base import ConvNetwork
+from .googlenet import googlenet, googlenet_paper_subset
+from .resnet import resnet152, resnet152_paper_subset
+from .vgg import vgg16
+
+NetworkFactory = Callable[[int], ConvNetwork]
+
+_REGISTRY: Dict[str, NetworkFactory] = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "googlenet": googlenet,
+    "resnet152": resnet152,
+}
+
+_PAPER_SUBSETS: Dict[str, NetworkFactory] = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "googlenet": googlenet_paper_subset,
+    "resnet152": resnet152_paper_subset,
+}
+
+#: the order networks appear in the paper's figures.
+PAPER_NETWORK_ORDER: Tuple[str, ...] = ("alexnet", "vgg16", "googlenet", "resnet152")
+
+
+def available_networks() -> List[str]:
+    """Names accepted by :func:`get_network`."""
+    return sorted(_REGISTRY)
+
+
+def get_network(name: str, batch: int = 256, paper_subset: bool = False) -> ConvNetwork:
+    """Build a benchmark network by (case-insensitive) name."""
+    key = name.strip().lower()
+    registry = _PAPER_SUBSETS if paper_subset else _REGISTRY
+    try:
+        factory = registry[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; available: {available_networks()}"
+        ) from None
+    return factory(batch)
+
+
+def paper_benchmark_suite(batch: int = 256,
+                          unique: bool = True) -> List[Tuple[str, ConvLayerConfig]]:
+    """(network name, layer) pairs for the paper's evaluation population.
+
+    With ``unique=True`` (the default) each network contributes only its
+    unique-configuration layers, matching Section VI ("we show the results on
+    the unique subset").
+    """
+    suite: List[Tuple[str, ConvLayerConfig]] = []
+    for name in PAPER_NETWORK_ORDER:
+        network = get_network(name, batch=batch, paper_subset=True)
+        layers = network.unique_layers() if unique else network.conv_layers()
+        suite.extend((network.name, layer) for layer in layers)
+    return suite

@@ -1,0 +1,91 @@
+"""ResNet-152 convolution layers (He et al., bottleneck architecture).
+
+The network is generated from the standard stage table (3, 8, 36, 3 bottleneck
+blocks).  Each bottleneck block contributes three convolutions named
+``conv<stage>_<block>_{a,b,c}`` following the paper's naming; the projection
+shortcut of the first block in each stage is named ``conv<stage>_1_proj``.
+Downsampling uses a stride-2 3x3 convolution in the first block of stages 3-5
+(the common v1.5 layout).
+
+:func:`resnet152_paper_subset` returns the layer subset the paper's per-layer
+figures display; the scaling study (Fig. 16) uses the full layer list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.layer import ConvLayerConfig
+from .base import ConvNetwork
+
+DEFAULT_BATCH = 256
+
+#: (stage name, number of blocks, bottleneck width, output feature size)
+_STAGES: Tuple[Tuple[str, int, int, int], ...] = (
+    ("conv2", 3, 64, 56),
+    ("conv3", 8, 128, 28),
+    ("conv4", 36, 256, 14),
+    ("conv5", 3, 512, 7),
+)
+
+
+def _bottleneck(batch: int, stage: str, block: int, in_channels: int,
+                width: int, out_size: int, stride: int) -> List[ConvLayerConfig]:
+    """The three convolutions of one bottleneck block."""
+    sq = ConvLayerConfig.square
+    in_size = out_size * stride
+    prefix = f"{stage}_{block}"
+    layers = [
+        sq(f"{prefix}_a", batch, in_channels=in_channels, in_size=in_size,
+           out_channels=width, filter_size=1),
+        sq(f"{prefix}_b", batch, in_channels=width, in_size=in_size,
+           out_channels=width, filter_size=3, stride=stride, padding=1),
+        sq(f"{prefix}_c", batch, in_channels=width, in_size=out_size,
+           out_channels=4 * width, filter_size=1),
+    ]
+    if block == 1:
+        layers.append(
+            sq(f"{prefix}_proj", batch, in_channels=in_channels, in_size=in_size,
+               out_channels=4 * width, filter_size=1, stride=stride))
+    return layers
+
+
+def resnet152(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """All ResNet-152 convolution layers at the given mini-batch size."""
+    sq = ConvLayerConfig.square
+    layers: List[ConvLayerConfig] = [
+        sq("conv1", batch, in_channels=3, in_size=224, out_channels=64,
+           filter_size=7, stride=2, padding=3),
+    ]
+    in_channels = 64
+    for stage, blocks, width, out_size in _STAGES:
+        for block in range(1, blocks + 1):
+            # The first stage keeps the 56x56 resolution (pooling already
+            # halved it); later stages downsample in their first block.
+            stride = 2 if (block == 1 and stage != "conv2") else 1
+            layers.extend(_bottleneck(batch, stage, block, in_channels, width,
+                                      out_size, stride))
+            in_channels = 4 * width
+    return ConvNetwork(name="ResNet152", layers=tuple(layers))
+
+
+#: layer names shown in the paper's per-layer evaluation figures.
+PAPER_LAYER_NAMES: Sequence[str] = (
+    "conv1",
+    "conv2_1_a", "conv2_1_b", "conv2_1_c",
+    "conv2_2_a", "conv2_2_b", "conv2_2_c",
+    "conv2_3_a", "conv2_3_b", "conv2_3_c",
+    "conv3_1_a", "conv3_1_b", "conv3_1_c",
+    "conv3_2_a",
+    "conv4_1_a", "conv4_1_b", "conv4_1_c",
+    "conv4_2_a",
+    "conv5_1_a", "conv5_1_b", "conv5_1_c",
+    "conv5_2_a", "conv5_2_b", "conv5_2_c",
+)
+
+
+def resnet152_paper_subset(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """The ResNet-152 layers shown in the paper's evaluation figures."""
+    network = resnet152(batch)
+    layers = tuple(network.layer(name) for name in PAPER_LAYER_NAMES)
+    return ConvNetwork(name="ResNet152", layers=layers)

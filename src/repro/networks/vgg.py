@@ -1,0 +1,43 @@
+"""VGG16 convolution layers (Simonyan & Zisserman, configuration D).
+
+All convolutions are 3x3 with stride 1 and padding 1; max pooling halves the
+feature map after layers 2, 4, 7, 10 and 13.  The paper reports results on the
+unique-configuration subset (conv1-conv6, conv8, conv11), which
+:meth:`ConvNetwork.unique_layers` recovers automatically.
+"""
+
+from __future__ import annotations
+
+from ..core.layer import ConvLayerConfig
+from .base import ConvNetwork
+
+DEFAULT_BATCH = 256
+
+#: (name, in_channels, feature size, out_channels) for the 13 conv layers.
+_VGG16_CONFIG = (
+    ("conv1", 3, 224, 64),
+    ("conv2", 64, 224, 64),
+    ("conv3", 64, 112, 128),
+    ("conv4", 128, 112, 128),
+    ("conv5", 128, 56, 256),
+    ("conv6", 256, 56, 256),
+    ("conv7", 256, 56, 256),
+    ("conv8", 256, 28, 512),
+    ("conv9", 512, 28, 512),
+    ("conv10", 512, 28, 512),
+    ("conv11", 512, 14, 512),
+    ("conv12", 512, 14, 512),
+    ("conv13", 512, 14, 512),
+)
+
+
+def vgg16(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """The thirteen VGG16 convolution layers at the given mini-batch size."""
+    layers = tuple(
+        ConvLayerConfig.square(
+            name, batch, in_channels=ci, in_size=size, out_channels=co,
+            filter_size=3, stride=1, padding=1,
+        )
+        for name, ci, size, co in _VGG16_CONFIG
+    )
+    return ConvNetwork(name="VGG16", layers=layers)

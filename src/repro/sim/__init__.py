@@ -1,0 +1,30 @@
+"""Trace-driven GPU memory-hierarchy simulator (the "measured" substrate)."""
+
+from .address import INVALID_ADDRESS, TensorLayout
+from .cache import CacheStats, LruCache, SetAssociativeCache
+from .dram import DramChannel
+from .engine import ConvLayerSimulator, SimResult, SimTraffic, SimulatorConfig
+from .im2col import Im2colTraceGenerator, TileAccess
+from .microbench import DramLatencyCurve, LatencyPoint, measure_dram_latency_curve
+from .scheduler import CtaScheduler, Wave, cta_order
+
+__all__ = [
+    "TensorLayout",
+    "INVALID_ADDRESS",
+    "LruCache",
+    "SetAssociativeCache",
+    "CacheStats",
+    "DramChannel",
+    "Im2colTraceGenerator",
+    "TileAccess",
+    "CtaScheduler",
+    "Wave",
+    "cta_order",
+    "ConvLayerSimulator",
+    "SimulatorConfig",
+    "SimResult",
+    "SimTraffic",
+    "DramLatencyCurve",
+    "LatencyPoint",
+    "measure_dram_latency_curve",
+]

@@ -1,0 +1,130 @@
+"""Sector-granularity cache models used by the simulator substrate.
+
+Two replacement organizations are provided:
+
+* :class:`LruCache` — fully associative LRU over sectors.  This is the fast
+  default used for the large L2 simulations; GPU L2 caches are highly
+  associative and indexed with address hashing, so a fully associative LRU is
+  a close (slightly optimistic) approximation.
+* :class:`SetAssociativeCache` — classic set-indexed LRU with a configurable
+  number of ways, used for the per-SM L1 caches and available as an ablation
+  for L2.
+
+Both operate on integer *sector indices* (byte address // sector size) and
+report hit/miss statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+
+@dataclass
+class CacheStats:
+    """Access statistics of one cache instance."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(accesses=self.accesses + other.accesses,
+                          misses=self.misses + other.misses)
+
+
+class LruCache:
+    """Fully associative LRU cache over sector indices."""
+
+    def __init__(self, capacity_bytes: int, sector_bytes: int) -> None:
+        if capacity_bytes <= 0 or sector_bytes <= 0:
+            raise ValueError("capacity and sector size must be positive")
+        self.capacity_sectors = max(1, capacity_bytes // sector_bytes)
+        self.sector_bytes = sector_bytes
+        self.stats = CacheStats()
+        # OrderedDict keeps O(1) access to the least-recently-used entry.
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, sector: int) -> bool:
+        """Access one sector; returns True on hit."""
+        entries = self._entries
+        self.stats.accesses += 1
+        if sector in entries:
+            entries.move_to_end(sector)
+            return True
+        self.stats.misses += 1
+        entries[sector] = None
+        if len(entries) > self.capacity_sectors:
+            entries.popitem(last=False)
+        return False
+
+    def access_many(self, sectors: Iterable[int]) -> int:
+        """Access a sequence of sectors; returns the number of misses."""
+        misses = 0
+        for sector in sectors:
+            if not self.access(int(sector)):
+                misses += 1
+        return misses
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+
+class SetAssociativeCache:
+    """Set-associative LRU cache over sector indices."""
+
+    def __init__(self, capacity_bytes: int, sector_bytes: int, ways: int = 8) -> None:
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        if capacity_bytes <= 0 or sector_bytes <= 0:
+            raise ValueError("capacity and sector size must be positive")
+        total_sectors = max(1, capacity_bytes // sector_bytes)
+        self.ways = min(ways, total_sectors)
+        self.num_sets = max(1, total_sectors // self.ways)
+        self.sector_bytes = sector_bytes
+        self.stats = CacheStats()
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(self.num_sets)]
+
+    def access(self, sector: int) -> bool:
+        """Access one sector; returns True on hit."""
+        self.stats.accesses += 1
+        index = sector % self.num_sets
+        entries = self._sets[index]
+        if sector in entries:
+            entries.move_to_end(sector)
+            return True
+        self.stats.misses += 1
+        entries[sector] = None
+        if len(entries) > self.ways:
+            entries.popitem(last=False)
+        return False
+
+    def access_many(self, sectors: Iterable[int]) -> int:
+        misses = 0
+        for sector in sectors:
+            if not self.access(int(sector)):
+                misses += 1
+        return misses
+
+    def reset(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+        self.stats = CacheStats()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)

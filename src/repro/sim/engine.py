@@ -1,0 +1,313 @@
+"""Trace-driven convolution-layer simulator (the "measured" substrate).
+
+The paper validates DeLTA against hardware profiling of cuDNN kernels.  In
+this reproduction the measured reference is produced by this simulator, which
+executes the blocked im2col GEMM access stream through:
+
+1. warp-level address generation and coalescing (:mod:`repro.sim.im2col`),
+2. a private sector-granularity L1 cache per SM (:mod:`repro.sim.cache`),
+3. a shared L2 cache, and
+4. a DRAM channel with bandwidth accounting and a load-dependent latency
+   model (:mod:`repro.sim.dram`),
+
+while scheduling CTAs onto SMs in waves (:mod:`repro.sim.scheduler`).  The
+simulator is completely independent of the analytical equations, so comparing
+DeLTA's estimates against its measurements is a meaningful accuracy check.
+
+Pure-Python cache simulation of a full mini-batch-256 layer is intractable,
+so the engine simulates a configurable number of CTA waves exactly and
+extrapolates (the access pattern is homogeneous across waves).  Benchmarks use
+a reduced mini-batch; see DESIGN.md for why that preserves the comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.layer import ConvLayerConfig
+from ..core.tiling import GemmGrid, build_grid
+from ..gpu.spec import GpuSpec
+from .cache import LruCache, SetAssociativeCache
+from .dram import DramChannel
+from .im2col import Im2colTraceGenerator, TileAccess
+from .scheduler import CtaScheduler, SchedulingOrder
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Fidelity/tractability knobs of the simulator."""
+
+    #: maximum number of CTAs simulated exactly (None = all CTAs).
+    max_ctas: Optional[int] = 240
+    #: L1 traffic accounting granularity: "sector" counts the 32 B sectors a
+    #: warp request actually moves (sectored hardware); "request" charges the
+    #: full L1 request size for every distinct block a warp touches (the
+    #: granularity the paper's model assumes).
+    l1_accounting: str = "sector"
+    #: CTA scheduling order (the paper assumes column-wise).
+    scheduling: SchedulingOrder = "column"
+    #: associativity of the per-SM L1 caches.
+    l1_ways: int = 8
+    #: use a fully associative LRU for L2 (fast path) instead of set-assoc.
+    l2_fully_associative: bool = True
+    l2_ways: int = 16
+    #: also simulate the epilogue's OFmap write traffic.
+    include_output_write: bool = False
+    #: CTA tile family (128 for the stock kernels, 256 for scaled designs).
+    cta_tile_hw: int = 128
+
+
+@dataclass(frozen=True)
+class SimTraffic:
+    """Measured (simulated) traffic of one layer, in bytes."""
+
+    l1_bytes: float
+    l2_bytes: float
+    dram_bytes: float
+    dram_ifmap_bytes: float
+    dram_filter_bytes: float
+    l1_requests: float
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l2_bytes / self.l1_bytes if self.l1_bytes else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.dram_bytes / self.l2_bytes if self.l2_bytes else 0.0
+
+    def level_bytes(self, level: str) -> float:
+        try:
+            return {"l1": self.l1_bytes, "l2": self.l2_bytes,
+                    "dram": self.dram_bytes}[level.lower()]
+        except KeyError:
+            raise ValueError(f"unknown memory level {level!r}") from None
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Complete simulation outcome for one layer on one GPU."""
+
+    layer: ConvLayerConfig
+    gpu: GpuSpec
+    grid: GemmGrid
+    traffic: SimTraffic
+    time_seconds: float
+    #: CTAs simulated exactly before extrapolation.
+    simulated_ctas: int
+    #: extrapolation factor applied to per-CTA quantities.
+    scale_factor: float
+
+    @property
+    def cycles(self) -> float:
+        return self.time_seconds * self.gpu.core_clock_hz
+
+
+class ConvLayerSimulator:
+    """Simulate the im2col GEMM of a convolution layer on a GPU."""
+
+    def __init__(self, gpu: GpuSpec,
+                 config: SimulatorConfig = SimulatorConfig()) -> None:
+        self.gpu = gpu
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, layer: ConvLayerConfig) -> SimResult:
+        """Simulate ``layer`` and return traffic and execution time."""
+        gpu = self.gpu
+        config = self.config
+        grid = build_grid(layer, tile_hw=config.cta_tile_hw)
+        tile = grid.tile
+        trace = Im2colTraceGenerator(layer, tile, gpu)
+        scheduler = CtaScheduler(grid, gpu, order=config.scheduling)
+
+        l1_caches = [SetAssociativeCache(gpu.l1_size, gpu.sector_bytes,
+                                         ways=config.l1_ways)
+                     for _ in range(gpu.num_sm)]
+        if config.l2_fully_associative:
+            l2_cache = LruCache(gpu.l2_size, gpu.sector_bytes)
+        else:
+            l2_cache = SetAssociativeCache(gpu.l2_size, gpu.sector_bytes,
+                                           ways=config.l2_ways)
+        dram = DramChannel(gpu)
+
+        filter_sector_boundary = trace.layout.filter_base // gpu.sector_bytes
+
+        # Filter tiles depend only on (cta_n, k_offset); memoize them.
+        filter_tiles: Dict[Tuple[int, int], TileAccess] = {}
+
+        def filter_tile(cta_n: int, k_offset: int) -> TileAccess:
+            key = (cta_n, k_offset)
+            if key not in filter_tiles:
+                filter_tiles[key] = trace.filter_tile_access(cta_n, k_offset)
+            return filter_tiles[key]
+
+        # Per-loop stream constants (independent of traffic).
+        macs_per_second_per_sm = gpu.macs_per_second / gpu.num_sm
+        t_cs = tile.macs_per_loop / macs_per_second_per_sm
+        smem_store_bytes = tile.input_elements_per_loop * layer.dtype_bytes
+        smem_load_bytes = ((tile.warp_m + tile.warp_n) * tile.blk_k
+                           * tile.num_warps * layer.dtype_bytes)
+        t_sas = (smem_store_bytes / gpu.smem_st_bw_per_sm
+                 + smem_load_bytes / gpu.smem_ld_bw_per_sm)
+        t_compute = max(t_cs, t_sas)
+
+        l1_bytes = 0.0
+        l2_bytes = 0.0
+        dram_ifmap_bytes = 0.0
+        dram_filter_bytes = 0.0
+        l1_requests = 0.0
+        simulated_ctas = 0
+        simulated_time = 0.0
+
+        k_offsets = [loop * tile.blk_k for loop in range(grid.main_loops_per_cta)]
+        budget = config.max_ctas if config.max_ctas is not None else grid.num_ctas
+
+        for wave in scheduler.waves():
+            if simulated_ctas >= budget:
+                break
+            per_sm = wave.per_sm()
+            wave_time = 0.0
+            for k_offset in k_offsets:
+                loop_l1_per_sm: Dict[int, float] = {}
+                loop_l2_total = 0.0
+                loop_dram_total = 0.0
+                for sm, ctas in per_sm.items():
+                    sm_l1_bytes = 0.0
+                    for cta_m, cta_n in ctas:
+                        if_access = trace.ifmap_tile_access(cta_m, k_offset)
+                        fil_access = filter_tile(cta_n, k_offset)
+                        l1_requests += (if_access.l1_requests
+                                        + fil_access.l1_requests)
+                        cta_l1 = sum(access.fetch_bytes(config.l1_accounting,
+                                                        gpu.l1_request_bytes,
+                                                        gpu.sector_bytes)
+                                     for access in (if_access, fil_access))
+                        sm_l1_bytes += cta_l1
+
+                        for sectors in (if_access.sectors, fil_access.sectors):
+                            if sectors.size == 0:
+                                continue
+                            cache = l1_caches[sm]
+                            missed: List[int] = []
+                            for sector in sectors.tolist():
+                                if not cache.access(sector):
+                                    missed.append(sector)
+                            if not missed:
+                                continue
+                            loop_l2_total += len(missed) * gpu.sector_bytes
+                            for sector in missed:
+                                if not l2_cache.access(sector):
+                                    loop_dram_total += gpu.sector_bytes
+                                    if sector >= filter_sector_boundary:
+                                        dram_filter_bytes += gpu.sector_bytes
+                                    else:
+                                        dram_ifmap_bytes += gpu.sector_bytes
+                    loop_l1_per_sm[sm] = sm_l1_bytes
+                    l1_bytes += sm_l1_bytes
+                l2_bytes += loop_l2_total
+
+                wave_time += self._loop_time(
+                    per_sm, loop_l1_per_sm, loop_l2_total, loop_dram_total,
+                    t_compute, dram)
+            simulated_ctas += wave.num_ctas
+            simulated_time += wave_time
+
+        dram.read(dram_ifmap_bytes + dram_filter_bytes)
+
+        scale = grid.num_ctas / max(1, simulated_ctas)
+        traffic = self._extrapolate_traffic(
+            layer, grid, scale,
+            l1_bytes, l2_bytes, dram_ifmap_bytes, dram_filter_bytes, l1_requests)
+        time_seconds = self._total_time(layer, grid, simulated_time, scale, dram)
+
+        return SimResult(
+            layer=layer,
+            gpu=self.gpu,
+            grid=grid,
+            traffic=traffic,
+            time_seconds=time_seconds,
+            simulated_ctas=simulated_ctas,
+            scale_factor=scale,
+        )
+
+    # ------------------------------------------------------------------
+    # Timing helpers
+    # ------------------------------------------------------------------
+    def _loop_time(self, per_sm: Dict[int, list], loop_l1_per_sm: Dict[int, float],
+                   loop_l2_total: float, loop_dram_total: float,
+                   t_compute: float, dram: DramChannel) -> float:
+        """Execution time of one lockstep main-loop iteration of a wave."""
+        gpu = self.gpu
+        # Compute / SMEM side: each SM runs its resident CTAs back to back.
+        compute_time = max((len(ctas) * t_compute for ctas in per_sm.values()),
+                           default=t_compute)
+        # L1 bandwidth per SM.
+        l1_time = max((bytes_ / gpu.l1_bw_per_sm
+                       for bytes_ in loop_l1_per_sm.values()), default=0.0)
+        # Shared L2 / DRAM bandwidth across the wave.
+        l2_time = loop_l2_total / gpu.l2_bw
+        dram_bw_time = loop_dram_total / gpu.dram_bw
+        # Latency exposure: with few resident CTAs the global load latency of
+        # one iteration cannot be hidden by the other CTAs' compute.
+        active = max((len(ctas) for ctas in per_sm.values()), default=1)
+        offered = loop_dram_total / max(t_compute * active, 1e-12)
+        latency_seconds = dram.latency_cycles(offered) / gpu.core_clock_hz
+        per_cta_dram = loop_dram_total / max(1, sum(len(c) for c in per_sm.values()))
+        load_time = latency_seconds + per_cta_dram / (gpu.dram_bw / gpu.num_sm)
+        if load_time > active * t_compute:
+            latency_bound = load_time
+        else:
+            latency_bound = 0.0
+        return max(compute_time, l1_time, l2_time, dram_bw_time, latency_bound)
+
+    def _total_time(self, layer: ConvLayerConfig, grid: GemmGrid,
+                    simulated_time: float, scale: float,
+                    dram: DramChannel) -> float:
+        """Extrapolated layer execution time including prologue and epilogue."""
+        gpu = self.gpu
+        prologue = gpu.lat_dram_cycles / gpu.core_clock_hz
+        output_bytes = layer.ofmap_elements * layer.dtype_bytes
+        epilogue = output_bytes / gpu.dram_bw
+        if self.config.include_output_write:
+            dram.write(output_bytes)
+        return prologue + simulated_time * scale + epilogue
+
+    # ------------------------------------------------------------------
+    # Extrapolation
+    # ------------------------------------------------------------------
+    def _extrapolate_traffic(self, layer: ConvLayerConfig, grid: GemmGrid,
+                             scale: float, l1_bytes: float, l2_bytes: float,
+                             dram_ifmap: float, dram_filter: float,
+                             l1_requests: float) -> SimTraffic:
+        """Scale sampled per-CTA traffic to the whole layer.
+
+        L1 and L2 traffic are per-CTA streams and scale linearly.  DRAM IFmap
+        traffic also scales linearly (each wave touches fresh data under
+        column-wise scheduling) but is capped at one full IFmap read per CTA
+        column.  Filter DRAM traffic is compulsory when the sampled waves show
+        no refetching, in which case it is left unscaled.
+        """
+        ifmap_cap = (layer.ifmap_elements * layer.dtype_bytes) * grid.ctas_n
+        dram_ifmap_scaled = min(dram_ifmap * scale, max(ifmap_cap, dram_ifmap))
+
+        filter_footprint = layer.filter_elements * layer.dtype_bytes
+        if dram_filter <= filter_footprint * 1.05:
+            dram_filter_scaled = dram_filter
+        else:
+            dram_filter_scaled = dram_filter * scale
+
+        return SimTraffic(
+            l1_bytes=l1_bytes * scale,
+            l2_bytes=l2_bytes * scale,
+            dram_bytes=dram_ifmap_scaled + dram_filter_scaled,
+            dram_ifmap_bytes=dram_ifmap_scaled,
+            dram_filter_bytes=dram_filter_scaled,
+            l1_requests=l1_requests * scale,
+        )

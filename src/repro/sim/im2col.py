@@ -1,0 +1,192 @@
+"""Im2col tile address generation and warp-level coalescing.
+
+For each CTA main-loop iteration the GEMM kernel loads one ``blkM x blkK``
+IFmap-matrix tile and one ``blkN x blkK`` filter-matrix tile from global
+memory.  :class:`Im2colTraceGenerator` produces, for a given CTA coordinate
+and K offset, the byte addresses of those tiles (implicitly, without ever
+materializing the replicated im2col matrix), the number of L1 requests the
+warps issue after coalescing, and the set of memory sectors the tile touches.
+
+Thread-to-data mapping follows Section IV-A of the paper:
+
+* IFmap tiles are loaded column by column; each warp of 32 threads loads 32
+  consecutive rows of one column, and the loads coalesce into L1 requests of
+  ``gpu.l1_request_bytes``.
+* Filter tiles are loaded with ``32 / blkK`` columns per warp (each thread
+  loads one element), so each warp gathers several distant ``blkK``-element
+  segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.layer import ConvLayerConfig
+from ..core.tiling import CtaTile
+from ..gpu.spec import GpuSpec, WARP_SIZE
+from .address import INVALID_ADDRESS, TensorLayout
+
+
+@dataclass(frozen=True)
+class TileAccess:
+    """Memory accesses of one input tile during one main-loop iteration."""
+
+    #: number of coalesced L1 requests issued by the warps (one per distinct
+    #: ``gpu.l1_request_bytes`` block touched by a warp).
+    l1_requests: int
+    #: number of distinct 32-byte sectors touched per warp request, summed
+    #: over all warps (what a sectored memory system actually fetches).
+    l1_sectors: int
+    #: unique sector addresses (sector index, not bytes) touched by the tile.
+    sectors: np.ndarray
+    #: number of elements actually loaded (excludes predicated-off padding).
+    elements: int
+
+    @property
+    def unique_sector_count(self) -> int:
+        return int(self.sectors.size)
+
+    def fetch_bytes(self, accounting: str, request_bytes: int,
+                    sector_bytes: int) -> float:
+        """L1 traffic of this tile under the chosen accounting granularity."""
+        if accounting == "request":
+            return float(self.l1_requests * request_bytes)
+        if accounting == "sector":
+            return float(self.l1_sectors * sector_bytes)
+        raise ValueError(f"unknown L1 accounting mode {accounting!r}")
+
+
+def _count_grouped_blocks(addresses: np.ndarray, group_ids: np.ndarray,
+                          block_bytes: int) -> int:
+    """Count unique (warp group, aligned block) pairs among valid accesses."""
+    valid = addresses != INVALID_ADDRESS
+    if not np.any(valid):
+        return 0
+    block_addr = addresses[valid] // block_bytes
+    groups = group_ids[valid].astype(np.int64)
+    # Pack (group, block) into one key; block addresses fit well below 2**40.
+    keys = groups * (1 << 40) + block_addr
+    return int(np.unique(keys).size)
+
+
+def _unique_sectors(addresses: np.ndarray, sector_bytes: int) -> np.ndarray:
+    valid = addresses != INVALID_ADDRESS
+    if not np.any(valid):
+        return np.empty(0, dtype=np.int64)
+    return np.unique(addresses[valid] // sector_bytes)
+
+
+@dataclass(frozen=True)
+class Im2colTraceGenerator:
+    """Generates the memory accesses of a layer's blocked im2col GEMM."""
+
+    layer: ConvLayerConfig
+    tile: CtaTile
+    gpu: GpuSpec
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_layout", TensorLayout(self.layer,
+                                                         self.gpu.line_bytes))
+
+    @property
+    def layout(self) -> TensorLayout:
+        return self._layout
+
+    # ------------------------------------------------------------------
+    # GEMM coordinate helpers
+    # ------------------------------------------------------------------
+    def _m_to_image_coords(self, m: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map GEMM row indices to (batch, output row, output col)."""
+        layer = self.layer
+        per_image = layer.out_height * layer.out_width
+        batch = m // per_image
+        rem = m % per_image
+        out_row = rem // layer.out_width
+        out_col = rem % layer.out_width
+        return batch, out_row, out_col
+
+    def _k_to_filter_coords(self, k: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map GEMM column indices to (input channel, filter row, filter col)."""
+        layer = self.layer
+        per_channel = layer.filter_height * layer.filter_width
+        channel = k // per_channel
+        rem = k % per_channel
+        f_row = rem // layer.filter_width
+        f_col = rem % layer.filter_width
+        return channel, f_row, f_col
+
+    # ------------------------------------------------------------------
+    # Tile address generation
+    # ------------------------------------------------------------------
+    def ifmap_tile_addresses(self, cta_m: int, k_offset: int) -> np.ndarray:
+        """Byte addresses of the (blkM x blkK) IFmap tile of one main loop.
+
+        Rows beyond M and columns beyond K, as well as zero-padded input
+        positions, are marked :data:`INVALID_ADDRESS`.
+        """
+        layer = self.layer
+        tile = self.tile
+        gemm = layer.gemm_shape()
+
+        m_index = cta_m * tile.blk_m + np.arange(tile.blk_m)
+        k_index = k_offset + np.arange(tile.blk_k)
+        m_grid, k_grid = np.meshgrid(m_index, k_index, indexing="ij")
+        in_range = (m_grid < gemm.m) & (k_grid < gemm.k)
+
+        batch, out_row, out_col = self._m_to_image_coords(np.minimum(m_grid, gemm.m - 1))
+        channel, f_row, f_col = self._k_to_filter_coords(np.minimum(k_grid, gemm.k - 1))
+
+        in_row = out_row * layer.stride - layer.padding + f_row
+        in_col = out_col * layer.stride - layer.padding + f_col
+        addresses = self.layout.ifmap_addresses(batch, channel, in_row, in_col)
+        return np.where(in_range, addresses, INVALID_ADDRESS)
+
+    def filter_tile_addresses(self, cta_n: int, k_offset: int) -> np.ndarray:
+        """Byte addresses of the (blkN x blkK) filter tile of one main loop."""
+        layer = self.layer
+        tile = self.tile
+        gemm = layer.gemm_shape()
+
+        n_index = cta_n * tile.blk_n + np.arange(tile.blk_n)
+        k_index = k_offset + np.arange(tile.blk_k)
+        n_grid, k_grid = np.meshgrid(n_index, k_index, indexing="ij")
+        in_range = (n_grid < gemm.n) & (k_grid < gemm.k)
+        addresses = self.layout.filter_addresses(n_grid, k_grid)
+        return np.where(in_range, addresses, INVALID_ADDRESS)
+
+    # ------------------------------------------------------------------
+    # Coalescing
+    # ------------------------------------------------------------------
+    def _build_access(self, addresses: np.ndarray,
+                      group_ids: np.ndarray) -> TileAccess:
+        requests = _count_grouped_blocks(addresses, group_ids,
+                                         self.gpu.l1_request_bytes)
+        warp_sectors = _count_grouped_blocks(addresses, group_ids,
+                                             self.gpu.sector_bytes)
+        sectors = _unique_sectors(addresses, self.gpu.sector_bytes)
+        elements = int(np.count_nonzero(addresses != INVALID_ADDRESS))
+        return TileAccess(l1_requests=requests, l1_sectors=warp_sectors,
+                          sectors=sectors, elements=elements)
+
+    def ifmap_tile_access(self, cta_m: int, k_offset: int) -> TileAccess:
+        """Coalesced accesses of one IFmap tile (column-major warp mapping)."""
+        addresses = self.ifmap_tile_addresses(cta_m, k_offset)
+        rows, cols = addresses.shape
+        row_group = np.arange(rows) // WARP_SIZE
+        col_ids = np.arange(cols)
+        # group id = (column, row group): each warp covers 32 rows of one column.
+        group_ids = (col_ids[np.newaxis, :] * (rows // WARP_SIZE + 1)
+                     + row_group[:, np.newaxis])
+        return self._build_access(addresses, np.broadcast_to(group_ids,
+                                                             addresses.shape))
+
+    def filter_tile_access(self, cta_n: int, k_offset: int) -> TileAccess:
+        """Coalesced accesses of one filter tile (blkK-major warp mapping)."""
+        addresses = self.filter_tile_addresses(cta_n, k_offset)
+        flat = addresses.reshape(-1)  # n-major, k-minor: matches thread order
+        lane = np.arange(flat.size)
+        group_ids = lane // WARP_SIZE
+        return self._build_access(flat, group_ids)

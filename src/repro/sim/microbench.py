@@ -1,0 +1,80 @@
+"""DRAM latency/bandwidth micro-benchmark (Appendix B, Fig. 18).
+
+The paper measures each GPU's DRAM turnaround latency while sweeping the
+offered traffic intensity: latency stays flat at the unloaded pipeline value
+until the channel approaches its effective bandwidth, then grows sharply.
+This module reproduces the sweep using the simulator's DRAM queueing model and
+reports the same two summary numbers the paper annotates per device: the
+unloaded latency (cycles) and the effective bandwidth (GB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..gpu.spec import GIGA, GpuSpec
+from .dram import DramChannel
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One point of the latency-vs-bandwidth curve."""
+
+    offered_bandwidth: float
+    latency_cycles: float
+
+    @property
+    def offered_gbps(self) -> float:
+        return self.offered_bandwidth / GIGA
+
+
+@dataclass(frozen=True)
+class DramLatencyCurve:
+    """The full latency-vs-bandwidth sweep for one device."""
+
+    gpu: GpuSpec
+    points: tuple
+
+    @property
+    def unloaded_latency_cycles(self) -> float:
+        """Latency of the flat (unloaded) region of the curve."""
+        return self.points[0].latency_cycles
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth (bytes/s) at which latency exceeds 2x the unloaded value."""
+        threshold = 2.0 * self.unloaded_latency_cycles
+        for point in self.points:
+            if point.latency_cycles > threshold:
+                return point.offered_bandwidth
+        return self.points[-1].offered_bandwidth
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        return self.effective_bandwidth / GIGA
+
+    def as_series(self) -> List[tuple]:
+        """(offered GB/s, latency cycles) pairs, ready for plotting/tabulation."""
+        return [(point.offered_gbps, point.latency_cycles) for point in self.points]
+
+
+def measure_dram_latency_curve(gpu: GpuSpec, num_points: int = 64,
+                               max_utilization: float = 1.1) -> DramLatencyCurve:
+    """Sweep offered DRAM bandwidth and record the turnaround latency.
+
+    ``max_utilization`` > 1 lets the sweep run slightly past the effective
+    bandwidth so the saturated region is visible, as in the paper's figure.
+    """
+    if num_points < 2:
+        raise ValueError("num_points must be at least 2")
+    channel = DramChannel(gpu)
+    offered = np.linspace(0.0, gpu.dram_bw * max_utilization, num_points)
+    points = tuple(
+        LatencyPoint(offered_bandwidth=float(bw),
+                     latency_cycles=float(channel.latency_cycles(float(bw))))
+        for bw in offered
+    )
+    return DramLatencyCurve(gpu=gpu, points=points)

@@ -1,0 +1,91 @@
+"""CTA scheduling for the simulator: work order and SM assignment.
+
+The paper assumes the hardware scheduler assigns CTAs to SMs round-robin and,
+for the tall-and-skinny im2col GEMM, that CTAs of the same column of the CTA
+tile array execute close together in time (column-wise order, Section IV-C).
+The simulator exposes both a column-major and a row-major order so the
+assumption can be ablated, and groups CTAs into *waves*: the set of CTAs that
+are resident on the device at the same time (``num_sm x active CTAs per SM``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Literal, Sequence, Tuple
+
+from ..core.tiling import GemmGrid, active_ctas_per_sm
+from ..gpu.spec import GpuSpec
+
+SchedulingOrder = Literal["column", "row"]
+
+#: (cta_m, cta_n) coordinate of one CTA in the tile array.
+CtaCoord = Tuple[int, int]
+
+#: one CTA with its SM assignment: (sm index, cta_m, cta_n).
+ScheduledCta = Tuple[int, int, int]
+
+
+def cta_order(grid: GemmGrid, order: SchedulingOrder = "column") -> List[CtaCoord]:
+    """All CTA coordinates of the GEMM grid in scheduling order."""
+    if order == "column":
+        return [(m, n) for n in range(grid.ctas_n) for m in range(grid.ctas_m)]
+    if order == "row":
+        return [(m, n) for m in range(grid.ctas_m) for n in range(grid.ctas_n)]
+    raise ValueError(f"unknown scheduling order {order!r}")
+
+
+@dataclass(frozen=True)
+class Wave:
+    """One wave: the CTAs concurrently resident across the device."""
+
+    index: int
+    ctas: Tuple[ScheduledCta, ...]
+
+    def per_sm(self) -> dict:
+        """Group the wave's CTAs by SM index."""
+        groups: dict = {}
+        for sm, cta_m, cta_n in self.ctas:
+            groups.setdefault(sm, []).append((cta_m, cta_n))
+        return groups
+
+    @property
+    def num_ctas(self) -> int:
+        return len(self.ctas)
+
+
+@dataclass(frozen=True)
+class CtaScheduler:
+    """Round-robin CTA scheduler producing waves of concurrent CTAs."""
+
+    grid: GemmGrid
+    gpu: GpuSpec
+    order: SchedulingOrder = "column"
+
+    @property
+    def active_ctas_per_sm(self) -> int:
+        return active_ctas_per_sm(self.grid.tile, self.gpu)
+
+    @property
+    def wave_size(self) -> int:
+        return self.active_ctas_per_sm * self.gpu.num_sm
+
+    def schedule(self) -> List[ScheduledCta]:
+        """Every CTA with its round-robin SM assignment, in launch order."""
+        coords = cta_order(self.grid, self.order)
+        return [(index % self.gpu.num_sm, m, n)
+                for index, (m, n) in enumerate(coords)]
+
+    def waves(self, max_waves: int | None = None) -> Iterator[Wave]:
+        """Yield waves in execution order, optionally limited to ``max_waves``."""
+        scheduled = self.schedule()
+        size = self.wave_size
+        total_waves = (len(scheduled) + size - 1) // size
+        limit = total_waves if max_waves is None else min(max_waves, total_waves)
+        for wave_index in range(limit):
+            chunk = scheduled[wave_index * size:(wave_index + 1) * size]
+            yield Wave(index=wave_index, ctas=tuple(chunk))
+
+    @property
+    def num_waves(self) -> int:
+        size = self.wave_size
+        return (self.grid.num_ctas + size - 1) // size

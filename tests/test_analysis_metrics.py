@@ -1,0 +1,104 @@
+"""Tests for the accuracy metrics and table rendering helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    AccuracySummary,
+    geometric_mean,
+    gmae,
+    mean,
+    ratio,
+    stdev,
+)
+from repro.analysis.tables import format_cell, render_series, render_table
+
+
+class TestBasicStatistics:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_mean_and_stdev(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert mean(values) == pytest.approx(2.5)
+        assert stdev(values) == pytest.approx(math.sqrt(1.25))
+
+    def test_ratio_guards_zero(self):
+        assert ratio(2.0, 4.0) == pytest.approx(0.5)
+        with pytest.raises(ZeroDivisionError):
+            ratio(1.0, 0.0)
+
+
+class TestGmae:
+    def test_perfect_predictions_have_zero_error(self):
+        assert gmae([1.0, 1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_symmetric_in_over_and_under_prediction(self):
+        assert gmae([2.0]) == pytest.approx(gmae([0.5]))
+        assert gmae([1.25]) == pytest.approx(gmae([0.8]))
+
+    def test_known_value(self):
+        # ratios 1.1 and 1/1.1 both fold to 1.1 -> GMAE = 10%.
+        assert gmae([1.1, 1 / 1.1]) == pytest.approx(0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gmae([])
+
+
+class TestAccuracySummary:
+    def test_from_ratios(self):
+        summary = AccuracySummary.from_ratios([0.9, 1.0, 1.1, 1.2])
+        assert summary.count == 4
+        assert summary.min_ratio == 0.9
+        assert summary.max_ratio == 1.2
+        assert 0.0 < summary.gmae < 0.2
+
+    def test_describe_mentions_gmae(self):
+        summary = AccuracySummary.from_ratios([1.0, 1.05])
+        assert "GMAE" in summary.describe()
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ValueError):
+            AccuracySummary.from_ratios([])
+        with pytest.raises(ValueError):
+            AccuracySummary.from_ratios([-1.0, 0.0])
+
+
+class TestTableRendering:
+    def test_render_table_alignment_and_content(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 20.0}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in text and "20.000" in text
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_render_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[0]
+
+    def test_format_cell_scientific_for_extremes(self):
+        assert "e" in format_cell(1.0e9)
+        assert "e" in format_cell(1.0e-6)
+        assert format_cell(3.14159, precision=2) == "3.14"
+        assert format_cell("text") == "text"
+        assert format_cell(0.0) == "0"
+
+    def test_render_series(self):
+        text = render_series("speedup", [(1, 1.9), (2, 3.4)],
+                             headers=("option", "speedup"))
+        assert text.startswith("speedup")
+        assert "3.400" in text

@@ -1,0 +1,93 @@
+"""Tests for the model-vs-simulator validation harness."""
+
+import pytest
+
+from repro.analysis.validation import (
+    MEMORY_LEVELS,
+    ValidationConfig,
+    select_layers,
+    validate_gpu,
+    validate_layer,
+)
+from repro.core.bottleneck import Bottleneck
+from repro.core.layer import ConvLayerConfig
+from repro.gpu import TITAN_XP
+from repro.sim.engine import SimulatorConfig
+
+
+TINY_CONFIG = ValidationConfig(batch=4, max_ctas=40, layers_per_network=1)
+
+
+class TestLayerSelection:
+    def test_layers_per_network_cap(self):
+        selected = select_layers(ValidationConfig(batch=8, layers_per_network=2))
+        per_network = {}
+        for network, _ in selected:
+            per_network[network] = per_network.get(network, 0) + 1
+        assert all(count <= 2 for count in per_network.values())
+        assert len(per_network) == 4
+
+    def test_unrestricted_selection_returns_full_suite(self):
+        full = select_layers(ValidationConfig(batch=8, layers_per_network=None))
+        capped = select_layers(ValidationConfig(batch=8, layers_per_network=1))
+        assert len(full) > len(capped)
+
+    def test_batch_propagates(self):
+        selected = select_layers(ValidationConfig(batch=4, layers_per_network=1))
+        assert all(layer.batch == 4 for _, layer in selected)
+
+
+class TestValidateLayer:
+    def test_record_fields_consistent(self):
+        layer = ConvLayerConfig.square("v", 2, in_channels=16, in_size=14,
+                                       out_channels=32, filter_size=3, padding=1)
+        record = validate_layer("Toy", layer, TITAN_XP,
+                                simulator_config=SimulatorConfig(max_ctas=30))
+        assert record.network == "Toy"
+        assert set(record.model_traffic) == set(MEMORY_LEVELS)
+        assert record.model_time > 0 and record.measured_time > 0
+        assert isinstance(record.bottleneck, Bottleneck)
+        assert record.time_ratio == pytest.approx(
+            record.model_time / record.measured_time)
+        row = record.as_row()
+        assert row["layer"] == "v" and row["gpu"] == TITAN_XP.name
+
+    def test_ratios_are_finite_and_reasonable(self):
+        layer = ConvLayerConfig.square("v", 2, in_channels=16, in_size=14,
+                                       out_channels=32, filter_size=3, padding=1)
+        record = validate_layer("Toy", layer, TITAN_XP,
+                                simulator_config=SimulatorConfig(max_ctas=30))
+        for level in MEMORY_LEVELS:
+            assert 0.1 < record.traffic_ratio(level) < 10.0
+        assert 0.1 < record.time_ratio < 10.0
+
+
+class TestValidateGpu:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_gpu(TITAN_XP, TINY_CONFIG)
+
+    def test_one_record_per_selected_layer(self, report):
+        assert len(report.records) == len(select_layers(TINY_CONFIG))
+
+    def test_summaries_available_per_level(self, report):
+        for level in MEMORY_LEVELS:
+            summary = report.traffic_summary(level)
+            assert summary.count == len(report.records)
+            assert summary.gmae >= 0.0
+
+    def test_time_summary_and_rows(self, report):
+        assert report.time_summary().count == len(report.records)
+        rows = report.rows()
+        assert len(rows) == len(report.records)
+        assert all("time_ratio" in row for row in rows)
+
+    def test_bottleneck_counts_cover_all_records(self, report):
+        assert sum(report.bottleneck_counts().values()) == len(report.records)
+
+    def test_explicit_layer_population(self):
+        layer = ConvLayerConfig.square("only", 2, in_channels=8, in_size=14,
+                                       out_channels=16, filter_size=3, padding=1)
+        report = validate_gpu(TITAN_XP, TINY_CONFIG, layers=[("X", layer)])
+        assert len(report.records) == 1
+        assert report.records[0].layer.name == "only"

@@ -1,0 +1,70 @@
+"""Tests for the prior-work fixed-miss-rate baselines (Section III, Fig. 12/15)."""
+
+import pytest
+
+from repro.core.baselines import (
+    PAPER_MISS_RATES,
+    FixedMissRateModel,
+    FixedMissRateTrafficModel,
+)
+from repro.core.model import DeltaModel
+from repro.gpu import TITAN_XP
+from repro.networks import googlenet
+
+
+class TestFixedMissRateTraffic:
+    def test_miss_rate_one_sends_all_l1_traffic_to_dram(self, reference_conv_layer):
+        prior = FixedMissRateTrafficModel(TITAN_XP, l1_miss_rate=1.0,
+                                          l2_miss_rate=1.0)
+        estimate = prior.estimate(reference_conv_layer)
+        assert estimate.l2_bytes == pytest.approx(estimate.l1_bytes)
+        assert estimate.dram_bytes == pytest.approx(estimate.l1_bytes)
+
+    def test_fractional_miss_rates_scale_traffic(self, reference_conv_layer):
+        prior = FixedMissRateTrafficModel(TITAN_XP, l1_miss_rate=0.5,
+                                          l2_miss_rate=0.5)
+        estimate = prior.estimate(reference_conv_layer)
+        assert estimate.l2_bytes == pytest.approx(0.5 * estimate.l1_bytes)
+        assert estimate.dram_bytes == pytest.approx(0.25 * estimate.l1_bytes)
+
+    def test_l1_traffic_matches_delta(self, reference_conv_layer):
+        """The L1 request stream is a property of the kernel, not the cache."""
+        prior = FixedMissRateTrafficModel(TITAN_XP)
+        delta = DeltaModel(TITAN_XP)
+        assert prior.estimate(reference_conv_layer).l1_bytes == pytest.approx(
+            delta.traffic(reference_conv_layer).l1_bytes)
+
+    def test_invalid_miss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FixedMissRateTrafficModel(TITAN_XP, l1_miss_rate=1.5)
+        with pytest.raises(ValueError):
+            FixedMissRateTrafficModel(TITAN_XP, l2_miss_rate=-0.1)
+
+    def test_prior_model_overpredicts_dram_for_reuse_heavy_layers(self):
+        """The core Fig. 12 claim: orders of magnitude more DRAM traffic."""
+        layer = googlenet(batch=256).layer("3a_3x3")
+        prior = FixedMissRateTrafficModel(TITAN_XP).estimate(layer)
+        delta = DeltaModel(TITAN_XP).traffic(layer)
+        assert prior.dram_bytes / delta.dram_bytes > 10.0
+
+
+class TestFixedMissRatePerformance:
+    def test_prior_model_never_faster_than_delta(self, reference_conv_layer):
+        delta_time = DeltaModel(TITAN_XP).estimate(reference_conv_layer).time_seconds
+        for miss_rate in PAPER_MISS_RATES:
+            prior_time = FixedMissRateModel(
+                TITAN_XP, miss_rate=miss_rate).estimate(reference_conv_layer).time_seconds
+            assert prior_time >= delta_time * 0.999
+
+    def test_higher_miss_rate_predicts_longer_or_equal_time(self, reference_conv_layer):
+        times = [FixedMissRateModel(TITAN_XP, miss_rate=mr).estimate(
+            reference_conv_layer).time_seconds for mr in PAPER_MISS_RATES]
+        assert times == sorted(times)
+
+    def test_paper_miss_rates_cover_expected_sweep(self):
+        assert tuple(PAPER_MISS_RATES) == (0.3, 0.5, 0.7, 1.0)
+
+    def test_traffic_accessor(self, reference_conv_layer):
+        model = FixedMissRateModel(TITAN_XP, miss_rate=0.7)
+        traffic = model.traffic(reference_conv_layer)
+        assert traffic.l2_bytes == pytest.approx(0.7 * traffic.l1_bytes)

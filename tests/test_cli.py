@@ -1,0 +1,44 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "alexnet" in output
+        assert "fig16" in output
+        assert "V100" in output
+
+    def test_fast_experiment_command(self, capsys):
+        assert main(["experiment", "tab01"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "TITAN Xp" in output
+
+    def test_estimate_command(self, capsys):
+        assert main(["estimate", "--network", "alexnet", "--gpu", "v100",
+                     "--batch", "32", "--unique"]) == 0
+        output = capsys.readouterr().out
+        assert "AlexNet on V100" in output
+        assert "total conv time" in output
+        assert "conv5" in output
+
+    def test_estimate_paper_subset(self, capsys):
+        assert main(["estimate", "--network", "googlenet", "--gpu", "titanxp",
+                     "--batch", "16", "--unique", "--paper-subset"]) == 0
+        output = capsys.readouterr().out
+        assert "GoogLeNet on TITAN Xp" in output

@@ -1,0 +1,55 @@
+"""Tests for repro.gpu.design_options (Fig. 16a)."""
+
+import pytest
+
+from repro.gpu import PAPER_DESIGN_OPTIONS, TITAN_XP, DesignOption, get_design_option
+
+
+class TestDesignOptionTable:
+    def test_nine_options_defined(self):
+        assert len(PAPER_DESIGN_OPTIONS) == 9
+        assert [opt.name for opt in PAPER_DESIGN_OPTIONS] == [str(i) for i in range(1, 10)]
+
+    def test_lookup_by_name(self):
+        assert get_design_option("5").mac_bw == 4.0
+        with pytest.raises(KeyError):
+            get_design_option("10")
+
+    def test_option1_and_2_scale_sm_count(self):
+        assert get_design_option("1").num_sm == 2.0
+        assert get_design_option("2").num_sm == 4.0
+
+    def test_options_7_to_9_use_larger_cta_tiles(self):
+        for name in ("7", "8", "9"):
+            assert get_design_option(name).cta_tile_hw == 256
+        for name in ("1", "2", "3", "4", "5", "6"):
+            assert get_design_option(name).cta_tile_hw == 128
+
+    def test_option9_has_highest_dram_bandwidth(self):
+        dram_bw = {opt.name: opt.dram_bw for opt in PAPER_DESIGN_OPTIONS}
+        assert max(dram_bw, key=dram_bw.get) == "9"
+
+
+class TestDesignOptionApply:
+    def test_apply_option2_quadruples_sms(self):
+        scaled = get_design_option("2").apply(TITAN_XP)
+        assert scaled.num_sm == 120
+        assert scaled.dram_bw == pytest.approx(2 * TITAN_XP.dram_bw)
+        assert "TITAN Xp" in scaled.name and "2" in scaled.name
+
+    def test_apply_option4_keeps_memory_unchanged(self):
+        scaled = get_design_option("4").apply(TITAN_XP)
+        assert scaled.dram_bw == TITAN_XP.dram_bw
+        assert scaled.l2_bw == TITAN_XP.l2_bw
+        assert scaled.fp32_flops == pytest.approx(4 * TITAN_XP.fp32_flops)
+
+    def test_as_row_contains_all_resource_columns(self):
+        row = get_design_option("6").as_row()
+        for column in ("NSM", "MACBW/SM", "L2BW", "DRAMBW", "CTA tile H,W"):
+            assert column in row
+
+    def test_custom_option_defaults_to_identity(self):
+        option = DesignOption(name="custom")
+        scaled = option.apply(TITAN_XP)
+        assert scaled.num_sm == TITAN_XP.num_sm
+        assert scaled.fp32_flops == TITAN_XP.fp32_flops

@@ -1,0 +1,110 @@
+"""Tests for repro.gpu: device specs, derived quantities and scaling."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu import (
+    GIGA,
+    TESLA_P100,
+    TESLA_V100,
+    TITAN_XP,
+    GpuSpec,
+    all_devices,
+    get_device,
+)
+
+
+class TestDeviceTable:
+    """Table I values must match the paper."""
+
+    def test_titan_xp_table_one(self):
+        assert TITAN_XP.num_sm == 30
+        assert TITAN_XP.fp32_flops == pytest.approx(12134 * GIGA)
+        assert TITAN_XP.l2_size == 3 * 1024 * 1024
+        assert TITAN_XP.l1_request_bytes == 128
+
+    def test_p100_table_one(self):
+        assert TESLA_P100.num_sm == 56
+        assert TESLA_P100.fp32_flops == pytest.approx(8602 * GIGA)
+        assert TESLA_P100.l2_size == 4 * 1024 * 1024
+
+    def test_v100_table_one(self):
+        assert TESLA_V100.num_sm == 84
+        assert TESLA_V100.fp32_flops == pytest.approx(14837 * GIGA)
+        assert TESLA_V100.l2_size == 6 * 1024 * 1024
+        # the paper found 32 B L1 requests match Volta measurements best.
+        assert TESLA_V100.l1_request_bytes == 32
+
+    def test_lookup_by_name_case_insensitive(self):
+        assert get_device("TiTaN Xp") is TITAN_XP
+        assert get_device("v100") is TESLA_V100
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_device("a100")
+
+    def test_all_devices_order(self):
+        assert [gpu.name for gpu in all_devices()] == ["TITAN Xp", "P100", "V100"]
+
+
+class TestDerivedQuantities:
+    def test_macs_per_second_is_half_of_flops(self, any_gpu):
+        assert any_gpu.macs_per_second == pytest.approx(any_gpu.fp32_flops / 2)
+
+    def test_per_cycle_bandwidths_consistent(self, any_gpu):
+        assert any_gpu.l1_bw_bytes_per_cycle == pytest.approx(
+            any_gpu.l1_bw_per_sm / any_gpu.core_clock_hz)
+        assert any_gpu.dram_bw_bytes_per_cycle > 0
+
+    def test_sector_partitioning(self, any_gpu):
+        assert any_gpu.sectors_per_line == any_gpu.line_bytes // any_gpu.sector_bytes
+        assert any_gpu.l1_request_bytes % any_gpu.sector_bytes == 0
+
+    def test_smem_bandwidths_positive(self, any_gpu):
+        assert any_gpu.smem_st_bw_per_sm > 0
+        assert any_gpu.smem_ld_bw_per_sm >= any_gpu.smem_st_bw_per_sm
+
+
+class TestValidation:
+    def test_rejects_nonpositive_sm_count(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TITAN_XP, num_sm=0)
+
+    def test_rejects_misaligned_request_size(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TITAN_XP, l1_request_bytes=48)
+
+
+class TestScaling:
+    def test_identity_scaling_changes_nothing(self):
+        assert TITAN_XP.scaled() == TITAN_XP
+
+    def test_scaling_sm_count_also_scales_total_macs(self):
+        scaled = TITAN_XP.scaled(num_sm=2.0)
+        assert scaled.num_sm == 60
+        assert scaled.fp32_flops == pytest.approx(2 * TITAN_XP.fp32_flops)
+        # per-SM MAC rate is unchanged when only the SM count scales.
+        assert scaled.macs_per_cycle_per_sm == pytest.approx(
+            TITAN_XP.macs_per_cycle_per_sm)
+
+    def test_scaling_mac_bw_only_changes_per_sm_rate(self):
+        scaled = TITAN_XP.scaled(mac_bw=4.0)
+        assert scaled.num_sm == TITAN_XP.num_sm
+        assert scaled.macs_per_cycle_per_sm == pytest.approx(
+            4 * TITAN_XP.macs_per_cycle_per_sm)
+
+    def test_scaling_memory_resources(self):
+        scaled = TITAN_XP.scaled(dram_bw=2.0, l2_bw=1.5, smem_size=2.0)
+        assert scaled.dram_bw == pytest.approx(2 * TITAN_XP.dram_bw)
+        assert scaled.l2_bw == pytest.approx(1.5 * TITAN_XP.l2_bw)
+        assert scaled.smem_bytes == 2 * TITAN_XP.smem_bytes
+
+    def test_unknown_scaling_key_rejected(self):
+        with pytest.raises(ValueError):
+            TITAN_XP.scaled(tensor_cores=2.0)
+
+    def test_with_name(self):
+        renamed = TITAN_XP.with_name("TITAN Xp 2x")
+        assert renamed.name == "TITAN Xp 2x"
+        assert renamed.num_sm == TITAN_XP.num_sm

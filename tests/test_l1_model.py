@@ -1,0 +1,116 @@
+"""Tests for the L1 traffic model (Section IV-A, Eq. 2-4)."""
+
+import pytest
+
+from repro.core.l1 import (
+    estimate_l1_traffic,
+    filter_mli,
+    ifmap_mli,
+    ifmap_request_ratio,
+)
+from repro.core.layer import ConvLayerConfig
+from repro.core.tiling import build_grid
+from repro.gpu import TESLA_V100, TITAN_XP
+
+
+class TestIfmapRequestRatio:
+    def test_pointwise_stride_one_is_dense(self):
+        layer = ConvLayerConfig.square("p", 1, in_channels=8, in_size=14,
+                                       out_channels=8, filter_size=1)
+        assert ifmap_request_ratio(layer) == 1.0
+
+    def test_eq2_matches_paper_example(self):
+        # 3x3 filter, stride 1, 4x4 IFmap with pad 1 (the paper's Fig. 5 example):
+        # ratio = (4 + 2) * 1 / (4 + 2 - 3 + 1) = 6 / 4 = 1.5
+        layer = ConvLayerConfig.square("f5", 1, in_channels=1, in_size=4,
+                                       out_channels=1, filter_size=3, padding=1)
+        assert ifmap_request_ratio(layer) == pytest.approx(1.5)
+
+    def test_stride_increases_ratio(self):
+        dense = ConvLayerConfig.square("s1", 1, in_channels=3, in_size=56,
+                                       out_channels=8, filter_size=3, padding=1)
+        strided = ConvLayerConfig.square("s2", 1, in_channels=3, in_size=56,
+                                         out_channels=8, filter_size=3,
+                                         stride=2, padding=1)
+        assert ifmap_request_ratio(strided) > ifmap_request_ratio(dense)
+
+    def test_ratio_at_least_one(self, small_conv_layer, strided_conv_layer):
+        assert ifmap_request_ratio(small_conv_layer) >= 1.0
+        assert ifmap_request_ratio(strided_conv_layer) >= 1.0
+
+
+class TestIfmapMli:
+    def test_pascal_3x3_rounds_to_two_requests(self):
+        layer = ConvLayerConfig.square("c", 1, in_channels=64, in_size=56,
+                                       out_channels=64, filter_size=3, padding=1)
+        assert ifmap_mli(layer, TITAN_XP) == pytest.approx(2.0)
+
+    def test_pascal_pointwise_is_fully_coalesced(self):
+        layer = ConvLayerConfig.square("p", 1, in_channels=64, in_size=56,
+                                       out_channels=64, filter_size=1)
+        assert ifmap_mli(layer, TITAN_XP) == pytest.approx(1.0)
+
+    def test_volta_finer_granularity_reduces_inefficiency(self):
+        layer = ConvLayerConfig.square("c", 1, in_channels=64, in_size=56,
+                                       out_channels=64, filter_size=3, padding=1)
+        assert ifmap_mli(layer, TESLA_V100) < ifmap_mli(layer, TITAN_XP)
+        assert ifmap_mli(layer, TESLA_V100) == pytest.approx(1.25)
+
+    def test_alexnet_conv1_has_high_inefficiency(self):
+        layer = ConvLayerConfig.square("conv1", 1, in_channels=3, in_size=224,
+                                       out_channels=64, filter_size=11,
+                                       stride=4, padding=2)
+        assert ifmap_mli(layer, TITAN_XP) >= 4.0
+
+
+class TestFilterMli:
+    def test_paper_constants_for_pascal(self):
+        assert filter_mli(8, TITAN_XP) == pytest.approx(2.0)
+        assert filter_mli(4, TITAN_XP) == pytest.approx(2.75)
+
+    def test_analytic_derivation_close_to_paper_constants(self):
+        derived_8 = filter_mli(8, TITAN_XP, use_paper_constants=False)
+        derived_4 = filter_mli(4, TITAN_XP, use_paper_constants=False)
+        assert derived_8 == pytest.approx(2.0, rel=0.10)
+        assert derived_4 == pytest.approx(2.75, rel=0.05)
+
+    def test_invalid_blk_k_rejected(self):
+        with pytest.raises(ValueError):
+            filter_mli(0, TITAN_XP)
+
+    def test_filter_loads_less_efficient_than_dense(self):
+        assert filter_mli(4, TITAN_XP) > 1.0
+        assert filter_mli(8, TESLA_V100, use_paper_constants=False) >= 1.0
+
+
+class TestL1TrafficTotals:
+    def test_eq4_paper_mode_counts_each_matrix_once(self, small_conv_layer):
+        grid = build_grid(small_conv_layer)
+        traffic = estimate_l1_traffic(small_conv_layer, grid, TITAN_XP,
+                                      replication="paper")
+        gemm = small_conv_layer.gemm_shape()
+        expected_ifmap = gemm.m * gemm.k * traffic.mli_ifmap * 4
+        expected_filter = gemm.n * gemm.k * traffic.mli_filter * 4
+        assert traffic.ifmap_bytes == pytest.approx(expected_ifmap)
+        assert traffic.filter_bytes == pytest.approx(expected_filter)
+
+    def test_per_cta_mode_scales_with_grid(self, small_conv_layer):
+        grid = build_grid(small_conv_layer)
+        per_cta = estimate_l1_traffic(small_conv_layer, grid, TITAN_XP,
+                                      replication="per-cta")
+        paper = estimate_l1_traffic(small_conv_layer, grid, TITAN_XP,
+                                    replication="paper")
+        # per-CTA counting can only add traffic (filter tiles reloaded per row).
+        assert per_cta.total_bytes >= paper.total_bytes
+
+    def test_unknown_replication_mode_rejected(self, small_conv_layer):
+        grid = build_grid(small_conv_layer)
+        with pytest.raises(ValueError):
+            estimate_l1_traffic(small_conv_layer, grid, TITAN_XP,
+                                replication="bogus")
+
+    def test_l1_traffic_exceeds_compulsory_footprint(self, reference_conv_layer):
+        grid = build_grid(reference_conv_layer)
+        traffic = estimate_l1_traffic(reference_conv_layer, grid, TITAN_XP)
+        compulsory = reference_conv_layer.ifmap_bytes + reference_conv_layer.filter_bytes
+        assert traffic.total_bytes > compulsory

@@ -1,0 +1,135 @@
+"""Tests for repro.core.layer: layer geometry and im2col GEMM shapes."""
+
+import pytest
+
+from repro.core.layer import ConvLayerConfig, GemmShape
+
+
+class TestConvLayerConfig:
+    def test_output_dimensions_stride_one(self):
+        layer = ConvLayerConfig.square("l", 1, in_channels=3, in_size=32,
+                                       out_channels=8, filter_size=3, padding=1)
+        assert layer.out_height == 32
+        assert layer.out_width == 32
+
+    def test_output_dimensions_stride_two(self):
+        layer = ConvLayerConfig.square("l", 1, in_channels=3, in_size=224,
+                                       out_channels=64, filter_size=7,
+                                       stride=2, padding=3)
+        assert layer.out_height == 112
+        assert layer.out_width == 112
+
+    def test_alexnet_conv1_dimensions(self):
+        layer = ConvLayerConfig.square("conv1", 1, in_channels=3, in_size=224,
+                                       out_channels=64, filter_size=11,
+                                       stride=4, padding=2)
+        assert layer.out_height == 55
+
+    def test_padded_dimensions(self):
+        layer = ConvLayerConfig.square("l", 1, in_channels=1, in_size=4,
+                                       out_channels=1, filter_size=3, padding=1)
+        assert layer.padded_height == 6
+        assert layer.padded_width == 6
+
+    def test_gemm_shape(self):
+        layer = ConvLayerConfig.square("l", 32, in_channels=64, in_size=28,
+                                       out_channels=128, filter_size=3, padding=1)
+        gemm = layer.gemm_shape()
+        assert gemm.m == 32 * 28 * 28
+        assert gemm.n == 128
+        assert gemm.k == 64 * 9
+
+    def test_macs_match_direct_convolution_formula(self):
+        layer = ConvLayerConfig.square("l", 4, in_channels=16, in_size=14,
+                                       out_channels=32, filter_size=3, padding=1)
+        direct = (layer.batch * layer.out_channels * layer.out_height
+                  * layer.out_width * layer.in_channels
+                  * layer.filter_height * layer.filter_width)
+        assert layer.macs == direct
+        assert layer.flops == 2 * direct
+
+    def test_footprints_in_elements_and_bytes(self):
+        layer = ConvLayerConfig.square("l", 2, in_channels=4, in_size=8,
+                                       out_channels=6, filter_size=3, padding=1)
+        assert layer.ifmap_elements == 2 * 4 * 8 * 8
+        assert layer.filter_elements == 6 * 4 * 3 * 3
+        assert layer.ofmap_elements == 2 * 6 * 8 * 8
+        assert layer.ifmap_bytes == layer.ifmap_elements * 4
+        assert layer.filter_bytes == layer.filter_elements * 4
+
+    def test_pointwise_detection(self):
+        conv1x1 = ConvLayerConfig.square("p", 1, in_channels=8, in_size=8,
+                                         out_channels=8, filter_size=1)
+        conv3x3 = ConvLayerConfig.square("c", 1, in_channels=8, in_size=8,
+                                         out_channels=8, filter_size=3, padding=1)
+        assert conv1x1.is_pointwise
+        assert not conv3x3.is_pointwise
+
+    def test_fully_connected_constructor(self):
+        fc = ConvLayerConfig.fully_connected("fc", batch=32, in_features=4096,
+                                             out_features=1000)
+        gemm = fc.gemm_shape()
+        assert gemm.m == 32
+        assert gemm.n == 1000
+        assert gemm.k == 4096
+        assert fc.is_pointwise
+
+    def test_with_batch_returns_new_layer(self):
+        layer = ConvLayerConfig.square("l", 32, in_channels=4, in_size=8,
+                                       out_channels=4, filter_size=3, padding=1)
+        rescaled = layer.with_batch(8)
+        assert rescaled.batch == 8
+        assert layer.batch == 32
+        assert rescaled.gemm_shape().m == layer.gemm_shape().m // 4
+
+    def test_arithmetic_intensity_positive(self):
+        layer = ConvLayerConfig.square("l", 8, in_channels=64, in_size=14,
+                                       out_channels=64, filter_size=3, padding=1)
+        assert layer.arithmetic_intensity() > 1.0
+
+    def test_describe_contains_name_and_shape(self):
+        layer = ConvLayerConfig.square("myconv", 2, in_channels=3, in_size=8,
+                                       out_channels=4, filter_size=3, padding=1)
+        text = layer.describe()
+        assert "myconv" in text
+        assert "3x3" in text
+
+    @pytest.mark.parametrize("field,value", [
+        ("batch", 0), ("in_channels", 0), ("in_height", -1),
+        ("out_channels", 0), ("filter_height", 0), ("stride", 0),
+    ])
+    def test_invalid_dimensions_rejected(self, field, value):
+        kwargs = dict(name="bad", batch=1, in_channels=3, in_height=8,
+                      in_width=8, out_channels=4, filter_height=3,
+                      filter_width=3, stride=1, padding=1)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            ConvLayerConfig(**kwargs)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            ConvLayerConfig.square("bad", 1, in_channels=1, in_size=8,
+                                   out_channels=1, filter_size=3, padding=-1)
+
+    def test_filter_larger_than_padded_input_rejected(self):
+        with pytest.raises(ValueError):
+            ConvLayerConfig.square("bad", 1, in_channels=1, in_size=4,
+                                   out_channels=1, filter_size=7, padding=0)
+
+
+class TestGemmShape:
+    def test_matrix_element_counts(self):
+        gemm = GemmShape(m=100, n=20, k=30)
+        assert gemm.ifmap_matrix_elements == 3000
+        assert gemm.filter_matrix_elements == 600
+        assert gemm.ofmap_matrix_elements == 2000
+        assert gemm.macs == 60000
+
+    def test_aspect_ratio_tall_and_skinny(self):
+        layer = ConvLayerConfig.square("l", 256, in_channels=64, in_size=56,
+                                       out_channels=64, filter_size=3, padding=1)
+        assert layer.gemm_shape().aspect_ratio > 1000
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            GemmShape(m=0, n=1, k=1)

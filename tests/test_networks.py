@@ -1,0 +1,175 @@
+"""Tests for the benchmark CNN definitions (repro.networks)."""
+
+import pytest
+
+from repro.core.layer import ConvLayerConfig
+from repro.networks import (
+    ConvNetwork,
+    alexnet,
+    available_networks,
+    get_network,
+    googlenet,
+    googlenet_paper_subset,
+    paper_benchmark_suite,
+    resnet152,
+    resnet152_paper_subset,
+    vgg16,
+)
+
+
+class TestAlexNet:
+    def test_five_conv_layers(self):
+        assert len(alexnet().conv_layers()) == 5
+
+    def test_conv1_configuration(self):
+        conv1 = alexnet(batch=256).layer("conv1")
+        assert conv1.in_channels == 3
+        assert conv1.filter_height == 11
+        assert conv1.stride == 4
+        assert conv1.out_height == 55
+
+    def test_feature_map_chain(self):
+        net = alexnet()
+        assert net.layer("conv2").in_height == 27
+        assert net.layer("conv3").in_height == 13
+
+
+class TestVgg16:
+    def test_thirteen_conv_layers(self):
+        assert len(vgg16().conv_layers()) == 13
+
+    def test_all_filters_are_3x3_stride_1(self):
+        for layer in vgg16():
+            assert layer.filter_height == 3
+            assert layer.stride == 1
+            assert layer.padding == 1
+
+    def test_unique_subset_smaller_than_full(self):
+        net = vgg16()
+        unique = net.unique_layers()
+        assert len(unique) < len(net.conv_layers())
+        assert 8 <= len(unique) <= 10
+
+    def test_total_flops_in_expected_range(self):
+        # VGG16 convolutions are ~30.7 GFLOP for a single 224x224 image.
+        net = vgg16(batch=1)
+        assert net.total_flops == pytest.approx(30.7e9, rel=0.05)
+
+
+class TestGoogLeNet:
+    def test_stem_and_inception_layers_present(self):
+        net = googlenet()
+        names = {layer.name for layer in net}
+        assert "conv1" in names and "conv2_3x3" in names
+        assert "3a_3x3" in names and "5b_5x5" in names
+
+    def test_inception_3a_branch_channels(self):
+        net = googlenet()
+        assert net.layer("3a_1x1").out_channels == 64
+        assert net.layer("3a_3x3").in_channels == 96
+        assert net.layer("3a_3x3").out_channels == 128
+        assert net.layer("3a_5x5").filter_height == 5
+
+    def test_paper_subset_restricted_to_evaluated_modules(self):
+        subset = googlenet_paper_subset()
+        for layer in subset:
+            module = layer.name.split("_")[0]
+            assert module in ("conv1", "conv2", "3a", "4b", "4e", "5a")
+        assert not any("pool_proj" in layer.name for layer in subset)
+
+    def test_inception_output_channels_consistent(self):
+        """Each module's input channels must match the previous module's output."""
+        net = googlenet()
+        assert net.layer("3b_1x1").in_channels == 256   # 64+128+32+32
+        assert net.layer("4a_1x1").in_channels == 480   # 128+192+96+64
+        assert net.layer("4e_1x1").in_channels == 528
+        assert net.layer("5a_1x1").in_channels == 832
+
+
+class TestResNet152:
+    def test_conv_layer_count(self):
+        # 1 stem + 3*(50 blocks) + 4 projection shortcuts = 155 conv layers.
+        assert len(resnet152().conv_layers()) == 155
+
+    def test_bottleneck_channel_pattern(self):
+        net = resnet152()
+        assert net.layer("conv2_1_a").out_channels == 64
+        assert net.layer("conv2_1_c").out_channels == 256
+        assert net.layer("conv5_1_c").out_channels == 2048
+
+    def test_downsampling_strides(self):
+        net = resnet152()
+        assert net.layer("conv3_1_b").stride == 2
+        assert net.layer("conv3_2_b").stride == 1
+        assert net.layer("conv2_1_b").stride == 1
+
+    def test_feature_sizes_per_stage(self):
+        net = resnet152()
+        assert net.layer("conv2_1_b").out_height == 56
+        assert net.layer("conv3_1_b").out_height == 28
+        assert net.layer("conv4_1_b").out_height == 14
+        assert net.layer("conv5_1_b").out_height == 7
+
+    def test_paper_subset_names(self):
+        subset = resnet152_paper_subset()
+        names = [layer.name for layer in subset]
+        assert names[0] == "conv1"
+        assert "conv4_2_a" in names
+        assert len(names) == 24
+
+
+class TestNetworkContainer:
+    def test_with_batch_propagates(self):
+        net = vgg16(batch=256).with_batch(32)
+        assert all(layer.batch == 32 for layer in net)
+
+    def test_layer_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            alexnet().layer("conv99")
+
+    def test_unique_layers_preserve_order_and_dedupe(self):
+        layers = (
+            ConvLayerConfig.square("a", 1, in_channels=3, in_size=8,
+                                   out_channels=4, filter_size=3, padding=1),
+            ConvLayerConfig.square("b", 1, in_channels=3, in_size=8,
+                                   out_channels=4, filter_size=3, padding=1),
+            ConvLayerConfig.square("c", 1, in_channels=4, in_size=8,
+                                   out_channels=4, filter_size=3, padding=1),
+        )
+        net = ConvNetwork(name="toy", layers=layers)
+        unique = net.unique_layers()
+        assert [layer.name for layer in unique] == ["a", "c"]
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            ConvNetwork(name="empty", layers=())
+
+    def test_describe_mentions_every_layer(self):
+        text = alexnet().describe()
+        for index in range(1, 6):
+            assert f"conv{index}" in text
+
+
+class TestRegistry:
+    def test_available_networks(self):
+        assert set(available_networks()) == {"alexnet", "vgg16", "googlenet",
+                                             "resnet152"}
+
+    def test_get_network_case_insensitive(self):
+        assert get_network("AlexNet").name == "AlexNet"
+        assert get_network("RESNET152", batch=32).layers[0].batch == 32
+
+    def test_get_network_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_network("lenet")
+
+    def test_paper_benchmark_suite_covers_all_networks(self):
+        suite = paper_benchmark_suite(batch=32)
+        networks = {name for name, _ in suite}
+        assert networks == {"AlexNet", "VGG16", "GoogLeNet", "ResNet152"}
+        assert all(layer.batch == 32 for _, layer in suite)
+
+    def test_paper_benchmark_suite_unique_flag(self):
+        unique = paper_benchmark_suite(batch=16, unique=True)
+        full = paper_benchmark_suite(batch=16, unique=False)
+        assert len(unique) < len(full)

@@ -1,0 +1,93 @@
+"""Tests for the simulator's tensor address mapping (repro.sim.address)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layer import ConvLayerConfig
+from repro.sim.address import INVALID_ADDRESS, TensorLayout
+
+
+@pytest.fixture
+def layout(small_conv_layer):
+    return TensorLayout(small_conv_layer)
+
+
+class TestLayout:
+    def test_filter_region_follows_ifmap_and_is_line_aligned(self, layout):
+        assert layout.filter_base >= layout.ifmap_bytes
+        assert layout.filter_base % layout.line_bytes == 0
+        assert layout.total_bytes == layout.filter_base + layout.filter_bytes
+
+    def test_footprints_match_layer(self, layout, small_conv_layer):
+        assert layout.ifmap_bytes == small_conv_layer.ifmap_elements * 4
+        assert layout.filter_bytes == small_conv_layer.filter_elements * 4
+
+
+class TestIfmapAddresses:
+    def test_bchw_ordering(self, layout, small_conv_layer):
+        layer = small_conv_layer
+        batch = np.array([0, 0, 1])
+        channel = np.array([0, 1, 0])
+        row = np.array([0, 0, 0])
+        col = np.array([1, 0, 0])
+        addresses = layout.ifmap_addresses(batch, channel, row, col)
+        assert addresses[0] == 1 * 4
+        assert addresses[1] == layer.in_height * layer.in_width * 4
+        assert addresses[2] == (layer.in_channels * layer.in_height
+                                * layer.in_width) * 4
+
+    def test_padding_positions_are_invalid(self, layout, small_conv_layer):
+        layer = small_conv_layer
+        coords = np.array([-1, layer.in_height, 0])
+        addresses = layout.ifmap_addresses(
+            np.zeros(3, dtype=int), np.zeros(3, dtype=int), coords,
+            np.zeros(3, dtype=int))
+        assert addresses[0] == INVALID_ADDRESS
+        assert addresses[1] == INVALID_ADDRESS
+        assert addresses[2] != INVALID_ADDRESS
+
+    def test_addresses_within_ifmap_region(self, layout, small_conv_layer):
+        layer = small_conv_layer
+        rng = np.random.default_rng(0)
+        batch = rng.integers(0, layer.batch, 100)
+        channel = rng.integers(0, layer.in_channels, 100)
+        row = rng.integers(0, layer.in_height, 100)
+        col = rng.integers(0, layer.in_width, 100)
+        addresses = layout.ifmap_addresses(batch, channel, row, col)
+        assert np.all(addresses >= 0)
+        assert np.all(addresses < layout.ifmap_bytes)
+
+    def test_distinct_elements_have_distinct_addresses(self, layout, small_conv_layer):
+        layer = small_conv_layer
+        grid = np.indices((layer.batch, layer.in_channels,
+                           layer.in_height, layer.in_width))
+        addresses = layout.ifmap_addresses(grid[0], grid[1], grid[2], grid[3])
+        assert np.unique(addresses).size == layer.ifmap_elements
+
+
+class TestFilterAddresses:
+    def test_k_is_the_inner_dimension(self, layout, small_conv_layer):
+        layer = small_conv_layer
+        k_total = layer.in_channels * layer.filter_pixels
+        addresses = layout.filter_addresses(
+            np.array([0, 0, 1]), np.array([0, 1, 0]))
+        assert addresses[1] - addresses[0] == 4
+        assert addresses[2] - addresses[0] == k_total * 4
+
+    def test_out_of_range_invalid(self, layout, small_conv_layer):
+        layer = small_conv_layer
+        k_total = layer.in_channels * layer.filter_pixels
+        addresses = layout.filter_addresses(
+            np.array([layer.out_channels, 0]), np.array([0, k_total]))
+        assert addresses[0] == INVALID_ADDRESS
+        assert addresses[1] == INVALID_ADDRESS
+
+    def test_addresses_within_filter_region(self, layout, small_conv_layer):
+        layer = small_conv_layer
+        k_total = layer.in_channels * layer.filter_pixels
+        grid_n, grid_k = np.meshgrid(np.arange(layer.out_channels),
+                                     np.arange(k_total), indexing="ij")
+        addresses = layout.filter_addresses(grid_n, grid_k)
+        assert np.all(addresses >= layout.filter_base)
+        assert np.all(addresses < layout.total_bytes)
+        assert np.unique(addresses).size == layer.filter_elements

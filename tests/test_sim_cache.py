@@ -1,0 +1,121 @@
+"""Tests for the sector-granularity cache models (repro.sim.cache)."""
+
+import pytest
+
+from repro.sim.cache import CacheStats, LruCache, SetAssociativeCache
+
+
+class TestLruCache:
+    def test_cold_miss_then_hit(self):
+        cache = LruCache(capacity_bytes=1024, sector_bytes=32)
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+
+    def test_capacity_in_sectors(self):
+        cache = LruCache(capacity_bytes=128, sector_bytes=32)
+        assert cache.capacity_sectors == 4
+
+    def test_lru_eviction_order(self):
+        cache = LruCache(capacity_bytes=4 * 32, sector_bytes=32)
+        for sector in range(4):
+            cache.access(sector)
+        cache.access(0)          # refresh sector 0
+        cache.access(100)        # evicts sector 1 (the LRU entry)
+        assert cache.access(0) is True
+        assert cache.access(1) is False
+
+    def test_occupancy_never_exceeds_capacity(self):
+        cache = LruCache(capacity_bytes=8 * 32, sector_bytes=32)
+        for sector in range(1000):
+            cache.access(sector)
+        assert cache.occupancy == 8
+
+    def test_access_many_counts_misses(self):
+        cache = LruCache(capacity_bytes=1024, sector_bytes=32)
+        misses = cache.access_many([1, 2, 3, 1, 2, 3])
+        assert misses == 3
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_reset_clears_state(self):
+        cache = LruCache(capacity_bytes=1024, sector_bytes=32)
+        cache.access_many(range(10))
+        cache.reset()
+        assert cache.occupancy == 0
+        assert cache.stats.accesses == 0
+        assert cache.access(3) is False
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(capacity_bytes=0, sector_bytes=32)
+
+
+class TestSetAssociativeCache:
+    def test_hit_after_fill(self):
+        cache = SetAssociativeCache(capacity_bytes=1024, sector_bytes=32, ways=4)
+        assert cache.access(7) is False
+        assert cache.access(7) is True
+
+    def test_way_conflict_eviction(self):
+        cache = SetAssociativeCache(capacity_bytes=4 * 32, sector_bytes=32, ways=2)
+        # num_sets = 2; sectors 0, 2, 4 all map to set 0 with 2 ways.
+        cache.access(0)
+        cache.access(2)
+        cache.access(4)           # evicts 0
+        assert cache.access(0) is False
+        assert cache.access(4) is True
+
+    def test_fully_associative_degenerate_case(self):
+        cache = SetAssociativeCache(capacity_bytes=4 * 32, sector_bytes=32, ways=16)
+        assert cache.num_sets == 1
+        assert cache.ways == 4
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = SetAssociativeCache(capacity_bytes=16 * 32, sector_bytes=32, ways=4)
+        for sector in range(500):
+            cache.access(sector)
+        assert cache.occupancy <= 16
+
+    def test_invalid_ways_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity_bytes=1024, sector_bytes=32, ways=0)
+
+    def test_reset(self):
+        cache = SetAssociativeCache(capacity_bytes=1024, sector_bytes=32)
+        cache.access_many(range(20))
+        cache.reset()
+        assert cache.occupancy == 0
+        assert cache.stats.accesses == 0
+
+
+class TestCacheStats:
+    def test_hits_and_miss_rate(self):
+        stats = CacheStats(accesses=10, misses=4)
+        assert stats.hits == 6
+        assert stats.miss_rate == pytest.approx(0.4)
+
+    def test_empty_stats_miss_rate_zero(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(10, 4).merge(CacheStats(5, 1))
+        assert merged.accesses == 15
+        assert merged.misses == 5
+
+
+class TestStreamingBehaviour:
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = LruCache(capacity_bytes=64 * 32, sector_bytes=32)
+        # Two sequential passes over a working set 4x the capacity: LRU keeps
+        # evicting the data before it is reused, so the second pass misses too.
+        working_set = list(range(256))
+        cache.access_many(working_set)
+        second_pass_misses = cache.access_many(working_set)
+        assert second_pass_misses == len(working_set)
+
+    def test_working_set_smaller_than_cache_hits(self):
+        cache = LruCache(capacity_bytes=512 * 32, sector_bytes=32)
+        working_set = list(range(256))
+        cache.access_many(working_set)
+        assert cache.access_many(working_set) == 0

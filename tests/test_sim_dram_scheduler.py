@@ -1,0 +1,113 @@
+"""Tests for the DRAM channel model and the CTA scheduler."""
+
+import pytest
+
+from repro.core.layer import ConvLayerConfig
+from repro.core.tiling import build_grid
+from repro.gpu import TITAN_XP
+from repro.sim.dram import DramChannel
+from repro.sim.scheduler import CtaScheduler, cta_order
+
+
+class TestDramChannel:
+    def test_byte_accounting(self):
+        channel = DramChannel(TITAN_XP)
+        channel.read(1000)
+        channel.write(500)
+        assert channel.bytes_read == 1000
+        assert channel.total_bytes == 1500
+        channel.reset()
+        assert channel.total_bytes == 0
+
+    def test_negative_bytes_rejected(self):
+        channel = DramChannel(TITAN_XP)
+        with pytest.raises(ValueError):
+            channel.read(-1)
+        with pytest.raises(ValueError):
+            channel.write(-1)
+
+    def test_unloaded_latency_is_flat(self):
+        channel = DramChannel(TITAN_XP)
+        idle = channel.latency_cycles(0.0)
+        light = channel.latency_cycles(0.05 * TITAN_XP.dram_bw)
+        assert idle == pytest.approx(TITAN_XP.lat_dram_cycles)
+        assert light == pytest.approx(idle, rel=0.05)
+
+    def test_latency_explodes_near_saturation(self):
+        channel = DramChannel(TITAN_XP)
+        half = channel.latency_cycles(0.5 * TITAN_XP.dram_bw)
+        near = channel.latency_cycles(0.99 * TITAN_XP.dram_bw)
+        assert near > 2 * half
+        assert near > 2 * TITAN_XP.lat_dram_cycles
+
+    def test_latency_monotonic_in_load(self):
+        channel = DramChannel(TITAN_XP)
+        loads = [f * TITAN_XP.dram_bw for f in (0.0, 0.2, 0.4, 0.6, 0.8, 0.95)]
+        latencies = [channel.latency_cycles(load) for load in loads]
+        assert latencies == sorted(latencies)
+
+    def test_transfer_time(self):
+        channel = DramChannel(TITAN_XP)
+        assert channel.transfer_seconds(TITAN_XP.dram_bw) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            channel.transfer_seconds(-1)
+
+
+@pytest.fixture
+def grid():
+    layer = ConvLayerConfig.square("sched", 8, in_channels=32, in_size=28,
+                                   out_channels=192, filter_size=3, padding=1)
+    return build_grid(layer)
+
+
+class TestCtaOrder:
+    def test_column_order_walks_rows_first(self, grid):
+        order = cta_order(grid, "column")
+        assert order[0] == (0, 0)
+        assert order[1] == (1, 0)
+        assert order[grid.ctas_m] == (0, 1)
+        assert len(order) == grid.num_ctas
+
+    def test_row_order_walks_columns_first(self, grid):
+        order = cta_order(grid, "row")
+        assert order[0] == (0, 0)
+        assert order[1] == (0, 1)
+
+    def test_unknown_order_rejected(self, grid):
+        with pytest.raises(ValueError):
+            cta_order(grid, "diagonal")
+
+
+class TestCtaScheduler:
+    def test_round_robin_sm_assignment(self, grid):
+        scheduler = CtaScheduler(grid, TITAN_XP)
+        scheduled = scheduler.schedule()
+        sms = [sm for sm, _, _ in scheduled[:TITAN_XP.num_sm]]
+        assert sms == list(range(TITAN_XP.num_sm))
+
+    def test_waves_cover_all_ctas_exactly_once(self, grid):
+        scheduler = CtaScheduler(grid, TITAN_XP)
+        seen = []
+        for wave in scheduler.waves():
+            seen.extend((m, n) for _, m, n in wave.ctas)
+        assert len(seen) == grid.num_ctas
+        assert len(set(seen)) == grid.num_ctas
+
+    def test_wave_size_is_active_ctas_times_sms(self, grid):
+        scheduler = CtaScheduler(grid, TITAN_XP)
+        assert scheduler.wave_size == (scheduler.active_ctas_per_sm
+                                       * TITAN_XP.num_sm)
+        first_wave = next(iter(scheduler.waves()))
+        assert first_wave.num_ctas <= scheduler.wave_size
+
+    def test_max_waves_limit(self, grid):
+        scheduler = CtaScheduler(grid, TITAN_XP)
+        limited = list(scheduler.waves(max_waves=2))
+        assert len(limited) == min(2, scheduler.num_waves)
+
+    def test_per_sm_grouping(self, grid):
+        scheduler = CtaScheduler(grid, TITAN_XP)
+        wave = next(iter(scheduler.waves()))
+        groups = wave.per_sm()
+        assert sum(len(ctas) for ctas in groups.values()) == wave.num_ctas
+        assert all(0 <= sm < TITAN_XP.num_sm for sm in groups)

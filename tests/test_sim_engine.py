@@ -1,0 +1,120 @@
+"""Tests for the trace-driven convolution simulator (repro.sim.engine)."""
+
+import pytest
+
+from repro.core.layer import ConvLayerConfig
+from repro.core.model import DeltaModel
+from repro.gpu import TITAN_XP
+from repro.sim.engine import ConvLayerSimulator, SimulatorConfig
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return ConvLayerSimulator(TITAN_XP, SimulatorConfig(max_ctas=60))
+
+
+@pytest.fixture(scope="module")
+def tiny_result(simulator):
+    layer = ConvLayerConfig.square("tiny", 2, in_channels=8, in_size=14,
+                                   out_channels=16, filter_size=3, padding=1)
+    return simulator.run(layer)
+
+
+class TestTrafficMeasurement:
+    def test_traffic_hierarchy_monotonic(self, tiny_result):
+        traffic = tiny_result.traffic
+        assert traffic.l1_bytes >= traffic.l2_bytes >= traffic.dram_bytes > 0
+
+    def test_miss_rates_bounded(self, tiny_result):
+        assert 0 < tiny_result.traffic.l1_miss_rate <= 1.0
+        assert 0 < tiny_result.traffic.l2_miss_rate <= 1.0
+
+    def test_dram_traffic_at_least_compulsory(self, simulator):
+        """DRAM reads can never be below the touched footprint of the data."""
+        layer = ConvLayerConfig.square("c", 2, in_channels=16, in_size=14,
+                                       out_channels=32, filter_size=3, padding=1)
+        result = simulator.run(layer)
+        footprint = layer.ifmap_bytes + layer.filter_bytes
+        assert result.traffic.dram_bytes >= 0.7 * footprint
+        assert result.traffic.dram_bytes <= 3.0 * footprint
+
+    def test_dram_split_sums_to_total(self, tiny_result):
+        traffic = tiny_result.traffic
+        assert traffic.dram_bytes == pytest.approx(
+            traffic.dram_ifmap_bytes + traffic.dram_filter_bytes)
+
+    def test_level_lookup(self, tiny_result):
+        traffic = tiny_result.traffic
+        assert traffic.level_bytes("L1") == traffic.l1_bytes
+        with pytest.raises(ValueError):
+            traffic.level_bytes("l4")
+
+    def test_time_and_cycles_positive(self, tiny_result):
+        assert tiny_result.time_seconds > 0
+        assert tiny_result.cycles == pytest.approx(
+            tiny_result.time_seconds * TITAN_XP.core_clock_hz)
+
+
+class TestSamplingAndExtrapolation:
+    def test_full_simulation_when_grid_is_small(self, tiny_result):
+        assert tiny_result.simulated_ctas == tiny_result.grid.num_ctas
+        assert tiny_result.scale_factor == pytest.approx(1.0)
+
+    def test_sampled_simulation_extrapolates(self):
+        layer = ConvLayerConfig.square("big", 64, in_channels=16, in_size=28,
+                                       out_channels=64, filter_size=3, padding=1)
+        sampled = ConvLayerSimulator(TITAN_XP, SimulatorConfig(max_ctas=30)).run(layer)
+        assert sampled.simulated_ctas < sampled.grid.num_ctas
+        assert sampled.scale_factor > 1.0
+        # extrapolated traffic should be in the same ballpark as a larger sample.
+        fuller = ConvLayerSimulator(TITAN_XP, SimulatorConfig(max_ctas=120)).run(layer)
+        assert sampled.traffic.l1_bytes == pytest.approx(fuller.traffic.l1_bytes,
+                                                         rel=0.2)
+        assert sampled.traffic.dram_bytes == pytest.approx(fuller.traffic.dram_bytes,
+                                                           rel=0.5)
+
+    def test_accounting_mode_changes_l1_only(self):
+        layer = ConvLayerConfig.square("acct", 2, in_channels=8, in_size=14,
+                                       out_channels=16, filter_size=3, padding=1)
+        sector = ConvLayerSimulator(
+            TITAN_XP, SimulatorConfig(max_ctas=60, l1_accounting="sector")).run(layer)
+        request = ConvLayerSimulator(
+            TITAN_XP, SimulatorConfig(max_ctas=60, l1_accounting="request")).run(layer)
+        assert request.traffic.l1_bytes >= sector.traffic.l1_bytes
+        assert request.traffic.dram_bytes == pytest.approx(
+            sector.traffic.dram_bytes)
+
+
+class TestAgainstAnalyticalModel:
+    """The simulator is independent of the model but must agree on the shape."""
+
+    @pytest.mark.parametrize("filter_size,padding", [(1, 0), (3, 1)])
+    def test_model_within_factor_of_simulation(self, filter_size, padding):
+        layer = ConvLayerConfig.square("cmp", 4, in_channels=64, in_size=14,
+                                       out_channels=64,
+                                       filter_size=filter_size, padding=padding)
+        sim = ConvLayerSimulator(TITAN_XP, SimulatorConfig(max_ctas=90)).run(layer)
+        model = DeltaModel(TITAN_XP).traffic(layer)
+        for level in ("l1", "l2", "dram"):
+            ratio = model.level_bytes(level) / sim.traffic.level_bytes(level)
+            assert 0.3 < ratio < 3.5, (level, ratio)
+
+    def test_reuse_heavy_layer_has_lower_l2_share_than_pointwise(self):
+        conv = ConvLayerConfig.square("c", 4, in_channels=32, in_size=28,
+                                      out_channels=64, filter_size=3, padding=1)
+        pointwise = ConvLayerConfig.square("p", 4, in_channels=32, in_size=28,
+                                           out_channels=64, filter_size=1)
+        simulator = ConvLayerSimulator(TITAN_XP, SimulatorConfig(max_ctas=60))
+        conv_result = simulator.run(conv)
+        pw_result = simulator.run(pointwise)
+        assert conv_result.traffic.l1_miss_rate < pw_result.traffic.l1_miss_rate
+
+    def test_row_scheduling_increases_dram_traffic(self):
+        """The paper's column-wise scheduling assumption is the favourable one."""
+        layer = ConvLayerConfig.square("s", 8, in_channels=16, in_size=28,
+                                       out_channels=160, filter_size=3, padding=1)
+        column = ConvLayerSimulator(
+            TITAN_XP, SimulatorConfig(max_ctas=None, scheduling="column")).run(layer)
+        row = ConvLayerSimulator(
+            TITAN_XP, SimulatorConfig(max_ctas=None, scheduling="row")).run(layer)
+        assert row.traffic.dram_bytes >= column.traffic.dram_bytes * 0.95

@@ -1,0 +1,129 @@
+"""Tests for im2col tile address generation and warp coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.core.layer import ConvLayerConfig
+from repro.core.tiling import build_grid
+from repro.gpu import TESLA_V100, TITAN_XP
+from repro.sim.address import INVALID_ADDRESS
+from repro.sim.im2col import Im2colTraceGenerator
+
+
+def make_generator(layer, gpu=TITAN_XP):
+    grid = build_grid(layer)
+    return Im2colTraceGenerator(layer, grid.tile, gpu), grid
+
+
+class TestIfmapTile:
+    def test_tile_shape_matches_blocking(self, small_conv_layer):
+        gen, grid = make_generator(small_conv_layer)
+        addresses = gen.ifmap_tile_addresses(0, 0)
+        assert addresses.shape == (grid.tile.blk_m, grid.tile.blk_k)
+
+    def test_rows_beyond_m_are_invalid(self, small_conv_layer):
+        gen, grid = make_generator(small_conv_layer)
+        last_cta = grid.ctas_m - 1
+        addresses = gen.ifmap_tile_addresses(last_cta, 0)
+        gemm = small_conv_layer.gemm_shape()
+        valid_rows = gemm.m - last_cta * grid.tile.blk_m
+        assert np.all(addresses[valid_rows:, :] == INVALID_ADDRESS)
+        assert np.any(addresses[:valid_rows, :] != INVALID_ADDRESS)
+
+    def test_pointwise_column_is_contiguous(self, small_pointwise_layer):
+        """For a 1x1 conv each IFmap-matrix column is dense in memory."""
+        gen, grid = make_generator(small_pointwise_layer)
+        addresses = gen.ifmap_tile_addresses(0, 0)
+        column = addresses[:, 0]
+        valid = column[column != INVALID_ADDRESS]
+        # within one image the addresses advance by exactly one element.
+        deltas = np.diff(valid)
+        per_image = (small_pointwise_layer.in_height
+                     * small_pointwise_layer.in_width)
+        assert np.all((deltas == 4) | (deltas == 4 * (
+            per_image * (small_pointwise_layer.in_channels - 1) + 1)))
+
+    def test_conv_column_follows_filter_traversal(self):
+        """Eq. 2's access pattern: stride within a row, jump at row ends."""
+        layer = ConvLayerConfig.square("c", 1, in_channels=1, in_size=8,
+                                       out_channels=4, filter_size=3, padding=0)
+        gen, grid = make_generator(layer)
+        addresses = gen.ifmap_tile_addresses(0, 0)
+        column = addresses[:layer.out_width, 0]
+        # first output row: consecutive elements, stride 1 (4 bytes).
+        assert np.all(np.diff(column[column != INVALID_ADDRESS]) == 4)
+
+    def test_zero_padding_produces_invalid_entries(self, small_conv_layer):
+        gen, _ = make_generator(small_conv_layer)
+        # k=0 corresponds to filter position (0, 0), which reads the padded
+        # top-left corner for the first output pixel.
+        addresses = gen.ifmap_tile_addresses(0, 0)
+        assert np.any(addresses == INVALID_ADDRESS)
+
+    def test_access_counts_padding_exclusion(self, small_conv_layer):
+        gen, grid = make_generator(small_conv_layer)
+        access = gen.ifmap_tile_access(0, 0)
+        total_slots = grid.tile.blk_m * grid.tile.blk_k
+        assert 0 < access.elements <= total_slots
+
+
+class TestFilterTile:
+    def test_filter_tile_shape_and_uniqueness(self, small_conv_layer):
+        gen, grid = make_generator(small_conv_layer)
+        addresses = gen.filter_tile_addresses(0, 0)
+        assert addresses.shape == (grid.tile.blk_n, grid.tile.blk_k)
+        valid = addresses[addresses != INVALID_ADDRESS]
+        assert np.unique(valid).size == valid.size
+
+    def test_filter_requests_reflect_scattered_columns(self, reference_conv_layer):
+        gen, grid = make_generator(reference_conv_layer)
+        access = gen.filter_tile_access(0, 0)
+        # 32 threads per warp load 32/blkK distant columns; with blkK=8 the
+        # warps can never coalesce to a single request each.
+        warps = (grid.tile.blk_n * grid.tile.blk_k) // 32
+        assert access.l1_requests >= 2 * warps
+
+
+class TestCoalescing:
+    def test_dense_warp_loads_coalesce_on_pascal(self, small_pointwise_layer):
+        gen, grid = make_generator(small_pointwise_layer)
+        access = gen.ifmap_tile_access(0, 0)
+        warps = (grid.tile.blk_m // 32) * grid.tile.blk_k
+        # each warp loads 128 contiguous bytes: 1-2 requests depending on
+        # alignment, never the fully-scattered worst case.
+        assert warps <= access.l1_requests <= 2 * warps
+
+    def test_sector_count_at_least_request_granularity(self, small_conv_layer):
+        gen, _ = make_generator(small_conv_layer)
+        access = gen.ifmap_tile_access(0, 0)
+        assert access.l1_sectors >= access.l1_requests
+
+    def test_volta_issues_more_requests_than_pascal(self, small_conv_layer):
+        """32 B requests on Volta mean more requests for the same tile."""
+        pascal_gen, _ = make_generator(small_conv_layer, TITAN_XP)
+        volta_gen, _ = make_generator(small_conv_layer, TESLA_V100)
+        pascal = pascal_gen.ifmap_tile_access(0, 0)
+        volta = volta_gen.ifmap_tile_access(0, 0)
+        assert volta.l1_requests >= pascal.l1_requests
+        # ... but the sector fetch volume is granularity independent.
+        assert volta.l1_sectors == pascal.l1_sectors
+
+    def test_fetch_bytes_accounting_modes(self, small_conv_layer):
+        gen, _ = make_generator(small_conv_layer)
+        access = gen.ifmap_tile_access(0, 0)
+        request_bytes = access.fetch_bytes("request", TITAN_XP.l1_request_bytes,
+                                           TITAN_XP.sector_bytes)
+        sector_bytes = access.fetch_bytes("sector", TITAN_XP.l1_request_bytes,
+                                          TITAN_XP.sector_bytes)
+        assert request_bytes == access.l1_requests * 128
+        assert sector_bytes == access.l1_sectors * 32
+        with pytest.raises(ValueError):
+            access.fetch_bytes("bogus", 128, 32)
+
+    def test_strided_layer_has_poor_coalescing(self, strided_conv_layer):
+        gen, grid = make_generator(strided_conv_layer)
+        access = gen.ifmap_tile_access(0, 4)
+        warps = (grid.tile.blk_m // 32) * grid.tile.blk_k
+        # stride 2 with a 7x7 filter skips elements, so each warp touches
+        # noticeably more than one request worth of lines.
+        assert access.l1_requests > 1.5 * warps

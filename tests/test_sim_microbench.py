@@ -1,0 +1,50 @@
+"""Tests for the DRAM latency/bandwidth micro-benchmark (Fig. 18)."""
+
+import pytest
+
+from repro.gpu import TESLA_P100, TESLA_V100, TITAN_XP
+from repro.sim.microbench import measure_dram_latency_curve
+
+
+class TestLatencyCurve:
+    def test_curve_shape_flat_then_rising(self, any_gpu):
+        curve = measure_dram_latency_curve(any_gpu)
+        latencies = [point.latency_cycles for point in curve.points]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > 2 * latencies[0]
+
+    def test_unloaded_latency_matches_spec(self, any_gpu):
+        curve = measure_dram_latency_curve(any_gpu)
+        assert curve.unloaded_latency_cycles == pytest.approx(
+            any_gpu.lat_dram_cycles)
+
+    def test_effective_bandwidth_close_to_spec(self, any_gpu):
+        curve = measure_dram_latency_curve(any_gpu)
+        assert curve.effective_bandwidth == pytest.approx(any_gpu.dram_bw, rel=0.25)
+
+    def test_paper_annotations_titan_xp(self):
+        """Paper: ~500 cycles and ~430 GB/s for TITAN Xp."""
+        curve = measure_dram_latency_curve(TITAN_XP)
+        assert curve.unloaded_latency_cycles == pytest.approx(500, rel=0.1)
+        assert 350 < curve.effective_bandwidth_gbps < 520
+
+    def test_paper_annotations_v100(self):
+        """Paper: ~500 cycles and ~850 GB/s for V100."""
+        curve = measure_dram_latency_curve(TESLA_V100)
+        assert 700 < curve.effective_bandwidth_gbps < 1050
+
+    def test_ordering_across_devices(self):
+        """V100 > P100 > TITAN Xp effective bandwidth, as in the paper."""
+        bandwidths = [measure_dram_latency_curve(gpu).effective_bandwidth
+                      for gpu in (TITAN_XP, TESLA_P100, TESLA_V100)]
+        assert bandwidths[0] < bandwidths[1] < bandwidths[2]
+
+    def test_series_export(self):
+        curve = measure_dram_latency_curve(TITAN_XP, num_points=16)
+        series = curve.as_series()
+        assert len(series) == 16
+        assert series[0][0] == pytest.approx(0.0)
+
+    def test_invalid_point_count_rejected(self):
+        with pytest.raises(ValueError):
+            measure_dram_latency_curve(TITAN_XP, num_points=1)

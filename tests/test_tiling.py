@@ -1,0 +1,111 @@
+"""Tests for repro.core.tiling: CTA tile selection, grids and occupancy."""
+
+import math
+
+import pytest
+
+from repro.core.layer import ConvLayerConfig, GemmShape
+from repro.core.tiling import (
+    CtaTile,
+    GemmGrid,
+    active_ctas_per_sm,
+    build_grid,
+    cta_batch_size,
+    ctas_per_sm,
+    select_cta_tile,
+    waves,
+)
+from repro.gpu import TITAN_XP
+
+
+class TestSelectCtaTile:
+    """The selection must follow the profiled lookup of Fig. 6."""
+
+    @pytest.mark.parametrize("co,expected_n,expected_k", [
+        (16, 32, 4), (32, 32, 4), (33, 64, 4), (64, 64, 4),
+        (65, 128, 8), (128, 128, 8), (192, 128, 8), (384, 128, 8),
+    ])
+    def test_tile_width_follows_output_channels(self, co, expected_n, expected_k):
+        gemm = GemmShape(m=100000, n=co, k=576)
+        tile = select_cta_tile(gemm)
+        assert tile.blk_m == 128
+        assert tile.blk_n == expected_n
+        assert tile.blk_k == expected_k
+
+    def test_large_tile_family(self):
+        tile = select_cta_tile(GemmShape(m=100000, n=512, k=576), tile_hw=256)
+        assert tile.blk_m == 256 and tile.blk_n == 256 and tile.blk_k == 8
+
+    def test_unsupported_tile_family_rejected(self):
+        with pytest.raises(ValueError):
+            select_cta_tile(GemmShape(m=128, n=128, k=64), tile_hw=512)
+
+
+class TestCtaTile:
+    def test_warp_count_and_threads(self):
+        tile = CtaTile(blk_m=128, blk_n=128, blk_k=8, warp_m=64, warp_n=32)
+        assert tile.num_warps == 8
+        assert tile.threads == 256
+
+    def test_per_loop_volumes(self):
+        tile = CtaTile(blk_m=128, blk_n=64, blk_k=4, warp_m=64, warp_n=32)
+        assert tile.input_elements_per_loop == (128 + 64) * 4
+        assert tile.macs_per_loop == 128 * 64 * 4
+        assert tile.output_elements == 128 * 64
+
+    def test_smem_footprint_is_double_buffered(self):
+        tile = CtaTile(blk_m=128, blk_n=128, blk_k=8, warp_m=64, warp_n=32)
+        assert tile.smem_bytes_per_cta() == 2 * (128 + 128) * 8 * 4
+
+    def test_warp_tile_must_divide_cta_tile(self):
+        with pytest.raises(ValueError):
+            CtaTile(blk_m=128, blk_n=128, blk_k=8, warp_m=48, warp_n=32)
+
+
+class TestGemmGrid:
+    def test_grid_dimensions_round_up(self):
+        layer = ConvLayerConfig.square("l", 256, in_channels=64, in_size=28,
+                                       out_channels=192, filter_size=3, padding=1)
+        grid = build_grid(layer)
+        gemm = layer.gemm_shape()
+        assert grid.ctas_m == math.ceil(gemm.m / 128)
+        assert grid.ctas_n == math.ceil(192 / 128)
+        assert grid.num_ctas == grid.ctas_m * grid.ctas_n
+
+    def test_main_loop_count(self):
+        layer = ConvLayerConfig.square("l", 32, in_channels=96, in_size=28,
+                                       out_channels=128, filter_size=3, padding=1)
+        grid = build_grid(layer)
+        assert grid.main_loops_per_cta == math.ceil(96 * 9 / 8)
+        assert grid.total_main_loops == grid.num_ctas * grid.main_loops_per_cta
+
+    def test_im2col_grid_is_tall(self):
+        layer = ConvLayerConfig.square("l", 256, in_channels=64, in_size=56,
+                                       out_channels=64, filter_size=3, padding=1)
+        grid = build_grid(layer)
+        assert grid.aspect_ratio > 100
+
+
+class TestOccupancy:
+    def test_at_least_one_active_cta(self):
+        tile = select_cta_tile(GemmShape(m=1 << 20, n=128, k=1024))
+        assert active_ctas_per_sm(tile, TITAN_XP) >= 1
+
+    def test_narrow_tile_allows_more_active_ctas(self):
+        wide = select_cta_tile(GemmShape(m=1 << 20, n=128, k=1024))
+        narrow = select_cta_tile(GemmShape(m=1 << 20, n=32, k=1024))
+        assert (active_ctas_per_sm(narrow, TITAN_XP)
+                >= active_ctas_per_sm(wide, TITAN_XP))
+
+    def test_ctas_per_sm_uses_most_loaded_sm(self):
+        layer = ConvLayerConfig.square("l", 8, in_channels=16, in_size=14,
+                                       out_channels=32, filter_size=3, padding=1)
+        grid = build_grid(layer)
+        assert ctas_per_sm(grid, TITAN_XP) == math.ceil(grid.num_ctas / TITAN_XP.num_sm)
+
+    def test_wave_count_consistent_with_batch_size(self):
+        layer = ConvLayerConfig.square("l", 64, in_channels=64, in_size=28,
+                                       out_channels=128, filter_size=3, padding=1)
+        grid = build_grid(layer)
+        batch = cta_batch_size(grid.tile, TITAN_XP)
+        assert waves(grid, TITAN_XP) == math.ceil(grid.num_ctas / batch)
