@@ -12,7 +12,10 @@ from __future__ import annotations
 from repro.analysis.validation import ValidationConfig
 
 #: reduced-scale configuration used by all simulation-backed benchmarks.
-BENCH_CONFIG = ValidationConfig(batch=8, max_ctas=60, layers_per_network=2)
+#: The vectorized engine reclaimed enough budget to double the mini-batch
+#: and CTA sample and cover one more layer per network than the original
+#: (batch=8, max_ctas=60, layers_per_network=2) setting.
+BENCH_CONFIG = ValidationConfig(batch=16, max_ctas=120, layers_per_network=3)
 
 
 def run_once(benchmark, func, *args, **kwargs):

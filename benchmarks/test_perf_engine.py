@@ -1,0 +1,50 @@
+"""Perf-regression benchmark for the vectorized simulation engine.
+
+Times one :meth:`ConvLayerSimulator.run` on the profiled single-layer case
+(AlexNet conv2, batch 8, 60 CTAs, TITAN Xp).  The scalar seed engine needed
+~8.5 s wall-clock here; the vectorized pipeline must stay at least 10x
+faster, and its traffic must continue to match the seed engine's byte counts
+exactly (the same numbers are pinned in tests/test_sim_engine.py on smaller
+layers).
+"""
+
+import time
+
+from repro.gpu import TITAN_XP
+from repro.networks.registry import get_network
+from repro.sim.engine import ConvLayerSimulator, SimulatorConfig
+
+from bench_utils import run_once
+
+#: seed-engine wall-clock on the profiled case; the vectorized engine must
+#: beat it by >= 10x even on slow CI hosts.
+SEED_SECONDS = 8.5
+
+
+def _conv2_layer():
+    network = get_network("alexnet", batch=8)
+    return next(layer for layer in network.conv_layers()
+                if layer.name == "conv2")
+
+
+def test_engine_single_layer(benchmark):
+    layer = _conv2_layer()
+    simulator = ConvLayerSimulator(TITAN_XP, SimulatorConfig(max_ctas=60))
+    simulator.run(layer)  # warm caches/allocator outside the timed run
+
+    start = time.perf_counter()
+    result = run_once(benchmark, simulator.run, layer)
+    elapsed = time.perf_counter() - start
+
+    # Traffic pinned against the scalar seed engine (bit-identical).
+    assert result.traffic.l1_bytes == 153971592.53333333
+    assert result.traffic.l2_bytes == 52434995.2
+    assert result.traffic.dram_bytes == 3518054.4000000004
+    assert result.traffic.dram_ifmap_bytes == 2289254.4000000004
+    assert result.traffic.dram_filter_bytes == 1228800.0
+    assert result.traffic.l1_requests == 3199818.266666667
+    assert result.simulated_ctas == 60
+
+    assert elapsed <= SEED_SECONDS / 10, (
+        f"engine regression: {elapsed:.2f}s on the profiled case; "
+        f"the >=10x speedup budget is {SEED_SECONDS / 10:.2f}s")

@@ -19,6 +19,9 @@ from .validation import (
     ValidationReport,
     cached_validation,
     select_layers,
+    set_simulation_defaults,
+    simulate_layer,
+    simulate_population,
     validate_gpu,
     validate_layer,
 )
@@ -43,6 +46,9 @@ __all__ = [
     "validate_gpu",
     "validate_layer",
     "cached_validation",
+    "set_simulation_defaults",
+    "simulate_layer",
+    "simulate_population",
     "SensitivitySweep",
     "SweepPoint",
     "reference_layer",

@@ -8,14 +8,28 @@ same layer population and collects, per layer:
 * the predicted performance bottleneck,
 
 from which the figures' normalized bars and accuracy distributions are
-derived.  Because full-scale (mini-batch 256) cache simulation is intractable
-in pure Python, validation runs use a reduced mini-batch and a bounded number
-of simulated CTAs; the defaults are chosen so the whole paper suite completes
-in a few minutes (see :class:`ValidationConfig`).
+derived.  Exact cache simulation of the full mini-batch-256 suite is still
+far slower than the analytical model, so validation runs use a reduced
+mini-batch and a bounded number of simulated CTAs; the defaults are chosen so
+the whole paper suite completes in minutes (see :class:`ValidationConfig`).
+
+Two throughput knobs help repeated figure runs:
+
+* ``jobs`` fans the per-layer simulations out over a process pool
+  (``--jobs`` on the CLI), and
+* ``sim_cache_dir`` persists per-layer simulator results on disk keyed by
+  (gpu, layer, simulator config), so re-running a figure skips simulation
+  entirely (``--sim-cache`` on the CLI).
+
+See EXPERIMENTS.md for how to rerun the suite at larger scale.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -23,12 +37,31 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.bottleneck import Bottleneck
 from ..core.layer import ConvLayerConfig
 from ..core.model import DeltaModel
+from ..core.tiling import build_grid
 from ..gpu.spec import GpuSpec
 from ..networks.registry import paper_benchmark_suite
-from ..sim.engine import ConvLayerSimulator, SimResult, SimulatorConfig
+from ..sim.engine import (ConvLayerSimulator, SimResult, SimTraffic,
+                          SimulatorConfig)
 from .metrics import AccuracySummary
 
 MEMORY_LEVELS: Tuple[str, ...] = ("l1", "l2", "dram")
+
+#: process-wide fallbacks applied when a config leaves jobs/cache unset;
+#: the CLI's --jobs / --sim-cache flags set these.
+_DEFAULT_JOBS = 1
+_DEFAULT_SIM_CACHE_DIR: Optional[str] = None
+
+
+def set_simulation_defaults(jobs: Optional[int] = None,
+                            sim_cache_dir: Optional[str] = None) -> None:
+    """Set process-wide defaults for simulation parallelism and caching."""
+    global _DEFAULT_JOBS, _DEFAULT_SIM_CACHE_DIR
+    if jobs is not None:
+        if jobs <= 0:
+            raise ValueError("jobs must be positive")
+        _DEFAULT_JOBS = jobs
+    if sim_cache_dir is not None:
+        _DEFAULT_SIM_CACHE_DIR = sim_cache_dir
 
 
 @dataclass(frozen=True)
@@ -37,14 +70,29 @@ class ValidationConfig:
 
     #: mini-batch used for both model and simulator (paper uses 256; the
     #: substitute simulator uses a smaller batch, see DESIGN.md).
-    batch: int = 16
+    batch: int = 32
     #: cap on exactly-simulated CTAs per layer.
-    max_ctas: Optional[int] = 90
+    max_ctas: Optional[int] = 180
     #: restrict each network to at most this many (unique) layers; None = all.
     layers_per_network: Optional[int] = 4
+    #: per-layer simulations run across this many worker processes
+    #: (None = the process-wide default, normally 1 = serial).
+    jobs: Optional[int] = None
+    #: persist per-layer simulator results under this directory
+    #: (None = the process-wide default, normally disabled).
+    sim_cache_dir: Optional[str] = None
 
     def simulator_config(self) -> SimulatorConfig:
         return SimulatorConfig(max_ctas=self.max_ctas)
+
+    @property
+    def effective_jobs(self) -> int:
+        return self.jobs if self.jobs is not None else _DEFAULT_JOBS
+
+    @property
+    def effective_sim_cache_dir(self) -> Optional[str]:
+        return (self.sim_cache_dir if self.sim_cache_dir is not None
+                else _DEFAULT_SIM_CACHE_DIR)
 
 
 #: a configuration that runs every unique layer of the paper suite.
@@ -147,6 +195,90 @@ def select_layers(config: ValidationConfig = QUICK_VALIDATION
     return selected
 
 
+# ----------------------------------------------------------------------
+# Simulation with optional on-disk result cache
+# ----------------------------------------------------------------------
+_SIM_CACHE_VERSION = 1
+
+
+def _sim_cache_key(gpu: GpuSpec, layer: ConvLayerConfig,
+                   config: SimulatorConfig) -> str:
+    """Stable digest of everything that determines a simulation result."""
+    payload = repr((_SIM_CACHE_VERSION, gpu, layer, config))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def _sim_cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"delta-sim-{key}.json")
+
+
+def simulate_layer(gpu: GpuSpec, layer: ConvLayerConfig,
+                   config: SimulatorConfig,
+                   cache_dir: Optional[str] = None) -> SimResult:
+    """Run the simulator for one layer, consulting the on-disk cache."""
+    if cache_dir:
+        key = _sim_cache_key(gpu, layer, config)
+        path = _sim_cache_path(cache_dir, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                stored = json.load(handle)
+            grid = build_grid(layer, tile_hw=config.cta_tile_hw)
+            return SimResult(
+                layer=layer, gpu=gpu, grid=grid,
+                traffic=SimTraffic(**stored["traffic"]),
+                time_seconds=stored["time_seconds"],
+                simulated_ctas=stored["simulated_ctas"],
+                scale_factor=stored["scale_factor"],
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # unreadable or stale-shaped record: treat as a cache miss
+    result = ConvLayerSimulator(gpu, config).run(layer)
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+        traffic = result.traffic
+        record = {
+            "traffic": {
+                "l1_bytes": traffic.l1_bytes,
+                "l2_bytes": traffic.l2_bytes,
+                "dram_bytes": traffic.dram_bytes,
+                "dram_ifmap_bytes": traffic.dram_ifmap_bytes,
+                "dram_filter_bytes": traffic.dram_filter_bytes,
+                "l1_requests": traffic.l1_requests,
+            },
+            "time_seconds": result.time_seconds,
+            "simulated_ctas": result.simulated_ctas,
+            "scale_factor": result.scale_factor,
+        }
+        # Unique temp name per writer: concurrent runs may race on the same
+        # key, and the atomic replace makes the last full write win.
+        tmp_path = f"{path}.{os.getpid()}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+        os.replace(tmp_path, path)
+    return result
+
+
+def _simulate_task(task: Tuple[GpuSpec, ConvLayerConfig, SimulatorConfig,
+                               Optional[str]]) -> SimResult:
+    """Module-level worker so process pools can pickle it."""
+    gpu, layer, config, cache_dir = task
+    return simulate_layer(gpu, layer, config, cache_dir=cache_dir)
+
+
+def simulate_population(gpu: GpuSpec,
+                        layers: Sequence[ConvLayerConfig],
+                        config: SimulatorConfig,
+                        jobs: int = 1,
+                        cache_dir: Optional[str] = None) -> List[SimResult]:
+    """Simulate many layers, optionally across a process pool."""
+    tasks = [(gpu, layer, config, cache_dir) for layer in layers]
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_simulate_task(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_simulate_task, tasks))
+
+
 def validate_layer(network: str, layer: ConvLayerConfig, gpu: GpuSpec,
                    simulator_config: Optional[SimulatorConfig] = None,
                    model: Optional[DeltaModel] = None,
@@ -175,14 +307,22 @@ def validate_gpu(gpu: GpuSpec,
                  config: ValidationConfig = QUICK_VALIDATION,
                  layers: Optional[Sequence[Tuple[str, ConvLayerConfig]]] = None
                  ) -> ValidationReport:
-    """Validate DeLTA against the simulator for one GPU."""
+    """Validate DeLTA against the simulator for one GPU.
+
+    The per-layer simulations — by far the dominant cost — run across
+    ``config.effective_jobs`` worker processes and consult the optional
+    on-disk result cache; the cheap analytical model runs inline.
+    """
     population = list(layers) if layers is not None else select_layers(config)
     model = DeltaModel(gpu)
     simulator_config = config.simulator_config()
+    sim_results = simulate_population(
+        gpu, [layer for _, layer in population], simulator_config,
+        jobs=config.effective_jobs,
+        cache_dir=config.effective_sim_cache_dir)
     records = tuple(
-        validate_layer(network, layer, gpu,
-                       simulator_config=simulator_config, model=model)
-        for network, layer in population
+        validate_layer(network, layer, gpu, model=model, sim_result=sim_result)
+        for (network, layer), sim_result in zip(population, sim_results)
     )
     return ValidationReport(gpu=gpu, records=records)
 

@@ -6,6 +6,15 @@ Run a fast experiment and print its tables::
 
     delta-repro experiment fig16
 
+Run a simulation-backed experiment across 4 worker processes with an on-disk
+simulation cache (repeat runs skip simulation entirely)::
+
+    delta-repro experiment fig11 --jobs 4 --sim-cache ~/.cache/delta-repro
+
+Validate the model against the simulator for one GPU::
+
+    delta-repro validate --gpu titanxp --batch 16 --jobs 4
+
 Estimate one network on one GPU::
 
     delta-repro estimate --network resnet152 --gpu v100 --batch 256
@@ -22,6 +31,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from .analysis.tables import render_table
+from .analysis.validation import (MEMORY_LEVELS, ValidationConfig,
+                                  set_simulation_defaults, validate_gpu)
 from .core.model import DeltaModel
 from .experiments.registry import available_experiments, run_experiment
 from .gpu.devices import all_devices, get_device
@@ -35,9 +46,41 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_simulation_flags(args: argparse.Namespace) -> None:
+    set_simulation_defaults(jobs=args.jobs, sim_cache_dir=args.sim_cache)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    _apply_simulation_flags(args)
     result = run_experiment(args.experiment_id)
     print(result.render(precision=args.precision))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    _apply_simulation_flags(args)
+    gpu = get_device(args.gpu)
+    config = ValidationConfig(
+        batch=args.batch,
+        max_ctas=args.max_ctas if args.max_ctas > 0 else None,
+        layers_per_network=(args.layers_per_network
+                            if args.layers_per_network > 0 else None),
+    )
+    report = validate_gpu(gpu, config)
+    print(f"model-vs-simulator validation on {gpu.name} "
+          f"(batch {config.batch}, max CTAs {config.max_ctas}, "
+          f"{len(report.records)} layers)")
+    print(render_table(report.rows(), precision=args.precision))
+    summary_rows = []
+    for level in MEMORY_LEVELS:
+        summary = report.traffic_summary(level)
+        summary_rows.append({"metric": f"{level} traffic GMAE",
+                             "value": summary.gmae,
+                             "mean_ratio": summary.mean_ratio})
+    time_summary = report.time_summary()
+    summary_rows.append({"metric": "time GMAE", "value": time_summary.gmae,
+                         "mean_ratio": time_summary.mean_ratio})
+    print(render_table(summary_rows, precision=args.precision))
     return 0
 
 
@@ -78,10 +121,30 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser("list", help="list networks, GPUs and experiments")
     list_parser.set_defaults(func=_cmd_list)
 
+    def add_simulation_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for per-layer simulations")
+        sub.add_argument("--sim-cache", default=None, metavar="DIR",
+                         help="directory for the on-disk simulation result "
+                              "cache (repeat runs skip simulation)")
+
     exp_parser = subparsers.add_parser("experiment",
                                        help="run one paper table/figure experiment")
     exp_parser.add_argument("experiment_id", choices=available_experiments())
+    add_simulation_flags(exp_parser)
     exp_parser.set_defaults(func=_cmd_experiment)
+
+    val_parser = subparsers.add_parser(
+        "validate",
+        help="run the model-vs-simulator validation for one GPU")
+    val_parser.add_argument("--gpu", default="titanxp")
+    val_parser.add_argument("--batch", type=int, default=16)
+    val_parser.add_argument("--max-ctas", type=int, default=90,
+                            help="CTAs simulated exactly per layer (<=0 = all)")
+    val_parser.add_argument("--layers-per-network", type=int, default=4,
+                            help="layers per network (<=0 = all unique layers)")
+    add_simulation_flags(val_parser)
+    val_parser.set_defaults(func=_cmd_validate)
 
     est_parser = subparsers.add_parser("estimate",
                                        help="estimate a network's conv layers on a GPU")

@@ -14,16 +14,25 @@ while scheduling CTAs onto SMs in waves (:mod:`repro.sim.scheduler`).  The
 simulator is completely independent of the analytical equations, so comparing
 DeLTA's estimates against its measurements is a meaningful accuracy check.
 
-Pure-Python cache simulation of a full mini-batch-256 layer is intractable,
-so the engine simulates a configurable number of CTA waves exactly and
-extrapolates (the access pattern is homogeneous across waves).  Benchmarks use
-a reduced mini-batch; see DESIGN.md for why that preserves the comparison.
+The hot path is vectorized end to end: tile traces are generated in batches
+and memoized per (CTA coordinate, K offset), every SM's L1 accesses of one
+main-loop iteration go through a single batched set-associative kernel, and
+the L1 miss stream is classified by the L2's batched LRU kernel, so per-loop
+work is a handful of array operations instead of per-sector Python calls.
+``SimulatorConfig(vectorized=False)`` selects the original scalar loop, which
+is kept as the reference implementation; both produce bit-identical
+:class:`SimTraffic` results (see tests/test_sim_engine.py).
+
+Even so, exact cache simulation of a full mini-batch-256 layer remains far
+more expensive than the analytical model, so the engine simulates a
+configurable number of CTA waves exactly and extrapolates (the access pattern
+is homogeneous across waves).  Benchmarks use a reduced mini-batch; see
+DESIGN.md for why that preserves the comparison.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -31,15 +40,26 @@ import numpy as np
 from ..core.layer import ConvLayerConfig
 from ..core.tiling import GemmGrid, build_grid
 from ..gpu.spec import GpuSpec
-from .cache import LruCache, SetAssociativeCache
+from .cache import LruCache, SetAssociativeCache, SetAssociativeCacheBank
 from .dram import DramChannel
 from .im2col import Im2colTraceGenerator, TileAccess
 from .scheduler import CtaScheduler, SchedulingOrder
 
+#: K offsets per batched trace-generation call (bounds peak lattice memory).
+_K_CHUNK = 16
+
+#: dense sector->stamp maps beyond this many sectors fall back to the dict
+#: path of :class:`LruCache` (keeps L2 state memory bounded for huge layers).
+_MAX_DENSE_SECTORS = 1 << 25
+
 
 @dataclass(frozen=True)
 class SimulatorConfig:
-    """Fidelity/tractability knobs of the simulator."""
+    """Fidelity/tractability knobs of the simulator.
+
+    Invalid combinations fail eagerly at construction rather than deep inside
+    the simulation loop.
+    """
 
     #: maximum number of CTAs simulated exactly (None = all CTAs).
     max_ctas: Optional[int] = 240
@@ -59,6 +79,26 @@ class SimulatorConfig:
     include_output_write: bool = False
     #: CTA tile family (128 for the stock kernels, 256 for scaled designs).
     cta_tile_hw: int = 128
+    #: run the vectorized pipeline (False = original scalar reference loop).
+    vectorized: bool = True
+
+    def __post_init__(self) -> None:
+        if self.l1_accounting not in ("sector", "request"):
+            raise ValueError(
+                f"unknown L1 accounting mode {self.l1_accounting!r}; "
+                "expected 'sector' or 'request'")
+        if self.scheduling not in ("column", "row"):
+            raise ValueError(
+                f"unknown scheduling order {self.scheduling!r}; "
+                "expected 'column' or 'row'")
+        if self.l1_ways <= 0:
+            raise ValueError("l1_ways must be positive")
+        if self.l2_ways <= 0:
+            raise ValueError("l2_ways must be positive")
+        if self.cta_tile_hw <= 0:
+            raise ValueError("cta_tile_hw must be positive")
+        if self.max_ctas is not None and self.max_ctas <= 0:
+            raise ValueError("max_ctas must be positive (or None for all)")
 
 
 @dataclass(frozen=True)
@@ -120,6 +160,182 @@ class ConvLayerSimulator:
     # ------------------------------------------------------------------
     def run(self, layer: ConvLayerConfig) -> SimResult:
         """Simulate ``layer`` and return traffic and execution time."""
+        if self.config.vectorized:
+            return self._run_vectorized(layer)
+        return self._run_reference(layer)
+
+    # ------------------------------------------------------------------
+    # Vectorized pipeline
+    # ------------------------------------------------------------------
+    def _run_vectorized(self, layer: ConvLayerConfig) -> SimResult:
+        gpu = self.gpu
+        config = self.config
+        grid = build_grid(layer, tile_hw=config.cta_tile_hw)
+        tile = grid.tile
+        trace = Im2colTraceGenerator(layer, tile, gpu)
+        scheduler = CtaScheduler(grid, gpu, order=config.scheduling)
+        sector_bytes = gpu.sector_bytes
+
+        l1_bank = SetAssociativeCacheBank(gpu.num_sm, gpu.l1_size,
+                                          sector_bytes, ways=config.l1_ways)
+        if config.l2_fully_associative:
+            universe = trace.layout.total_bytes // sector_bytes + 1
+            l2_cache = LruCache(
+                gpu.l2_size, sector_bytes,
+                sector_universe=universe if universe <= _MAX_DENSE_SECTORS
+                else None)
+        else:
+            l2_cache = SetAssociativeCache(gpu.l2_size, sector_bytes,
+                                           ways=config.l2_ways)
+        dram = DramChannel(gpu)
+        filter_sector_boundary = trace.layout.filter_base // sector_bytes
+        t_compute = self._compute_time_per_loop(layer, tile)
+
+        k_offsets = [loop * tile.blk_k for loop in range(grid.main_loops_per_cta)]
+        num_loops = len(k_offsets)
+        budget = config.max_ctas if config.max_ctas is not None else grid.num_ctas
+
+        # Memoized per-coordinate records spanning every K offset: per-loop
+        # unique-sector views, plus the per-loop L1 request counts and
+        # precomputed fetch bytes under the configured accounting mode.
+        if_tiles: Dict[int, Tuple[List[np.ndarray], np.ndarray,
+                                  np.ndarray]] = {}
+        fil_tiles: Dict[int, Tuple[List[np.ndarray], np.ndarray,
+                                   np.ndarray]] = {}
+
+        def materialize(store, generator, coords: List[int]) -> None:
+            chunks = []
+            for start in range(0, num_loops, _K_CHUNK):
+                chunk = k_offsets[start:start + _K_CHUNK]
+                chunks.append((len(chunk), generator(coords, chunk)))
+            for position, coord in enumerate(coords):
+                requests_parts = []
+                fetch_parts = []
+                sector_views: List[np.ndarray] = []
+                for chunk_len, batch in chunks:
+                    lo = position * chunk_len
+                    hi = lo + chunk_len
+                    requests_parts.append(batch.l1_requests[lo:hi])
+                    if config.l1_accounting == "request":
+                        fetch_parts.append(batch.l1_requests[lo:hi]
+                                           * float(gpu.l1_request_bytes))
+                    else:
+                        fetch_parts.append(batch.l1_sectors[lo:hi]
+                                           * float(sector_bytes))
+                    bounds = batch.offsets[lo:hi + 1].tolist()
+                    sector_views.extend(
+                        batch.sectors[bounds[i]:bounds[i + 1]]
+                        for i in range(chunk_len))
+                store[coord] = (sector_views,
+                                np.concatenate(requests_parts),
+                                np.concatenate(fetch_parts))
+
+        l1_bytes = 0.0
+        l2_bytes = 0.0
+        dram_ifmap_bytes = 0.0
+        dram_filter_bytes = 0.0
+        l1_requests = 0.0
+        simulated_ctas = 0
+        simulated_time = 0.0
+        empty = np.empty(0, dtype=np.int64)
+
+        for wave in scheduler.waves():
+            if simulated_ctas >= budget:
+                break
+            per_sm = wave.per_sm()
+            sms = list(per_sm)
+            new_ms = sorted({m for ctas in per_sm.values() for m, _ in ctas}
+                            - set(if_tiles))
+            new_ns = sorted({n for ctas in per_sm.values() for _, n in ctas}
+                            - set(fil_tiles))
+            if new_ms:
+                materialize(if_tiles, trace.ifmap_tile_batch, new_ms)
+            if new_ns:
+                materialize(fil_tiles, trace.filter_tile_batch, new_ns)
+
+            # Wave-static per-loop aggregates (exact integer-valued floats,
+            # so the summation order cannot change the totals).
+            sm_fetch: Dict[int, np.ndarray] = {}
+            requests_per_loop = np.zeros(num_loops, dtype=np.int64)
+            for sm in sms:
+                fetch_total = np.zeros(num_loops)
+                for cta_m, cta_n in per_sm[sm]:
+                    fetch_total += if_tiles[cta_m][2] + fil_tiles[cta_n][2]
+                    requests_per_loop += (if_tiles[cta_m][1]
+                                          + fil_tiles[cta_n][1])
+                sm_fetch[sm] = fetch_total
+                l1_bytes += float(fetch_total.sum())
+            l1_requests += float(requests_per_loop.sum())
+
+            # Per-loop (sm, sector-array) segment lists, resolved once.
+            loop_segments: List[List[Tuple[int, np.ndarray]]] = \
+                [[] for _ in range(num_loops)]
+            for sm in sms:
+                for cta_m, cta_n in per_sm[sm]:
+                    for views in (if_tiles[cta_m][0], fil_tiles[cta_n][0]):
+                        for loop, piece in enumerate(views):
+                            if piece.size:
+                                loop_segments[loop].append((sm, piece))
+
+            wave_time = 0.0
+            for loop in range(num_loops):
+                loop_l1_per_sm = {sm: float(sm_fetch[sm][loop]) for sm in sms}
+                segments = [piece for _, piece in loop_segments[loop]]
+                owners = [sm for sm, _ in loop_segments[loop]]
+                lengths = [piece.size for piece in segments]
+
+                if segments:
+                    sectors = np.concatenate(segments)
+                    owner_ids = np.repeat(np.asarray(owners, dtype=np.int64),
+                                          np.asarray(lengths, dtype=np.int64))
+                    l1_hits = l1_bank.access_block(owner_ids, sectors)
+                    missed = sectors[~l1_hits]
+                else:
+                    missed = empty
+                loop_l2_total = float(missed.size * sector_bytes)
+                l2_bytes += loop_l2_total
+
+                if missed.size:
+                    l2_hits = l2_cache.access_block(missed)
+                    dram_missed = missed[~l2_hits]
+                else:
+                    dram_missed = empty
+                loop_dram_total = float(dram_missed.size * sector_bytes)
+                filter_misses = int(np.count_nonzero(
+                    dram_missed >= filter_sector_boundary))
+                dram_filter_bytes += filter_misses * sector_bytes
+                dram_ifmap_bytes += (dram_missed.size - filter_misses) \
+                    * sector_bytes
+
+                wave_time += self._loop_time(
+                    per_sm, loop_l1_per_sm, loop_l2_total, loop_dram_total,
+                    t_compute, dram)
+            simulated_ctas += wave.num_ctas
+            simulated_time += wave_time
+
+        dram.read(dram_ifmap_bytes + dram_filter_bytes)
+
+        scale = grid.num_ctas / max(1, simulated_ctas)
+        traffic = self._extrapolate_traffic(
+            layer, grid, scale,
+            l1_bytes, l2_bytes, dram_ifmap_bytes, dram_filter_bytes, l1_requests)
+        time_seconds = self._total_time(layer, grid, simulated_time, scale, dram)
+
+        return SimResult(
+            layer=layer,
+            gpu=self.gpu,
+            grid=grid,
+            traffic=traffic,
+            time_seconds=time_seconds,
+            simulated_ctas=simulated_ctas,
+            scale_factor=scale,
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar reference pipeline
+    # ------------------------------------------------------------------
+    def _run_reference(self, layer: ConvLayerConfig) -> SimResult:
+        """Original per-sector simulation loop (reference implementation)."""
         gpu = self.gpu
         config = self.config
         grid = build_grid(layer, tile_hw=config.cta_tile_hw)
@@ -148,15 +364,18 @@ class ConvLayerSimulator:
                 filter_tiles[key] = trace.filter_tile_access(cta_n, k_offset)
             return filter_tiles[key]
 
-        # Per-loop stream constants (independent of traffic).
-        macs_per_second_per_sm = gpu.macs_per_second / gpu.num_sm
-        t_cs = tile.macs_per_loop / macs_per_second_per_sm
-        smem_store_bytes = tile.input_elements_per_loop * layer.dtype_bytes
-        smem_load_bytes = ((tile.warp_m + tile.warp_n) * tile.blk_k
-                           * tile.num_warps * layer.dtype_bytes)
-        t_sas = (smem_store_bytes / gpu.smem_st_bw_per_sm
-                 + smem_load_bytes / gpu.smem_ld_bw_per_sm)
-        t_compute = max(t_cs, t_sas)
+        # IFmap tiles depend only on (cta_m, k_offset); memoize them too (the
+        # same CTA row recurs both within and across waves under column
+        # scheduling).
+        ifmap_tiles: Dict[Tuple[int, int], TileAccess] = {}
+
+        def ifmap_tile(cta_m: int, k_offset: int) -> TileAccess:
+            key = (cta_m, k_offset)
+            if key not in ifmap_tiles:
+                ifmap_tiles[key] = trace.ifmap_tile_access(cta_m, k_offset)
+            return ifmap_tiles[key]
+
+        t_compute = self._compute_time_per_loop(layer, tile)
 
         l1_bytes = 0.0
         l2_bytes = 0.0
@@ -181,7 +400,7 @@ class ConvLayerSimulator:
                 for sm, ctas in per_sm.items():
                     sm_l1_bytes = 0.0
                     for cta_m, cta_n in ctas:
-                        if_access = trace.ifmap_tile_access(cta_m, k_offset)
+                        if_access = ifmap_tile(cta_m, k_offset)
                         fil_access = filter_tile(cta_n, k_offset)
                         l1_requests += (if_access.l1_requests
                                         + fil_access.l1_requests)
@@ -240,6 +459,18 @@ class ConvLayerSimulator:
     # ------------------------------------------------------------------
     # Timing helpers
     # ------------------------------------------------------------------
+    def _compute_time_per_loop(self, layer: ConvLayerConfig, tile) -> float:
+        """Per-loop compute/SMEM stream time (independent of traffic)."""
+        gpu = self.gpu
+        macs_per_second_per_sm = gpu.macs_per_second / gpu.num_sm
+        t_cs = tile.macs_per_loop / macs_per_second_per_sm
+        smem_store_bytes = tile.input_elements_per_loop * layer.dtype_bytes
+        smem_load_bytes = ((tile.warp_m + tile.warp_n) * tile.blk_k
+                           * tile.num_warps * layer.dtype_bytes)
+        t_sas = (smem_store_bytes / gpu.smem_st_bw_per_sm
+                 + smem_load_bytes / gpu.smem_ld_bw_per_sm)
+        return max(t_cs, t_sas)
+
     def _loop_time(self, per_sm: Dict[int, list], loop_l1_per_sm: Dict[int, float],
                    loop_l2_total: float, loop_dram_total: float,
                    t_compute: float, dram: DramChannel) -> float:

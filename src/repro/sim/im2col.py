@@ -20,7 +20,7 @@ Thread-to-data mapping follows Section IV-A of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +57,18 @@ class TileAccess:
         if accounting == "sector":
             return float(self.l1_sectors * sector_bytes)
         raise ValueError(f"unknown L1 accounting mode {accounting!r}")
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted unique values via an explicit sort (faster than np.unique's
+    hash-based integer path for these small, heavily repeated key arrays)."""
+    if values.size == 0:
+        return values.astype(np.int64, copy=True)
+    ordered = np.sort(values, kind="stable")
+    keep = np.empty(ordered.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = ordered[1:] != ordered[:-1]
+    return ordered[keep]
 
 
 def _count_grouped_blocks(addresses: np.ndarray, group_ids: np.ndarray,
@@ -190,3 +202,248 @@ class Im2colTraceGenerator:
         lane = np.arange(flat.size)
         group_ids = lane // WARP_SIZE
         return self._build_access(flat, group_ids)
+
+    # ------------------------------------------------------------------
+    # Batched generation (vectorized engine fast path)
+    # ------------------------------------------------------------------
+    def _ifmap_group_ids(self) -> np.ndarray:
+        rows, cols = self.tile.blk_m, self.tile.blk_k
+        row_group = np.arange(rows) // WARP_SIZE
+        col_ids = np.arange(cols)
+        return (col_ids[np.newaxis, :] * (rows // WARP_SIZE + 1)
+                + row_group[:, np.newaxis])
+
+    def ifmap_tile_batch(self, cta_ms: Sequence[int],
+                         k_offsets: Sequence[int]) -> "TileAccessBatch":
+        """All (cta_m, k_offset) IFmap tiles of the cross product, batched.
+
+        Tile index ``mi * len(k_offsets) + ki`` corresponds to
+        ``(cta_ms[mi], k_offsets[ki])``.  Results are identical to the scalar
+        :meth:`ifmap_tile_access`, but one address computation and one sort
+        serve the whole batch, which is what makes exact trace generation
+        tractable.
+        """
+        cta_ms = np.asarray(cta_ms, dtype=np.int64)
+        k_offsets = np.asarray(k_offsets, dtype=np.int64)
+        num_tiles = cta_ms.size * k_offsets.size
+        if num_tiles == 0:
+            return TileAccessBatch.empty()
+        layer = self.layer
+        tile = self.tile
+        gemm = layer.gemm_shape()
+        layout = self.layout
+
+        # The BCHW im2col byte address separates into an outer sum of a pure
+        # M-axis part and a pure K-axis part:
+        #   element index = batch*C*H*W + (out_row*s - p)*W + (out_col*s - p)
+        #                 + channel*H*W + f_row*W + f_col
+        # so every division/modulo runs on the small per-axis coordinate
+        # vectors and only cheap adds/compares touch the full lattice.
+        # int32 only when the M-part + K-part sum cannot overflow.
+        coord_dtype = (np.int32 if layout.total_bytes
+                       < np.iinfo(np.int32).max // 2 else np.int64)
+
+        # M axis: (num_cta_m * blk_m) flat coordinate vectors.
+        m_values = (cta_ms[:, np.newaxis] * tile.blk_m
+                    + np.arange(tile.blk_m)).ravel()
+        m_ok = m_values < gemm.m
+        m_clamped = np.minimum(m_values, gemm.m - 1)
+        batch, out_row, out_col = self._m_to_image_coords(m_clamped)
+        row_m = (out_row * layer.stride - layer.padding).astype(coord_dtype)
+        col_m = (out_col * layer.stride - layer.padding).astype(coord_dtype)
+        plane = layer.in_height * layer.in_width
+        base_m = ((batch * layer.in_channels * plane + row_m * layer.in_width
+                   + col_m) * self.layer.dtype_bytes).astype(coord_dtype)
+        m_ok &= (batch >= 0) & (batch < layer.batch)
+
+        # K axis: (num_k_offsets * blk_k) flat coordinate vectors.
+        k_values = (k_offsets[:, np.newaxis] + np.arange(tile.blk_k)).ravel()
+        k_ok = k_values < gemm.k
+        channel, f_row, f_col = self._k_to_filter_coords(
+            np.minimum(k_values, gemm.k - 1))
+        row_k = f_row.astype(coord_dtype)
+        col_k = f_col.astype(coord_dtype)
+        base_k = ((channel * plane + f_row * layer.in_width + f_col)
+                  * self.layer.dtype_bytes).astype(coord_dtype)
+
+        # Outer combination over the (M axis, K axis) lattice.  Addresses stay
+        # in the narrow dtype; the key builder upcasts only when necessary.
+        row = row_m[:, np.newaxis] + row_k[np.newaxis, :]
+        col = col_m[:, np.newaxis] + col_k[np.newaxis, :]
+        valid = ((row >= 0) & (row < layer.in_height)
+                 & (col >= 0) & (col < layer.in_width)
+                 & (m_ok[:, np.newaxis] & k_ok[np.newaxis, :]))
+        addresses = np.where(
+            valid,
+            base_m[:, np.newaxis] + base_k[np.newaxis, :]
+            + coord_dtype(layout.ifmap_base),
+            coord_dtype(INVALID_ADDRESS))
+
+        # (num_cta_m, blk_m, num_k, blk_k) -> (num_cta_m, num_k, blk_m, blk_k)
+        addresses = addresses.reshape(cta_ms.size, tile.blk_m,
+                                      k_offsets.size, tile.blk_k) \
+            .transpose(0, 2, 1, 3).reshape(num_tiles, -1)
+        return self._build_access_batch(addresses,
+                                        self._ifmap_group_ids().ravel())
+
+    def filter_tile_batch(self, cta_ns: Sequence[int],
+                          k_offsets: Sequence[int]) -> "TileAccessBatch":
+        """All (cta_n, k_offset) filter tiles of the cross product, batched."""
+        cta_ns = np.asarray(cta_ns, dtype=np.int64)
+        k_offsets = np.asarray(k_offsets, dtype=np.int64)
+        num_tiles = cta_ns.size * k_offsets.size
+        if num_tiles == 0:
+            return TileAccessBatch.empty()
+        tile = self.tile
+        gemm = self.layer.gemm_shape()
+
+        n_grid = (cta_ns[:, np.newaxis] * tile.blk_n
+                  + np.arange(tile.blk_n))[:, np.newaxis, :, np.newaxis]
+        k_grid = (k_offsets[:, np.newaxis]
+                  + np.arange(tile.blk_k))[np.newaxis, :, np.newaxis, :]
+        in_range = (n_grid < gemm.n) & (k_grid < gemm.k)
+        addresses = self.layout.filter_addresses(
+            np.broadcast_to(n_grid, in_range.shape),
+            np.broadcast_to(k_grid, in_range.shape))
+        addresses = np.where(in_range, addresses, INVALID_ADDRESS)
+        flat = addresses.reshape(num_tiles, -1)
+        lane_groups = np.arange(flat.shape[1]) // WARP_SIZE
+        return self._build_access_batch(flat, lane_groups)
+
+    def ifmap_tile_access_batch(self, cta_ms: Sequence[int],
+                                k_offset: int) -> List[TileAccess]:
+        """Batched :meth:`ifmap_tile_access` over many CTA rows at once."""
+        return self.ifmap_tile_batch(cta_ms, [k_offset]).tiles()
+
+    def filter_tile_access_batch(self, cta_ns: Sequence[int],
+                                 k_offset: int) -> List[TileAccess]:
+        """Batched :meth:`filter_tile_access` over many CTA columns at once."""
+        return self.filter_tile_batch(cta_ns, [k_offset]).tiles()
+
+    def _build_access_batch(self, addresses: np.ndarray,
+                            group_ids: np.ndarray) -> "TileAccessBatch":
+        """Coalescing counts and unique sectors for a (tiles, elements) batch.
+
+        ``group_ids`` is the shared per-element warp-group row (identical for
+        every tile of the batch).  Tiles are folded into the dedup keys so one
+        sort covers the whole batch; per-tile counts fall out of a
+        ``bincount`` and per-tile sector arrays out of run boundaries in the
+        sorted unique keys.  Invalid (predicated-off) accesses are mapped to
+        negative sentinel keys and dropped after the sort, avoiding any
+        boolean-mask gathers over the full lattice.
+        """
+        gpu = self.gpu
+        num_tiles = addresses.shape[0]
+        valid = addresses != INVALID_ADDRESS
+        elements = np.count_nonzero(valid, axis=1)
+        num_invalid = addresses.size - int(elements.sum())
+
+        groups = np.asarray(group_ids, dtype=np.int64)[np.newaxis, :]
+        group_span = int(groups.max()) + 1 if groups.size else 1
+
+        def dedup(keys: np.ndarray) -> np.ndarray:
+            """Sorted unique valid keys (drops the negative sentinel run)."""
+            keys = np.where(valid, keys, -1)
+            keys = np.sort(keys, axis=None)[num_invalid:]
+            if keys.size == 0:
+                return keys
+            keep = np.empty(keys.size, dtype=bool)
+            keep[0] = True
+            keep[1:] = keys[1:] != keys[:-1]
+            return keys[keep]
+
+        # Sectors: one sorted pass over the lattice yields the per-warp
+        # sector count (tile, group, sector triples), the unique tile sector
+        # lists, and — because L1 request blocks are whole multiples of
+        # sectors — the coalesced L1 request count as well.  Keys are built
+        # in int32 whenever the combined span fits (int32 sorts are ~2x
+        # faster than int64 ones).
+        sector_values = addresses // gpu.sector_bytes
+        sector_span = int(sector_values.max()) + 1 if sector_values.size else 1
+        key_dtype = (np.int32 if num_tiles * sector_span * group_span
+                     < np.iinfo(np.int32).max else np.int64)
+        tile_base = np.arange(num_tiles, dtype=key_dtype)[:, np.newaxis]
+        triple_keys = dedup(
+            (tile_base * sector_span
+             + sector_values.astype(key_dtype, copy=False))
+            * group_span + groups.astype(key_dtype))
+        pair_keys = triple_keys // group_span
+        warp_sectors = np.bincount(pair_keys // sector_span,
+                                   minlength=num_tiles)
+        keep = np.empty(pair_keys.size, dtype=bool)
+        if pair_keys.size:
+            keep[0] = True
+            keep[1:] = pair_keys[1:] != pair_keys[:-1]
+        unique_pairs = pair_keys[keep]
+        unique_tile = unique_pairs // sector_span
+        offsets = np.searchsorted(unique_tile, np.arange(num_tiles + 1))
+
+        # L1 requests: unique (tile, warp group, request block) — derived
+        # from the deduplicated sector triples when the request size is a
+        # multiple of the sector size (it always is on real devices).
+        if gpu.l1_request_bytes % gpu.sector_bytes == 0:
+            ratio = gpu.l1_request_bytes // gpu.sector_bytes
+            t_tile = triple_keys // (sector_span * group_span)
+            t_group = triple_keys % group_span
+            t_block = (triple_keys // group_span) % sector_span // ratio
+            block_span = sector_span // ratio + 1
+            request_keys = _sorted_unique(
+                (t_tile * group_span + t_group) * block_span + t_block)
+        else:  # pragma: no cover - no current GpuSpec hits this
+            request_blocks = (addresses // gpu.l1_request_bytes) \
+                .astype(np.int64, copy=False)
+            block_span = (int(request_blocks.max()) + 1
+                          if request_blocks.size else 1)
+            request_keys = dedup(
+                (tile_base.astype(np.int64) * group_span + groups)
+                * block_span + request_blocks)
+        requests = np.bincount(request_keys // (group_span * block_span),
+                               minlength=num_tiles)
+
+        return TileAccessBatch(
+            l1_requests=requests,
+            l1_sectors=warp_sectors,
+            elements=elements,
+            sectors=unique_pairs % sector_span,
+            offsets=offsets,
+        )
+
+
+@dataclass(frozen=True)
+class TileAccessBatch:
+    """Struct-of-arrays form of many :class:`TileAccess` records.
+
+    ``sectors[offsets[i]:offsets[i + 1]]`` are tile ``i``'s unique sectors;
+    the scalar fields line up by tile index.  The vectorized engine consumes
+    these arrays directly instead of materializing per-tile objects.
+    """
+
+    l1_requests: np.ndarray
+    l1_sectors: np.ndarray
+    elements: np.ndarray
+    sectors: np.ndarray
+    offsets: np.ndarray
+
+    @staticmethod
+    def empty() -> "TileAccessBatch":
+        zero = np.zeros(0, dtype=np.int64)
+        return TileAccessBatch(zero, zero, zero, zero,
+                               np.zeros(1, dtype=np.int64))
+
+    @property
+    def num_tiles(self) -> int:
+        return int(self.l1_requests.size)
+
+    def tile_sectors(self, index: int) -> np.ndarray:
+        return self.sectors[self.offsets[index]:self.offsets[index + 1]]
+
+    def tile(self, index: int) -> TileAccess:
+        return TileAccess(
+            l1_requests=int(self.l1_requests[index]),
+            l1_sectors=int(self.l1_sectors[index]),
+            sectors=self.tile_sectors(index),
+            elements=int(self.elements[index]),
+        )
+
+    def tiles(self) -> List[TileAccess]:
+        return [self.tile(index) for index in range(self.num_tiles)]

@@ -1,11 +1,15 @@
 """Tests for the model-vs-simulator validation harness."""
 
+import json
+import os
+
 import pytest
 
 from repro.analysis.validation import (
     MEMORY_LEVELS,
     ValidationConfig,
     select_layers,
+    simulate_layer,
     validate_gpu,
     validate_layer,
 )
@@ -91,3 +95,74 @@ class TestValidateGpu:
         report = validate_gpu(TITAN_XP, TINY_CONFIG, layers=[("X", layer)])
         assert len(report.records) == 1
         assert report.records[0].layer.name == "only"
+
+
+def _record_key(record):
+    return (record.network, record.layer.name,
+            tuple(sorted(record.measured_traffic.items())),
+            record.measured_time)
+
+
+class TestParallelValidation:
+    def test_process_pool_matches_serial(self):
+        serial = validate_gpu(TITAN_XP, replace_jobs(TINY_CONFIG, 1))
+        parallel = validate_gpu(TITAN_XP, replace_jobs(TINY_CONFIG, 2))
+        assert ([_record_key(r) for r in serial.records]
+                == [_record_key(r) for r in parallel.records])
+
+    def test_jobs_must_be_positive(self):
+        from repro.analysis.validation import set_simulation_defaults
+        with pytest.raises(ValueError):
+            set_simulation_defaults(jobs=0)
+
+    def test_effective_jobs_defaults_to_serial(self):
+        assert ValidationConfig().effective_jobs >= 1
+
+
+def replace_jobs(config: ValidationConfig, jobs: int) -> ValidationConfig:
+    from dataclasses import replace
+    return replace(config, jobs=jobs)
+
+
+class TestSimulationDiskCache:
+    LAYER = ConvLayerConfig.square("cached", 2, in_channels=8, in_size=14,
+                                   out_channels=16, filter_size=3, padding=1)
+
+    def test_cache_roundtrip_is_exact(self, tmp_path):
+        config = SimulatorConfig(max_ctas=30)
+        fresh = simulate_layer(TITAN_XP, self.LAYER, config,
+                               cache_dir=str(tmp_path))
+        files = [name for name in os.listdir(tmp_path)
+                 if name.startswith("delta-sim-")]
+        assert len(files) == 1
+        cached = simulate_layer(TITAN_XP, self.LAYER, config,
+                                cache_dir=str(tmp_path))
+        assert cached.traffic == fresh.traffic
+        assert cached.time_seconds == fresh.time_seconds
+        assert cached.simulated_ctas == fresh.simulated_ctas
+        assert cached.scale_factor == fresh.scale_factor
+
+    def test_cached_result_is_actually_loaded(self, tmp_path):
+        """Poisoning the stored record must show up in the next run."""
+        config = SimulatorConfig(max_ctas=30)
+        simulate_layer(TITAN_XP, self.LAYER, config, cache_dir=str(tmp_path))
+        (path,) = [tmp_path / name for name in os.listdir(tmp_path)]
+        record = json.loads(path.read_text())
+        record["traffic"]["dram_bytes"] = 12345.0
+        path.write_text(json.dumps(record))
+        poisoned = simulate_layer(TITAN_XP, self.LAYER, config,
+                                  cache_dir=str(tmp_path))
+        assert poisoned.traffic.dram_bytes == 12345.0
+
+    def test_key_depends_on_simulator_config(self, tmp_path):
+        simulate_layer(TITAN_XP, self.LAYER, SimulatorConfig(max_ctas=30),
+                       cache_dir=str(tmp_path))
+        simulate_layer(TITAN_XP, self.LAYER, SimulatorConfig(max_ctas=20),
+                       cache_dir=str(tmp_path))
+        assert len(os.listdir(tmp_path)) == 2
+
+    def test_validate_gpu_uses_cache_dir(self, tmp_path):
+        from dataclasses import replace
+        config = replace(TINY_CONFIG, sim_cache_dir=str(tmp_path))
+        validate_gpu(TITAN_XP, config, layers=[("X", self.LAYER)])
+        assert len(os.listdir(tmp_path)) == 1

@@ -29,6 +29,19 @@ class TestCommands:
         assert "Table I" in output
         assert "TITAN Xp" in output
 
+    def test_validate_command(self, capsys, tmp_path):
+        assert main(["validate", "--gpu", "titanxp", "--batch", "2",
+                     "--max-ctas", "30", "--layers-per-network", "1",
+                     "--sim-cache", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "model-vs-simulator validation on TITAN Xp" in output
+        assert "dram traffic GMAE" in output
+        assert list(tmp_path.glob("delta-sim-*.json"))
+
+    def test_validate_parser_accepts_jobs(self):
+        args = build_parser().parse_args(["validate", "--jobs", "3"])
+        assert args.jobs == 3
+
     def test_estimate_command(self, capsys):
         assert main(["estimate", "--network", "alexnet", "--gpu", "v100",
                      "--batch", "32", "--unique"]) == 0

@@ -5,7 +5,15 @@ import pytest
 from repro.core.layer import ConvLayerConfig
 from repro.core.model import DeltaModel
 from repro.gpu import TITAN_XP
-from repro.sim.engine import ConvLayerSimulator, SimulatorConfig
+from repro.sim.engine import ConvLayerSimulator, SimResult, SimulatorConfig
+
+
+def _traffic_tuple(result: SimResult):
+    traffic = result.traffic
+    return (traffic.l1_bytes, traffic.l2_bytes, traffic.dram_bytes,
+            traffic.dram_ifmap_bytes, traffic.dram_filter_bytes,
+            traffic.l1_requests, result.time_seconds, result.simulated_ctas,
+            result.scale_factor)
 
 
 @pytest.fixture(scope="module")
@@ -83,6 +91,103 @@ class TestSamplingAndExtrapolation:
         assert request.traffic.l1_bytes >= sector.traffic.l1_bytes
         assert request.traffic.dram_bytes == pytest.approx(
             sector.traffic.dram_bytes)
+
+
+#: SimTraffic values captured from the pre-vectorization (seed) engine; the
+#: vectorized pipeline and the scalar reference path must reproduce every
+#: field bit-for-bit.  Tuple order matches :func:`_traffic_tuple`.
+GOLDEN_CASES = {
+    "small3x3_sector": (
+        dict(batch=2, in_channels=8, in_size=14, out_channels=16,
+             filter_size=3, padding=1),
+        dict(max_ctas=60),
+        (171776.0, 34432.0, 17152.0, 12544.0, 4608.0, 2926.0,
+         6.371645772953439e-06, 4, 1.0),
+    ),
+    "small3x3_request": (
+        dict(batch=2, in_channels=8, in_size=14, out_channels=16,
+             filter_size=3, padding=1),
+        dict(max_ctas=60, l1_accounting="request"),
+        (374528.0, 34432.0, 17152.0, 12544.0, 4608.0, 2926.0,
+         6.371645772953439e-06, 4, 1.0),
+    ),
+    "pointwise_row_sched": (
+        dict(batch=2, in_channels=16, in_size=14, out_channels=32,
+             filter_size=1, padding=0),
+        dict(max_ctas=60, scheduling="row"),
+        (45056.0, 34560.0, 27136.0, 25088.0, 2048.0, 648.0,
+         2.1842964026642524e-06, 4, 1.0),
+    ),
+    "strided_setassoc_l2": (
+        dict(batch=2, in_channels=3, in_size=56, out_channels=32,
+             filter_size=7, stride=2, padding=3),
+        dict(max_ctas=60, l2_fully_associative=False),
+        (2600864.0, 363072.0, 94080.0, 75264.0, 18816.0, 42337.0,
+         1.3074582931172688e-05, 13, 1.0),
+    ),
+    "reference_sampled": (
+        dict(batch=8, in_channels=256, in_size=13, out_channels=128,
+             filter_size=3, padding=1),
+        dict(max_ctas=30),
+        (27767808.0, 14777376.0, 2564096.0, 1384448.0, 1179648.0, 602856.0,
+         0.00018858559657192666, 11, 1.0),
+    ),
+}
+
+
+class TestGoldenTraffic:
+    """Pin SimTraffic against the pre-rewrite engine, bit for bit."""
+
+    @pytest.mark.parametrize("case", sorted(GOLDEN_CASES))
+    def test_vectorized_engine_matches_seed(self, case):
+        layer_kwargs, config_kwargs, expected = GOLDEN_CASES[case]
+        layer = ConvLayerConfig.square(case, **layer_kwargs)
+        result = ConvLayerSimulator(
+            TITAN_XP, SimulatorConfig(vectorized=True, **config_kwargs)
+        ).run(layer)
+        assert _traffic_tuple(result) == expected
+
+    @pytest.mark.parametrize("case", sorted(GOLDEN_CASES))
+    def test_reference_engine_matches_seed(self, case):
+        layer_kwargs, config_kwargs, expected = GOLDEN_CASES[case]
+        layer = ConvLayerConfig.square(case, **layer_kwargs)
+        result = ConvLayerSimulator(
+            TITAN_XP, SimulatorConfig(vectorized=False, **config_kwargs)
+        ).run(layer)
+        assert _traffic_tuple(result) == expected
+
+    def test_vectorized_equals_reference_on_multi_wave_grid(self):
+        """A grid larger than one wave exercises cross-wave cache state."""
+        layer = ConvLayerConfig.square("multiwave", 8, in_channels=16,
+                                       in_size=28, out_channels=160,
+                                       filter_size=3, padding=1)
+        fast = ConvLayerSimulator(
+            TITAN_XP, SimulatorConfig(max_ctas=150)).run(layer)
+        slow = ConvLayerSimulator(
+            TITAN_XP, SimulatorConfig(max_ctas=150, vectorized=False)
+        ).run(layer)
+        assert _traffic_tuple(fast) == _traffic_tuple(slow)
+
+
+class TestSimulatorConfigValidation:
+    def test_valid_config_accepted(self):
+        SimulatorConfig(max_ctas=None, l1_accounting="request",
+                        scheduling="row", l1_ways=4, l2_ways=8,
+                        cta_tile_hw=256)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(l1_accounting="bytes"),
+        dict(scheduling="diagonal"),
+        dict(l1_ways=0),
+        dict(l1_ways=-2),
+        dict(l2_ways=0),
+        dict(cta_tile_hw=0),
+        dict(max_ctas=0),
+        dict(max_ctas=-5),
+    ])
+    def test_invalid_config_rejected_eagerly(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulatorConfig(**kwargs)
 
 
 class TestAgainstAnalyticalModel:

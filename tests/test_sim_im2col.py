@@ -127,3 +127,57 @@ class TestCoalescing:
         # stride 2 with a 7x7 filter skips elements, so each warp touches
         # noticeably more than one request worth of lines.
         assert access.l1_requests > 1.5 * warps
+
+
+class TestBatchedGeneration:
+    """The batched trace generator must match the scalar one tile for tile."""
+
+    def assert_equivalent(self, layer, gpu=TITAN_XP):
+        gen, grid = make_generator(layer, gpu)
+        cta_ms = list(range(min(grid.ctas_m, 5)))
+        cta_ns = list(range(min(grid.ctas_n, 3)))
+        k_offsets = sorted({0,
+                            (grid.main_loops_per_cta // 2) * grid.tile.blk_k,
+                            (grid.main_loops_per_cta - 1) * grid.tile.blk_k})
+        for k_offset in k_offsets:
+            for cta_m, got in zip(cta_ms,
+                                  gen.ifmap_tile_access_batch(cta_ms, k_offset)):
+                ref = gen.ifmap_tile_access(cta_m, k_offset)
+                assert got.l1_requests == ref.l1_requests
+                assert got.l1_sectors == ref.l1_sectors
+                assert got.elements == ref.elements
+                assert np.array_equal(got.sectors, ref.sectors)
+            for cta_n, got in zip(cta_ns,
+                                  gen.filter_tile_access_batch(cta_ns, k_offset)):
+                ref = gen.filter_tile_access(cta_n, k_offset)
+                assert got.l1_requests == ref.l1_requests
+                assert got.l1_sectors == ref.l1_sectors
+                assert got.elements == ref.elements
+                assert np.array_equal(got.sectors, ref.sectors)
+
+    def test_padded_conv_matches_scalar(self, small_conv_layer):
+        self.assert_equivalent(small_conv_layer)
+
+    def test_pointwise_matches_scalar(self, small_pointwise_layer):
+        self.assert_equivalent(small_pointwise_layer)
+
+    def test_strided_matches_scalar_on_volta(self, strided_conv_layer):
+        self.assert_equivalent(strided_conv_layer, gpu=TESLA_V100)
+
+    def test_multi_k_cross_product_layout(self, small_conv_layer):
+        """Tile index mi * num_k + ki addresses the (cta_m, k_offset) pair."""
+        gen, grid = make_generator(small_conv_layer)
+        k_offsets = [0, grid.tile.blk_k]
+        batch = gen.ifmap_tile_batch([0, 1], k_offsets)
+        assert batch.num_tiles == 4
+        for mi, cta_m in enumerate([0, 1]):
+            for ki, k_offset in enumerate(k_offsets):
+                ref = gen.ifmap_tile_access(cta_m, k_offset)
+                got = batch.tile(mi * len(k_offsets) + ki)
+                assert np.array_equal(got.sectors, ref.sectors)
+                assert got.l1_requests == ref.l1_requests
+
+    def test_empty_batch(self, small_conv_layer):
+        gen, _ = make_generator(small_conv_layer)
+        assert gen.ifmap_tile_access_batch([], 0) == []
+        assert gen.filter_tile_batch([], [0]).num_tiles == 0
