@@ -2,7 +2,7 @@
 
 Every benchmark regenerates one of the paper's tables or figures and asserts
 its qualitative shape.  Simulation-backed figures share one memoized
-validation run (:func:`repro.analysis.validation.cached_validation`) through
+validation run (the default session's ``validation_report`` memo) through
 ``BENCH_CONFIG`` so the whole suite stays within a few minutes of wall-clock
 time; see EXPERIMENTS.md for how to rerun at larger scale.
 """

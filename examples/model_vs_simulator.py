@@ -2,52 +2,30 @@
 """Validate the analytical model against the trace-driven simulator.
 
 This is the reproduction's stand-in for the paper's hardware validation
-(Fig. 11/13): run both the DeLTA model and the memory-hierarchy simulator on
-a few layers and compare traffic and execution time level by level.
+(Fig. 11/13): a ``ValidateRequest`` runs both the DeLTA model and the
+memory-hierarchy simulator on the same layers and reports per-layer
+model/measured ratios plus GMAE summaries.
 
 Run with::
 
     python examples/model_vs_simulator.py
 """
 
-from repro import DeltaModel, TITAN_XP
-from repro.analysis.metrics import AccuracySummary
-from repro.analysis.tables import render_table
-from repro.networks import googlenet
-from repro.sim import ConvLayerSimulator, SimulatorConfig
+from repro.api import Session, ValidateRequest
 
 
 def main() -> None:
-    # A reduced mini-batch keeps the pure-Python simulation fast; the
-    # model/measured ratios are batch-insensitive (paper Fig. 17d).
-    layers = [googlenet(batch=8).layer(name)
-              for name in ("conv2_3x3r", "conv2_3x3", "3a_1x1", "3a_3x3")]
-
-    model = DeltaModel(TITAN_XP)
-    simulator = ConvLayerSimulator(TITAN_XP, SimulatorConfig(max_ctas=60))
-
-    rows = []
-    dram_ratios = []
-    time_ratios = []
-    for layer in layers:
-        estimate = model.estimate(layer)
-        measured = simulator.run(layer)
-        traffic = estimate.traffic
-        row = {"layer": layer.name}
-        for level in ("l1", "l2", "dram"):
-            ratio = traffic.level_bytes(level) / measured.traffic.level_bytes(level)
-            row[f"{level}_model/measured"] = ratio
-        row["time_model/measured"] = estimate.time_seconds / measured.time_seconds
-        row["bottleneck"] = estimate.bottleneck.value
-        rows.append(row)
-        dram_ratios.append(row["dram_model/measured"])
-        time_ratios.append(row["time_model/measured"])
-
-    print(f"DeLTA vs simulator on {TITAN_XP.name} (batch 8, sampled CTAs)")
-    print(render_table(rows))
+    # A reduced mini-batch and CTA cap keep the pure-Python simulation fast;
+    # the model/measured ratios are batch-insensitive (paper Fig. 17d).
+    request = ValidateRequest(gpu="titanxp", batch=8, max_ctas=60,
+                              layers_per_network=2,
+                              networks=("alexnet", "googlenet"))
+    with Session() as session:
+        report = session.run(request)
+    print(report.render())
     print()
-    print("DRAM traffic accuracy:", AccuracySummary.from_ratios(dram_ratios).describe())
-    print("execution time accuracy:", AccuracySummary.from_ratios(time_ratios).describe())
+    print(f"DRAM traffic GMAE: {report.summary['dram traffic GMAE']:.1%}, "
+          f"time GMAE: {report.summary['time GMAE']:.1%}")
 
 
 if __name__ == "__main__":

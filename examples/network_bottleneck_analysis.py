@@ -2,8 +2,8 @@
 """Analyze a whole CNN: per-layer execution time, bottleneck and traffic.
 
 This mirrors the paper's Fig. 13/14 workflow (without the hardware
-measurement): estimate every unique convolution layer of a network on a GPU,
-report where the time goes and which resource bounds each layer.
+measurement): estimate every unique convolution layer of a network on a GPU
+through the session API and report where the time goes.
 
 Run with::
 
@@ -15,47 +15,24 @@ e.g. ``python examples/network_bottleneck_analysis.py resnet152 v100 256``.
 import sys
 from collections import Counter
 
-from repro import DeltaModel
-from repro.analysis.tables import render_table
-from repro.gpu import get_device
-from repro.networks import get_network
+from repro.api import EstimateRequest, Session
 
 
-def main(network_name: str = "googlenet", gpu_name: str = "titanxp",
+def main(network: str = "googlenet", gpu: str = "titanxp",
          batch: int = 256) -> None:
-    gpu = get_device(gpu_name)
-    network = get_network(network_name, batch=batch, paper_subset=True)
-    model = DeltaModel(gpu)
+    request = EstimateRequest(network=network, gpu=gpu, batch=batch,
+                              unique=True, paper_subset=True)
+    with Session() as session:
+        report = session.run(request)
 
-    rows = []
-    bottlenecks = Counter()
-    total_time = 0.0
-    for layer in network.unique_layers():
-        estimate = model.estimate(layer)
-        total_time += estimate.time_seconds
-        bottlenecks[estimate.bottleneck.value] += 1
-        rows.append({
-            "layer": layer.name,
-            "time_ms": estimate.time_seconds * 1e3,
-            "bottleneck": estimate.bottleneck.value,
-            "TFLOP/s": estimate.throughput_tflops,
-            "MAC eff": estimate.mac_efficiency,
-            "L2_GB": estimate.traffic.l2_bytes / 1e9,
-            "DRAM_GB": estimate.traffic.dram_bytes / 1e9,
-        })
-
-    print(f"{network.name} unique conv layers on {gpu.name} (batch {batch})")
-    print(render_table(rows))
+    print(report.render())
     print()
-    print(f"total time over unique layers: {total_time * 1e3:.2f} ms")
-    print("bottleneck mix:", dict(bottlenecks))
-    slowest = max(rows, key=lambda row: row["time_ms"])
-    print(f"slowest layer: {slowest['layer']} ({slowest['time_ms']:.2f} ms, "
-          f"{slowest['bottleneck']})")
+    bottlenecks = Counter(row["bottleneck"] for row in report.rows)
+    shares = ", ".join(f"{name}: {count / len(report.rows):.0%}"
+                       for name, count in bottlenecks.most_common())
+    print(f"bottleneck shares over {len(report.rows)} unique layers: {shares}")
 
 
 if __name__ == "__main__":
-    args = sys.argv[1:]
-    main(args[0] if len(args) > 0 else "googlenet",
-         args[1] if len(args) > 1 else "titanxp",
-         int(args[2]) if len(args) > 2 else 256)
+    args = sys.argv[1:4]
+    main(*args[:2], *[int(value) for value in args[2:]])

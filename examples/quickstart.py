@@ -1,41 +1,47 @@
 #!/usr/bin/env python3
-"""Quickstart: estimate traffic, execution time and bottleneck of one layer.
+"""Quickstart: the session-based API in four requests.
+
+A :class:`repro.api.Session` owns execution policy (worker processes, the
+on-disk simulation cache, render precision); typed requests say what to
+compute; every run returns a structured ``Report`` that renders as text and
+serializes to JSON.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import ConvLayerConfig, DeltaModel, TITAN_XP, TESLA_V100
+import json
+
+from repro.api import EstimateRequest, Session
+
 
 def main() -> None:
-    # A GoogLeNet-style convolution layer: 96 input channels, 28x28 feature
-    # map, 128 output channels, 3x3 filter, mini-batch 256.
-    layer = ConvLayerConfig.square(
-        "inception_3a_3x3", batch=256, in_channels=96, in_size=28,
-        out_channels=128, filter_size=3, stride=1, padding=1)
-    print(layer.describe())
-    print(f"im2col GEMM: M x N x K = {layer.gemm_shape().m} x "
-          f"{layer.gemm_shape().n} x {layer.gemm_shape().k}")
-    print()
-
-    for gpu in (TITAN_XP, TESLA_V100):
-        model = DeltaModel(gpu)
-        traffic = model.traffic(layer)
-        estimate = model.estimate(layer)
-        print(f"--- {gpu.name} ---")
-        print(f"  L1 traffic:   {traffic.l1_bytes / 1e9:8.2f} GB "
-              f"(MLI ifmap {traffic.l1.mli_ifmap:.2f}, filter {traffic.l1.mli_filter:.2f})")
-        print(f"  L2 traffic:   {traffic.l2_bytes / 1e9:8.2f} GB "
-              f"(L1 miss rate {traffic.l1_miss_rate:.0%})")
-        print(f"  DRAM traffic: {traffic.dram_bytes / 1e9:8.2f} GB "
-              f"(L2 miss rate {traffic.l2_miss_rate:.0%})")
-        print(f"  execution time: {estimate.time_seconds * 1e3:.2f} ms "
-              f"({estimate.cycles / 1e6:.1f} Mcycles)")
-        print(f"  bottleneck: {estimate.bottleneck.value}, "
-              f"achieved {estimate.throughput_tflops:.1f} TFLOP/s "
-              f"({estimate.mac_efficiency:.0%} of peak)")
+    with Session() as session:
+        # One network on one GPU: per-layer time, bottleneck and traffic.
+        report = session.run(EstimateRequest(
+            network="googlenet", gpu="titanxp", batch=256,
+            unique=True, paper_subset=True))
+        print(report.render())
         print()
+
+        # The same analysis across devices is a batch — one call, shared work.
+        reports = session.run_many([
+            EstimateRequest(network="resnet152", gpu=gpu, batch=256,
+                            unique=True, paper_subset=True)
+            for gpu in ("titanxp", "p100", "v100")
+        ])
+        print("ResNet152 total conv time by GPU:")
+        for item in reports:
+            print(f"  {item.meta['gpu']:>9}: "
+                  f"{item.summary['total conv time (ms)']:8.2f} ms "
+                  f"({item.summary['dominant bottleneck']} bound)")
+        print()
+
+        # Reports are machine readable end to end.
+        payload = json.loads(report.to_json())
+        print("JSON summary:",
+              json.dumps(payload["summary"], indent=2))
 
 
 if __name__ == "__main__":

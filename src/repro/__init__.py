@@ -5,6 +5,10 @@ Applications with In-depth Memory System Traffic Analysis" (ISPASS 2019).
 
 Public API highlights
 ---------------------
+* :mod:`repro.api` — the session-based public API: :class:`repro.api.Session`
+  plus typed requests (``EstimateRequest``, ``SweepRequest``,
+  ``ValidateRequest``, ``ExperimentRequest``) and the structured
+  :class:`repro.api.Report` result type.
 * :class:`repro.DeltaModel` — the analytical traffic + performance model.
 * :mod:`repro.gpu` — device specifications (TITAN Xp, P100, V100) and the
   design-space options of the scaling study.
@@ -38,8 +42,18 @@ from .networks import (
     resnet152,
     vgg16,
 )
+from .api import (
+    EstimateRequest,
+    ExperimentRequest,
+    Report,
+    Session,
+    SweepRequest,
+    ValidateRequest,
+    current_session,
+    use_session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -67,4 +81,12 @@ __all__ = [
     "resnet152",
     "get_network",
     "paper_benchmark_suite",
+    "Session",
+    "Report",
+    "EstimateRequest",
+    "SweepRequest",
+    "ValidateRequest",
+    "ExperimentRequest",
+    "current_session",
+    "use_session",
 ]

@@ -10,7 +10,7 @@ the simulator substrate as the measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.layer import ConvLayerConfig
 from ..core.model import DeltaModel
@@ -95,19 +95,33 @@ DEFAULT_SWEEPS: Dict[str, Tuple[int, ...]] = {
 def run_sweep(parameter: str, gpu: GpuSpec,
               values: Optional[Sequence[int]] = None,
               base: Optional[ConvLayerConfig] = None,
-              simulator_config: Optional[SimulatorConfig] = None) -> SensitivitySweep:
-    """Sweep one parameter and compare model vs simulated traffic."""
+              simulator_config: Optional[SimulatorConfig] = None,
+              session=None) -> SensitivitySweep:
+    """Sweep one parameter and compare model vs simulated traffic.
+
+    With a :class:`repro.api.Session`, measurements route through the
+    session (engine policy, in-memory memo and optional disk cache apply);
+    without one a plain simulator runs inline.
+    """
     if values is None:
         values = DEFAULT_SWEEPS[parameter]
     base = base or reference_layer()
     model = DeltaModel(gpu)
-    simulator = ConvLayerSimulator(gpu, simulator_config or SimulatorConfig(max_ctas=60))
+    sim_config = simulator_config or SimulatorConfig(max_ctas=60)
+    if session is not None:
+        sim_config = session.simulator_config(sim_config)
+
+        def measure(layer: ConvLayerConfig):
+            return session.simulate(gpu, layer, sim_config)
+    else:
+        simulator = ConvLayerSimulator(gpu, sim_config)
+        measure = simulator.run
 
     points: List[SweepPoint] = []
     for value in values:
         layer = _vary(base, parameter, value)
         estimate = model.traffic(layer)
-        measured = simulator.run(layer)
+        measured = measure(layer)
         ratios = {}
         model_bytes = {}
         measured_bytes = {}
@@ -131,10 +145,12 @@ def run_sweep(parameter: str, gpu: GpuSpec,
 
 def run_all_sweeps(gpu: GpuSpec,
                    sweeps: Optional[Dict[str, Sequence[int]]] = None,
-                   simulator_config: Optional[SimulatorConfig] = None
-                   ) -> Dict[str, SensitivitySweep]:
+                   simulator_config: Optional[SimulatorConfig] = None,
+                   base: Optional[ConvLayerConfig] = None,
+                   session=None) -> Dict[str, SensitivitySweep]:
     """Run every Fig. 17 panel; returns sweeps keyed by parameter name."""
     sweeps = dict(sweeps) if sweeps is not None else dict(DEFAULT_SWEEPS)
-    return {parameter: run_sweep(parameter, gpu, values,
-                                 simulator_config=simulator_config)
+    return {parameter: run_sweep(parameter, gpu, values, base=base,
+                                 simulator_config=simulator_config,
+                                 session=session)
             for parameter, values in sweeps.items()}

@@ -7,7 +7,7 @@ rows the paper's tables and figures report, without plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence, Union
+from typing import Iterable, Mapping, Sequence, Union
 
 Cell = Union[str, int, float]
 

@@ -29,10 +29,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
-from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.bottleneck import Bottleneck
 from ..core.layer import ConvLayerConfig
@@ -46,22 +46,24 @@ from .metrics import AccuracySummary
 
 MEMORY_LEVELS: Tuple[str, ...] = ("l1", "l2", "dram")
 
-#: process-wide fallbacks applied when a config leaves jobs/cache unset;
-#: the CLI's --jobs / --sim-cache flags set these.
-_DEFAULT_JOBS = 1
-_DEFAULT_SIM_CACHE_DIR: Optional[str] = None
-
 
 def set_simulation_defaults(jobs: Optional[int] = None,
                             sim_cache_dir: Optional[str] = None) -> None:
-    """Set process-wide defaults for simulation parallelism and caching."""
-    global _DEFAULT_JOBS, _DEFAULT_SIM_CACHE_DIR
-    if jobs is not None:
-        if jobs <= 0:
-            raise ValueError("jobs must be positive")
-        _DEFAULT_JOBS = jobs
-    if sim_cache_dir is not None:
-        _DEFAULT_SIM_CACHE_DIR = sim_cache_dir
+    """Deprecated shim: configure the default :class:`repro.api.Session`.
+
+    Execution policy (worker processes, on-disk simulation cache) now lives on
+    session objects; build a ``repro.api.Session`` and pass it around — or use
+    ``repro.api.configure_default_session`` — instead of mutating process-wide
+    state through this function.
+    """
+    if jobs is not None and jobs <= 0:
+        raise ValueError("jobs must be positive")
+    warnings.warn(
+        "set_simulation_defaults is deprecated; construct a repro.api.Session "
+        "(or call repro.api.configure_default_session) instead",
+        DeprecationWarning, stacklevel=2)
+    from ..api.session import configure_default_session
+    configure_default_session(jobs=jobs, sim_cache_dir=sim_cache_dir)
 
 
 @dataclass(frozen=True)
@@ -76,23 +78,35 @@ class ValidationConfig:
     #: restrict each network to at most this many (unique) layers; None = all.
     layers_per_network: Optional[int] = 4
     #: per-layer simulations run across this many worker processes
-    #: (None = the process-wide default, normally 1 = serial).
+    #: (None = the active session's jobs setting, normally 1 = serial).
     jobs: Optional[int] = None
     #: persist per-layer simulator results under this directory
-    #: (None = the process-wide default, normally disabled).
+    #: (None = the active session's cache directory, normally disabled).
     sim_cache_dir: Optional[str] = None
+    #: restrict the population to these networks (None = the full paper suite).
+    networks: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.networks is not None:
+            normalized = tuple(name.strip().lower() for name in self.networks)
+            object.__setattr__(self, "networks", normalized)
 
     def simulator_config(self) -> SimulatorConfig:
         return SimulatorConfig(max_ctas=self.max_ctas)
 
     @property
     def effective_jobs(self) -> int:
-        return self.jobs if self.jobs is not None else _DEFAULT_JOBS
+        if self.jobs is not None:
+            return self.jobs
+        from ..api.session import current_session
+        return current_session().jobs
 
     @property
     def effective_sim_cache_dir(self) -> Optional[str]:
-        return (self.sim_cache_dir if self.sim_cache_dir is not None
-                else _DEFAULT_SIM_CACHE_DIR)
+        if self.sim_cache_dir is not None:
+            return self.sim_cache_dir
+        from ..api.session import current_session
+        return current_session().sim_cache_dir
 
 
 #: a configuration that runs every unique layer of the paper suite.
@@ -182,7 +196,8 @@ class ValidationReport:
 def select_layers(config: ValidationConfig = QUICK_VALIDATION
                   ) -> List[Tuple[str, ConvLayerConfig]]:
     """The (network, layer) population used for a validation run."""
-    suite = paper_benchmark_suite(batch=config.batch, unique=True)
+    suite = paper_benchmark_suite(batch=config.batch, unique=True,
+                                  networks=config.networks)
     if config.layers_per_network is None:
         return suite
     selected: List[Tuple[str, ConvLayerConfig]] = []
@@ -327,13 +342,24 @@ def validate_gpu(gpu: GpuSpec,
     return ValidationReport(gpu=gpu, records=records)
 
 
-@lru_cache(maxsize=None)
-def cached_validation(gpu: GpuSpec,
-                      config: ValidationConfig = QUICK_VALIDATION) -> ValidationReport:
-    """Memoized :func:`validate_gpu` so multiple experiments share one run.
+def validation_report(gpu: GpuSpec,
+                      config: ValidationConfig = QUICK_VALIDATION,
+                      session=None) -> ValidationReport:
+    """Session-scoped validation: memoized records, shared pool and cache.
 
     Simulation is by far the most expensive step of the evaluation; several
     figures (11, 12, 13, 14, 15, 19, 20) reuse the same model-vs-measured
-    records, so the benchmarks and the CLI call this cached entry point.
+    records, so the experiments and the CLI call this entry point, which
+    memoizes reports (and the underlying per-layer simulations) on the active
+    :class:`repro.api.Session`.  The import is deferred to keep this module
+    free of a load-time cycle with :mod:`repro.api`.
     """
-    return validate_gpu(gpu, config)
+    from ..api.session import current_session
+    session = session if session is not None else current_session()
+    return session.validation_report(gpu, config)
+
+
+def cached_validation(gpu: GpuSpec,
+                      config: ValidationConfig = QUICK_VALIDATION) -> ValidationReport:
+    """Backward-compatible alias for :func:`validation_report`."""
+    return validation_report(gpu, config)

@@ -1,0 +1,353 @@
+"""Execute typed requests against a session.
+
+Three responsibilities live here:
+
+* **adaptation** — mapping the uniform override fields of an
+  :class:`ExperimentRequest` (gpus/networks/batch/scale) onto each registered
+  experiment's ``run`` signature, rejecting overrides an experiment cannot
+  honor instead of silently ignoring them;
+* **planning** — computing the simulation work units (gpu, layer, simulator
+  config) a request will need, so :func:`execute_many` can dedupe identical
+  units across a batch and fan the union out over the session's shared
+  process pool exactly once; and
+* **execution** — running each request and packaging the outcome as a
+  :class:`repro.api.Report`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import Counter
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence
+
+from ..analysis.validation import (MEMORY_LEVELS, QUICK_VALIDATION,
+                                   ValidationConfig, select_layers)
+from ..core.model import DeltaModel
+from ..experiments.registry import ExperimentSpec, get_experiment_spec
+from ..gpu.devices import get_device
+from ..networks.registry import get_network
+from .report import Report
+from .requests import (EstimateRequest, ExperimentRequest, Request,
+                       SweepRequest, ValidateRequest)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .session import Session, SimUnit
+
+
+# ----------------------------------------------------------------------
+# Single-request execution
+# ----------------------------------------------------------------------
+
+def execute(session: "Session", request: Request) -> Report:
+    """Run one request under ``session`` and return its report."""
+    if isinstance(request, EstimateRequest):
+        report = _run_estimate(session, request)
+    elif isinstance(request, SweepRequest):
+        report = _run_sweep(session, request)
+    elif isinstance(request, ValidateRequest):
+        report = _run_validate(session, request)
+    elif isinstance(request, ExperimentRequest):
+        report = _run_experiment(session, request)
+    else:
+        raise TypeError(f"unsupported request type {type(request).__name__}")
+    session.stats.requests_run += 1
+    return report
+
+
+def execute_many(session: "Session", requests: Sequence[Request]) -> List[Report]:
+    """Run a batch of requests, deduping shared simulation work units.
+
+    The union of every request's planned units runs first — once per unique
+    unit, across the session's shared process pool — so a sweep over many
+    experiments re-simulates nothing that any other request in the batch
+    (or an earlier batch on the same session) already covers.
+    """
+    requests = list(requests)
+    units = plan_simulation_units(session, requests)
+    if units:
+        session.simulate_many(units)
+    return [execute(session, request) for request in requests]
+
+
+def _base_meta(session: "Session", request: Request) -> Dict[str, object]:
+    meta: Dict[str, object] = {
+        "request": type(request).__name__,
+        "jobs": session.jobs,
+        "vectorized": session.vectorized,
+        "precision": session.precision,
+    }
+    if session.sim_cache_dir:
+        meta["sim_cache_dir"] = str(session.sim_cache_dir)
+    return meta
+
+
+# ----------------------------------------------------------------------
+# Estimate / sweep (pure model, no simulation)
+# ----------------------------------------------------------------------
+
+def _estimate_rows(model: DeltaModel, layers) -> List[Dict[str, object]]:
+    rows = []
+    for layer in layers:
+        estimate = model.estimate(layer)
+        rows.append({
+            "layer": layer.name,
+            "time_ms": estimate.time_seconds * 1e3,
+            "bottleneck": estimate.bottleneck.value,
+            "TFLOP/s": estimate.throughput_tflops,
+            "L1_GB": estimate.traffic.l1_bytes / 1e9,
+            "L2_GB": estimate.traffic.l2_bytes / 1e9,
+            "DRAM_GB": estimate.traffic.dram_bytes / 1e9,
+        })
+    return rows
+
+
+def _run_estimate(session: "Session", request: EstimateRequest) -> Report:
+    gpu = get_device(request.gpu)
+    network = get_network(request.network, batch=request.batch,
+                          paper_subset=request.paper_subset)
+    layers = (network.unique_layers() if request.unique
+              else network.conv_layers())
+    rows = _estimate_rows(DeltaModel(gpu), layers)
+    total_ms = sum(row["time_ms"] for row in rows)
+    bottlenecks = Counter(row["bottleneck"] for row in rows)
+    summary = {
+        "total conv time (ms)": total_ms,
+        "layers": len(rows),
+        "dominant bottleneck": (bottlenecks.most_common(1)[0][0]
+                                if bottlenecks else "n/a"),
+    }
+    meta = _base_meta(session, request)
+    meta.update({"network": network.name, "gpu": gpu.name,
+                 "batch": request.batch, "unique": request.unique,
+                 "paper_subset": request.paper_subset})
+    return Report(kind="estimate",
+                  title=f"{network.name} on {gpu.name} (batch {request.batch})",
+                  rows=tuple(rows), summary=summary, meta=meta)
+
+
+def _run_sweep(session: "Session", request: SweepRequest) -> Report:
+    rows: List[Dict[str, object]] = []
+    series: Dict[str, list] = {}
+    for gpu_name in request.gpus:
+        gpu = get_device(gpu_name)
+        model = DeltaModel(gpu)
+        for network_name in request.networks:
+            for batch in request.batches:
+                network = get_network(network_name, batch=batch,
+                                      paper_subset=request.paper_subset)
+                layers = (network.unique_layers() if request.unique
+                          else network.conv_layers())
+                layer_rows = _estimate_rows(model, layers)
+                total_ms = sum(row["time_ms"] for row in layer_rows)
+                bottlenecks = Counter(row["bottleneck"] for row in layer_rows)
+                rows.append({
+                    "network": network.name,
+                    "gpu": gpu.name,
+                    "batch": batch,
+                    "layers": len(layer_rows),
+                    "total_time_ms": total_ms,
+                    "dram_gb": sum(row["DRAM_GB"] for row in layer_rows),
+                    "dominant_bottleneck": bottlenecks.most_common(1)[0][0],
+                })
+                series.setdefault(
+                    f"{network.name} conv time on {gpu.name} (ms)", []
+                ).append((batch, total_ms))
+    fastest = min(rows, key=lambda row: row["total_time_ms"])
+    summary = {
+        "combinations": len(rows),
+        "networks": ", ".join(request.networks),
+        "gpus": ", ".join(request.gpus),
+        "batches": ", ".join(str(batch) for batch in request.batches),
+        "fastest combination": (f"{fastest['network']}/{fastest['gpu']}"
+                                f"/b{fastest['batch']}"),
+    }
+    meta = _base_meta(session, request)
+    return Report(kind="sweep",
+                  title=(f"model sweep: {len(request.networks)} networks x "
+                         f"{len(request.gpus)} GPUs x "
+                         f"{len(request.batches)} batch sizes"),
+                  rows=tuple(rows), series={k: tuple(v) for k, v in series.items()},
+                  summary=summary, meta=meta)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+def _validation_config(request: ValidateRequest) -> ValidationConfig:
+    return ValidationConfig(batch=request.batch, max_ctas=request.max_ctas,
+                            layers_per_network=request.layers_per_network,
+                            networks=request.networks)
+
+
+def _run_validate(session: "Session", request: ValidateRequest) -> Report:
+    gpu = get_device(request.gpu)
+    config = _validation_config(request)
+    validation = session.validation_report(gpu, config)
+    summary: Dict[str, object] = {}
+    for level in MEMORY_LEVELS:
+        stats = validation.traffic_summary(level)
+        summary[f"{level} traffic GMAE"] = stats.gmae
+        summary[f"{level} traffic mean ratio"] = stats.mean_ratio
+    time_stats = validation.time_summary()
+    summary["time GMAE"] = time_stats.gmae
+    summary["time mean ratio"] = time_stats.mean_ratio
+    meta = _base_meta(session, request)
+    meta.update({"gpu": gpu.name, "batch": config.batch,
+                 "max_ctas": config.max_ctas,
+                 "layers_per_network": config.layers_per_network,
+                 "networks": list(config.networks) if config.networks else None})
+    title = (f"model-vs-simulator validation on {gpu.name} "
+             f"(batch {config.batch}, max CTAs {config.max_ctas}, "
+             f"{len(validation.records)} layers)")
+    return Report(kind="validation", title=title,
+                  rows=tuple(validation.rows()), summary=summary, meta=meta)
+
+
+# ----------------------------------------------------------------------
+# Experiments: signature adaptation + planning
+# ----------------------------------------------------------------------
+
+def _single(spec: ExperimentSpec, field: str, values: Sequence[str]) -> str:
+    if len(values) != 1:
+        raise ValueError(
+            f"experiment {spec.experiment_id!r} accepts a single {field[:-1]} "
+            f"override, got {list(values)}")
+    return values[0]
+
+
+def experiment_kwargs(spec: ExperimentSpec, request: ExperimentRequest,
+                      session: "Session") -> Dict[str, object]:
+    """Map a request's override fields onto the runner's signature."""
+    params = inspect.signature(spec.runner).parameters
+    kwargs: Dict[str, object] = {}
+    for key, value in request.options.items():
+        if key not in params:
+            raise TypeError(
+                f"experiment {spec.experiment_id!r} does not accept option "
+                f"{key!r}; its run() parameters are {sorted(params)}")
+        kwargs[key] = value
+    if "session" in params:
+        kwargs.setdefault("session", session)
+
+    config_overrides: Dict[str, object] = {}
+    if request.gpus:
+        specs = [get_device(name) for name in request.gpus]
+        if "devices" in params:
+            kwargs.setdefault("devices", specs)
+        elif "gpu" in params:
+            kwargs.setdefault("gpu", get_device(_single(spec, "gpus", request.gpus)))
+        elif "baseline" in params:
+            kwargs.setdefault("baseline",
+                              get_device(_single(spec, "gpus", request.gpus)))
+        else:
+            raise ValueError(
+                f"experiment {spec.experiment_id!r} does not support GPU overrides")
+        if "baseline_gpu" in params:
+            kwargs.setdefault("baseline_gpu", specs[0])
+    if request.networks:
+        if "network" in params:
+            kwargs.setdefault("network", _single(spec, "networks", request.networks))
+        elif "config" in params:
+            config_overrides["networks"] = request.networks
+        else:
+            raise ValueError(
+                f"experiment {spec.experiment_id!r} does not support network "
+                f"overrides")
+    if request.batch is not None:
+        if "batch" in params:
+            kwargs.setdefault("batch", request.batch)
+        elif "config" in params:
+            config_overrides["batch"] = request.batch
+        else:
+            raise ValueError(
+                f"experiment {spec.experiment_id!r} does not support batch "
+                f"overrides")
+    if request.max_ctas is not None:
+        if "max_ctas" in params:
+            kwargs.setdefault("max_ctas", request.max_ctas)
+        elif "config" in params:
+            config_overrides["max_ctas"] = request.max_ctas
+        else:
+            raise ValueError(
+                f"experiment {spec.experiment_id!r} does not support max_ctas "
+                f"overrides")
+    if request.layers_per_network is not None:
+        if "config" in params:
+            config_overrides["layers_per_network"] = request.layers_per_network
+        else:
+            raise ValueError(
+                f"experiment {spec.experiment_id!r} does not support "
+                f"layers_per_network overrides")
+    if config_overrides:
+        base = kwargs.get("config", QUICK_VALIDATION)
+        kwargs["config"] = replace(base, **config_overrides)
+    return kwargs
+
+
+def _run_experiment(session: "Session", request: ExperimentRequest) -> Report:
+    spec = get_experiment_spec(request.experiment)
+    kwargs = experiment_kwargs(spec, request, session)
+    result = spec.runner(**kwargs)
+    meta = _base_meta(session, request)
+    meta["experiment_id"] = spec.experiment_id
+    overrides = {key: value for key, value in (
+        ("gpus", list(request.gpus) if request.gpus else None),
+        ("networks", list(request.networks) if request.networks else None),
+        ("batch", request.batch),
+        ("max_ctas", request.max_ctas),
+        ("layers_per_network", request.layers_per_network),
+    ) if value is not None}
+    if overrides:
+        meta["overrides"] = overrides
+    return Report.from_experiment(result, meta=meta)
+
+
+def plan_simulation_units(session: "Session",
+                          requests: Iterable[Request]) -> List["SimUnit"]:
+    """The deduped union of simulation work units across a request batch.
+
+    Only requests backed by the shared validation harness are plannable;
+    anything else simply runs its (possibly simulation-free) work inline.
+    """
+    units: List["SimUnit"] = []
+    seen = set()
+    for request in requests:
+        for unit in _request_units(session, request):
+            if unit not in seen:
+                seen.add(unit)
+                units.append(unit)
+    return units
+
+
+def _request_units(session: "Session", request: Request) -> Iterator["SimUnit"]:
+    if isinstance(request, ValidateRequest):
+        gpus = [get_device(request.gpu)]
+        config = _validation_config(request)
+    elif isinstance(request, ExperimentRequest):
+        spec = get_experiment_spec(request.experiment)
+        if not spec.uses_validation:
+            return
+        kwargs = experiment_kwargs(spec, request, session)
+        config = kwargs.get("config", QUICK_VALIDATION)
+        # derive the GPUs from the fully adapted kwargs so overrides passed
+        # through ``options`` (not just request.gpus) plan the right work.
+        if "devices" in kwargs:
+            gpus = list(kwargs["devices"])
+        elif "gpu" in kwargs:
+            gpus = [kwargs["gpu"]]
+        elif "baseline" in kwargs:
+            gpus = [kwargs["baseline"]]
+        else:
+            gpus = [get_device(name) for name in spec.default_gpus]
+        baseline_gpu = kwargs.get("baseline_gpu")
+        if baseline_gpu is not None and baseline_gpu not in gpus:
+            gpus.append(baseline_gpu)
+    else:
+        return
+    sim_config = session.validation_sim_config(config)
+    population = select_layers(config)
+    for gpu in gpus:
+        for _, layer in population:
+            yield (gpu, layer, sim_config)

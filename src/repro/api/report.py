@@ -1,0 +1,142 @@
+"""Unified, machine-readable result type of the public API.
+
+Every request executed through a :class:`repro.api.Session` produces a
+:class:`Report`: tables (``rows``), figure-style ``series``, headline
+``summary`` numbers and a ``meta`` block echoing the request and the session
+policy that produced it.  Reports render as plain text (the CLI's default)
+and serialize losslessly to JSON — ``Report.from_json(r.to_json())`` compares
+numerically equal to ``r``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.tables import render_series, render_table
+from ..experiments.base import ExperimentResult
+
+#: bumped when the serialized layout changes shape.
+SCHEMA_VERSION = 1
+
+Rows = Tuple[Dict[str, object], ...]
+Series = Dict[str, Tuple[Tuple[object, object], ...]]
+
+
+def _freeze_rows(rows: Sequence[Mapping[str, object]]) -> Rows:
+    return tuple(dict(row) for row in rows)
+
+
+def _freeze_series(series: Optional[Mapping[str, Sequence[Sequence[object]]]]) -> Series:
+    return {name: tuple((pair[0], pair[1]) for pair in pairs)
+            for name, pairs in (series or {}).items()}
+
+
+@dataclass(frozen=True)
+class Report:
+    """Structured result of one request."""
+
+    #: result family: "experiment", "estimate", "validation" or "sweep".
+    kind: str
+    #: human readable headline (first line of the text rendering).
+    title: str
+    #: identifier shown as ``[id]`` in the text rendering (e.g. "fig11").
+    report_id: Optional[str] = None
+    rows: Rows = ()
+    series: Series = field(default_factory=dict)
+    summary: Dict[str, object] = field(default_factory=dict)
+    #: request echo + session policy (jobs, precision, ...).
+    meta: Dict[str, object] = field(default_factory=dict)
+    #: sub-reports (a sweep's per-combination breakdown, for example).
+    children: Tuple["Report", ...] = ()
+
+    # -- text ------------------------------------------------------------
+
+    def render(self, precision: Optional[int] = None) -> str:
+        """Render as plain text: title, summary, tables, series, children."""
+        if precision is None:
+            precision = int(self.meta.get("precision", 3))
+        header = f"[{self.report_id}] {self.title}" if self.report_id else self.title
+        parts: List[str] = [header]
+        if self.summary:
+            summary_rows = [{"metric": key, "value": value}
+                            for key, value in self.summary.items()]
+            parts.append(render_table(summary_rows, columns=["metric", "value"],
+                                      precision=precision))
+        if self.rows:
+            parts.append(render_table(list(self.rows), precision=precision))
+        for name, pairs in self.series.items():
+            parts.append(render_series(name, pairs, precision=precision))
+        for child in self.children:
+            parts.append(child.render(precision=precision))
+        return "\n\n".join(parts)
+
+    # -- JSON ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data payload (lists/dicts/scalars only)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "title": self.title,
+            "report_id": self.report_id,
+            "rows": [dict(row) for row in self.rows],
+            "series": {name: [[x, y] for x, y in pairs]
+                       for name, pairs in self.series.items()},
+            "summary": dict(self.summary),
+            "meta": dict(self.meta),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Report":
+        version = payload.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"unsupported report schema version {version!r}")
+        return cls(
+            kind=str(payload.get("kind", "experiment")),
+            title=str(payload.get("title", "")),
+            report_id=payload.get("report_id"),
+            rows=_freeze_rows(payload.get("rows", ())),
+            series=_freeze_series(payload.get("series")),
+            summary=dict(payload.get("summary", {})),
+            meta=dict(payload.get("meta", {})),
+            children=tuple(cls.from_dict(child)
+                           for child in payload.get("children", ())),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Report":
+        return cls.from_dict(json.loads(text))
+
+    # -- bridges ---------------------------------------------------------
+
+    @classmethod
+    def from_experiment(cls, result: ExperimentResult,
+                        meta: Optional[Mapping[str, object]] = None) -> "Report":
+        """Wrap an :class:`ExperimentResult` (text rendering stays identical)."""
+        return cls(
+            kind="experiment",
+            title=result.title,
+            report_id=result.experiment_id,
+            rows=result.rows,
+            series=dict(result.series),
+            summary=dict(result.summary),
+            meta=dict(meta or {}),
+        )
+
+    def to_experiment(self) -> ExperimentResult:
+        """Narrow an experiment-kind report back to an ExperimentResult."""
+        if self.kind != "experiment" or self.report_id is None:
+            raise ValueError(f"report of kind {self.kind!r} is not an experiment")
+        return ExperimentResult(
+            experiment_id=self.report_id,
+            title=self.title,
+            rows=self.rows,
+            series=self.series,
+            summary=dict(self.summary),
+        )

@@ -1,0 +1,115 @@
+"""Typed request dataclasses accepted by ``Session.run`` / ``Session.run_many``.
+
+Requests are frozen value objects: they carry *what* to compute
+(network/GPU/batch/scale), never *how* (jobs, caching, engine selection) —
+execution policy lives on the :class:`repro.api.Session` that runs them.
+(:class:`ExperimentRequest` is not hashable once ``options`` is set, since
+options hold arbitrary keyword arguments.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+Names = Union[str, Sequence[str]]
+
+
+def _name_tuple(value: Optional[Names]) -> Optional[Tuple[str, ...]]:
+    """Normalize a name or sequence of names to a lower-case tuple."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = (value,)
+    return tuple(str(name).strip().lower() for name in value)
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """Analytical per-layer estimate of one network on one GPU.
+
+    Pure model evaluation: no simulation, runs in milliseconds.
+    """
+
+    network: str
+    gpu: str = "titanxp"
+    batch: int = 256
+    #: only evaluate unique layer configurations.
+    unique: bool = False
+    #: restrict to the layers shown in the paper's figures.
+    paper_subset: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0:
+            raise ValueError("batch must be positive")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Model-only sweep over networks x GPUs x batch sizes in one call."""
+
+    networks: Names = ("alexnet", "vgg16", "googlenet", "resnet152")
+    gpus: Names = ("titanxp", "v100")
+    batches: Tuple[int, ...] = (64, 256)
+    unique: bool = True
+    paper_subset: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "networks", _name_tuple(self.networks))
+        object.__setattr__(self, "gpus", _name_tuple(self.gpus))
+        object.__setattr__(self, "batches", tuple(int(b) for b in self.batches))
+        if not (self.networks and self.gpus and self.batches):
+            raise ValueError("networks, gpus and batches must be non-empty")
+        if any(batch <= 0 for batch in self.batches):
+            raise ValueError("batches must be positive")
+
+
+@dataclass(frozen=True)
+class ValidateRequest:
+    """Model-vs-simulator validation of one GPU over the paper population."""
+
+    gpu: str = "titanxp"
+    batch: int = 32
+    #: cap on exactly-simulated CTAs per layer (None = all).
+    max_ctas: Optional[int] = 180
+    #: layers per network (None = all unique layers).
+    layers_per_network: Optional[int] = 4
+    #: restrict the population to these networks (None = all four CNNs).
+    networks: Optional[Names] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "networks", _name_tuple(self.networks))
+        if self.batch <= 0:
+            raise ValueError("batch must be positive")
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """Run one registered paper table/figure, optionally reconfigured.
+
+    Unset override fields keep the experiment's paper-default configuration;
+    the default request therefore reproduces the paper numbers exactly.
+    Overrides an experiment cannot honor (e.g. a network override for the
+    GPU-specification table) raise ``ValueError`` rather than being ignored.
+    ``options`` passes extra keyword arguments straight to the experiment's
+    ``run`` callable after validation against its signature.
+    """
+
+    experiment: str
+    gpus: Optional[Names] = None
+    networks: Optional[Names] = None
+    batch: Optional[int] = None
+    max_ctas: Optional[int] = None
+    layers_per_network: Optional[int] = None
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "experiment", self.experiment.strip().lower())
+        object.__setattr__(self, "gpus", _name_tuple(self.gpus))
+        object.__setattr__(self, "networks", _name_tuple(self.networks))
+        object.__setattr__(self, "options", dict(self.options))
+        if self.batch is not None and self.batch <= 0:
+            raise ValueError("batch must be positive")
+
+
+Request = Union[EstimateRequest, SweepRequest, ValidateRequest, ExperimentRequest]

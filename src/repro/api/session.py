@@ -1,0 +1,310 @@
+"""Session: context-local execution policy and shared simulation state.
+
+A :class:`Session` owns everything that used to live in process-global
+mutable state: how many worker processes per-layer simulations fan out over
+(``jobs``), where simulator results persist on disk (``sim_cache_dir``),
+whether the vectorized engine runs (``vectorized``), and the default decimal
+precision of rendered reports (``precision``).  On top of the policy it keeps
+two in-memory result stores so that many requests executed against the same
+session share work:
+
+* a simulation memo keyed by ``(gpu, layer, simulator config)`` — the unit of
+  work the batch executor dedupes across requests, and
+* a validation-report memo so every experiment that consumes the same
+  model-vs-measured records (Fig. 11-15, 19, 20) reuses one run.
+
+The *active* session is context-local (:func:`current_session` /
+:func:`use_session`), so concurrent scenarios in different threads or asyncio
+tasks never observe each other's settings — the fix for the state-leak the
+old ``set_simulation_defaults`` global had.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..analysis.validation import (
+    QUICK_VALIDATION,
+    ValidationConfig,
+    ValidationReport,
+    _simulate_task,
+    select_layers,
+    validate_layer,
+)
+from ..core.layer import ConvLayerConfig
+from ..core.model import DeltaModel
+from ..gpu.spec import GpuSpec
+from ..sim.engine import SimResult, SimulatorConfig
+
+#: one simulation work unit: everything that determines a SimResult.
+SimUnit = Tuple[GpuSpec, ConvLayerConfig, SimulatorConfig]
+
+
+# the validation harness's pool worker does exactly what we need: run one
+# (gpu, layer, config, cache_dir) task through the disk-cache-aware path.
+_run_unit = _simulate_task
+
+
+@dataclass
+class SessionStats:
+    """Counters describing what a session actually executed."""
+
+    #: simulation tasks dispatched (after in-memory dedup).
+    sim_tasks: int = 0
+    #: simulation units answered from the session's in-memory store.
+    sim_memo_hits: int = 0
+    #: process pools created; a session reuses one pool across batches.
+    pool_launches: int = 0
+    #: requests executed through Session.run / Session.run_many.
+    requests_run: int = 0
+
+
+class Session:
+    """Execution scope for estimates, validations and experiments.
+
+    Sessions are thread-safe and reusable; use one per logical scenario (or
+    one per process) and route every request through it::
+
+        with Session(jobs=4, sim_cache_dir="~/.cache/delta-repro") as session:
+            report = session.run(ExperimentRequest("fig11"))
+            print(report.to_json(indent=2))
+    """
+
+    def __init__(self, jobs: int = 1, sim_cache_dir: Optional[str] = None,
+                 vectorized: bool = True, precision: int = 3) -> None:
+        self._lock = threading.RLock()
+        self._sim_results: Dict[SimUnit, SimResult] = {}
+        self._validation_memo: Dict[Tuple[GpuSpec, ValidationConfig],
+                                    ValidationReport] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        #: pools replaced by a grow; shut down at close() so in-flight work
+        #: on them is never interrupted.
+        self._retired_pools: List[ProcessPoolExecutor] = []
+        self.stats = SessionStats()
+        self.jobs = jobs
+        self.sim_cache_dir = sim_cache_dir
+        self.vectorized = vectorized
+        self.precision = precision
+
+    # -- policy ---------------------------------------------------------
+
+    @property
+    def jobs(self) -> int:
+        """Worker processes for per-layer simulations (1 = serial)."""
+        return self._jobs
+
+    @jobs.setter
+    def jobs(self, value: int) -> None:
+        if value is None or value <= 0:
+            raise ValueError("jobs must be positive")
+        self._jobs = int(value)
+
+    @property
+    def precision(self) -> int:
+        """Default decimal places of rendered reports."""
+        return self._precision
+
+    @precision.setter
+    def precision(self, value: int) -> None:
+        if value is None or value < 0:
+            raise ValueError("precision must be non-negative")
+        self._precision = int(value)
+
+    def simulator_config(self, base: Optional[SimulatorConfig] = None,
+                         **overrides) -> SimulatorConfig:
+        """A simulator config with this session's engine policy applied."""
+        overrides.setdefault("vectorized", self.vectorized)
+        return replace(base if base is not None else SimulatorConfig(), **overrides)
+
+    def validation_sim_config(self, config: ValidationConfig) -> SimulatorConfig:
+        """The simulator config a validation run uses under this session."""
+        return self.simulator_config(config.simulator_config())
+
+    # -- simulation with dedup + shared pool ----------------------------
+
+    def simulate(self, gpu: GpuSpec, layer: ConvLayerConfig,
+                 config: Optional[SimulatorConfig] = None) -> SimResult:
+        """Simulate one layer, consulting the session memo and disk cache."""
+        resolved = config if config is not None else self.simulator_config()
+        return self.simulate_many([(gpu, layer, resolved)])[0]
+
+    def simulate_many(self, units: Sequence[SimUnit],
+                      jobs: Optional[int] = None,
+                      cache_dir: Optional[str] = None) -> List[SimResult]:
+        """Simulate many work units, deduped, over the session's pool.
+
+        Results come back aligned with ``units``.  Units already present in
+        the session memo cost nothing; duplicates within ``units`` run once.
+        ``jobs``/``cache_dir`` override the session policy for this call.
+        """
+        units = [tuple(unit) for unit in units]
+        with self._lock:
+            fresh: List[SimUnit] = []
+            seen = set()
+            for unit in units:
+                if unit in self._sim_results or unit in seen:
+                    self.stats.sim_memo_hits += 1
+                else:
+                    seen.add(unit)
+                    fresh.append(unit)
+            if cache_dir is None:
+                cache_dir = self.sim_cache_dir
+        tasks = [(gpu, layer, config, cache_dir) for gpu, layer, config in fresh]
+        workers = jobs if jobs is not None else self.jobs
+        if len(tasks) <= 1 or workers <= 1:
+            results = [_run_unit(task) for task in tasks]
+        else:
+            results = list(self._ensure_pool(workers).map(_run_unit, tasks))
+        with self._lock:
+            for unit, result in zip(fresh, results):
+                self._sim_results[unit] = result
+            self.stats.sim_tasks += len(tasks)
+            return [self._sim_results[unit] for unit in units]
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The shared pool, grown (never shrunk) to at least ``workers``.
+
+        A too-small pool is retired, not shut down: another thread may still
+        be mapping work onto it, and retired pools drain at close().
+        """
+        with self._lock:
+            if self._pool is not None and self._pool_workers < workers:
+                self._retired_pools.append(self._pool)
+                self._pool = None
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+                self._pool_workers = workers
+                self.stats.pool_launches += 1
+            return self._pool
+
+    # -- validation -----------------------------------------------------
+
+    def validation_report(self, gpu: GpuSpec,
+                          config: ValidationConfig = QUICK_VALIDATION
+                          ) -> ValidationReport:
+        """Model-vs-simulator records for one GPU, memoized on the session.
+
+        The memo key ignores ``jobs``/``sim_cache_dir`` (execution policy
+        does not change results), so experiments with equal populations share
+        one run regardless of how it was parallelized.
+        """
+        key = (gpu, replace(config, jobs=None, sim_cache_dir=None))
+        with self._lock:
+            memoized = self._validation_memo.get(key)
+        if memoized is not None:
+            return memoized
+        population = select_layers(config)
+        sim_config = self.validation_sim_config(config)
+        sims = self.simulate_many(
+            [(gpu, layer, sim_config) for _, layer in population],
+            jobs=config.jobs, cache_dir=config.sim_cache_dir)
+        model = DeltaModel(gpu)
+        records = tuple(
+            validate_layer(network, layer, gpu, model=model, sim_result=sim)
+            for (network, layer), sim in zip(population, sims))
+        report = ValidationReport(gpu=gpu, records=records)
+        with self._lock:
+            return self._validation_memo.setdefault(key, report)
+
+    # -- request execution ----------------------------------------------
+
+    def run(self, request) -> "Report":  # noqa: F821 - documented return type
+        """Execute one typed request and return its :class:`Report`."""
+        from .executor import execute
+        return execute(self, request)
+
+    def run_many(self, requests: Sequence) -> List["Report"]:  # noqa: F821
+        """Execute a batch of requests, deduping shared simulation work.
+
+        The executor first plans the union of simulation work units across
+        the batch, runs them once over the session's shared process pool,
+        then executes each request against the warm memo.
+        """
+        from .executor import execute_many
+        return execute_many(self, requests)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the session's process pools (results stay memoized)."""
+        with self._lock:
+            pools = [p for p in [self._pool, *self._retired_pools] if p]
+            self._pool = None
+            self._pool_workers = 0
+            self._retired_pools = []
+        for pool in pools:
+            pool.shutdown()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"Session(jobs={self.jobs}, sim_cache_dir={self.sim_cache_dir!r}, "
+                f"vectorized={self.vectorized}, precision={self.precision})")
+
+
+# ----------------------------------------------------------------------
+# Context-local active session
+# ----------------------------------------------------------------------
+_ACTIVE: ContextVar[Optional[Session]] = ContextVar("repro_active_session",
+                                                    default=None)
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT: List[Optional[Session]] = [None]
+
+
+def default_session() -> Session:
+    """The lazily-created fallback session used when none is active."""
+    with _DEFAULT_LOCK:
+        if _DEFAULT[0] is None:
+            _DEFAULT[0] = Session()
+        return _DEFAULT[0]
+
+
+def current_session() -> Session:
+    """The context-active session (see :func:`use_session`) or the default."""
+    session = _ACTIVE.get()
+    return session if session is not None else default_session()
+
+
+@contextmanager
+def use_session(session: Session) -> Iterator[Session]:
+    """Make ``session`` the active session for the enclosed context."""
+    token = _ACTIVE.set(session)
+    try:
+        yield session
+    finally:
+        _ACTIVE.reset(token)
+
+
+def configure_default_session(jobs: Optional[int] = None,
+                              sim_cache_dir: Optional[str] = None,
+                              vectorized: Optional[bool] = None,
+                              precision: Optional[int] = None) -> Session:
+    """Adjust the default session's policy; unset arguments stay unchanged."""
+    session = default_session()
+    if jobs is not None:
+        session.jobs = jobs
+    if sim_cache_dir is not None:
+        session.sim_cache_dir = sim_cache_dir
+    if vectorized is not None:
+        session.vectorized = bool(vectorized)
+    if precision is not None:
+        session.precision = precision
+    return session
+
+
+def reset_default_session() -> None:
+    """Drop the default session, releasing its pool and memoized results."""
+    with _DEFAULT_LOCK:
+        session, _DEFAULT[0] = _DEFAULT[0], None
+    if session is not None:
+        session.close()

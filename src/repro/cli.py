@@ -1,4 +1,9 @@
-"""Command line interface: run experiments, inspect layers, list networks.
+"""Command line interface built on the session-based public API.
+
+Every subcommand builds one :class:`repro.api.Session` (from ``--jobs`` /
+``--sim-cache``), turns its arguments into a typed request, and prints the
+resulting :class:`repro.api.Report` as text or — with ``--format json`` —
+as machine-readable JSON.
 
 Examples
 --------
@@ -7,106 +12,140 @@ Run a fast experiment and print its tables::
     delta-repro experiment fig16
 
 Run a simulation-backed experiment across 4 worker processes with an on-disk
-simulation cache (repeat runs skip simulation entirely)::
+simulation cache, emitting JSON::
 
-    delta-repro experiment fig11 --jobs 4 --sim-cache ~/.cache/delta-repro
+    delta-repro experiment fig11 --jobs 4 --sim-cache ~/.cache/delta-repro \\
+        --format json
+
+Rerun a figure on one GPU and a reduced population::
+
+    delta-repro experiment fig13 --gpus v100 --networks googlenet --batch 8
 
 Validate the model against the simulator for one GPU::
 
     delta-repro validate --gpu titanxp --batch 16 --jobs 4
 
-Estimate one network on one GPU::
+Estimate one network on one GPU, or sweep networks x GPUs x batches::
 
     delta-repro estimate --network resnet152 --gpu v100 --batch 256
+    delta-repro sweep --networks alexnet vgg16 --gpus titanxp v100 \\
+        --batches 64 256
 
-List everything that is available::
+List everything that is available (also as JSON)::
 
-    delta-repro list
+    delta-repro list --format json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from .analysis.tables import render_table
-from .analysis.validation import (MEMORY_LEVELS, ValidationConfig,
-                                  set_simulation_defaults, validate_gpu)
-from .core.model import DeltaModel
-from .experiments.registry import available_experiments, run_experiment
-from .gpu.devices import all_devices, get_device
-from .networks.registry import available_networks, get_network
+from .api import (
+    EstimateRequest,
+    ExperimentRequest,
+    Report,
+    Session,
+    SweepRequest,
+    ValidateRequest,
+)
+from .experiments.registry import all_experiment_specs, available_experiments
+from .gpu.devices import all_devices, device_aliases
+from .networks.registry import available_networks, paper_subset_networks
 
 
-def _cmd_list(_: argparse.Namespace) -> int:
+def _session_from_args(args: argparse.Namespace) -> Session:
+    jobs = getattr(args, "jobs", None)
+    # None = flag not given (serial); explicit non-positive values are
+    # rejected by the Session.jobs setter rather than silently coerced.
+    return Session(jobs=1 if jobs is None else jobs,
+                   sim_cache_dir=getattr(args, "sim_cache", None),
+                   precision=args.precision)
+
+
+def _emit(report: Report, args: argparse.Namespace) -> int:
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        print(report.render(precision=args.precision))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.format == "json":
+        payload = {
+            "networks": available_networks(),
+            "paper_subset_variants": paper_subset_networks(),
+            "gpus": [{"name": name, "aliases": list(aliases)}
+                     for name, aliases in device_aliases().items()],
+            "experiments": [{"id": spec.experiment_id, "title": spec.title,
+                             "fast": spec.fast,
+                             "uses_validation": spec.uses_validation}
+                            for spec in all_experiment_specs()],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print("Networks:", ", ".join(available_networks()))
+    print("Paper-subset variants:", ", ".join(paper_subset_networks()))
     print("GPUs:", ", ".join(gpu.name for gpu in all_devices()))
     print("Experiments:", ", ".join(available_experiments()))
     return 0
 
 
-def _apply_simulation_flags(args: argparse.Namespace) -> None:
-    set_simulation_defaults(jobs=args.jobs, sim_cache_dir=args.sim_cache)
-
-
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    _apply_simulation_flags(args)
-    result = run_experiment(args.experiment_id)
-    print(result.render(precision=args.precision))
-    return 0
+    request = ExperimentRequest(
+        experiment=args.experiment_id,
+        gpus=tuple(args.gpus) if args.gpus else None,
+        networks=tuple(args.networks) if args.networks else None,
+        batch=args.batch,
+        max_ctas=args.max_ctas,
+        layers_per_network=args.layers_per_network,
+    )
+    with _session_from_args(args) as session:
+        report = session.run(request)
+    return _emit(report, args)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    _apply_simulation_flags(args)
-    gpu = get_device(args.gpu)
-    config = ValidationConfig(
+    request = ValidateRequest(
+        gpu=args.gpu,
         batch=args.batch,
         max_ctas=args.max_ctas if args.max_ctas > 0 else None,
         layers_per_network=(args.layers_per_network
                             if args.layers_per_network > 0 else None),
+        networks=tuple(args.networks) if args.networks else None,
     )
-    report = validate_gpu(gpu, config)
-    print(f"model-vs-simulator validation on {gpu.name} "
-          f"(batch {config.batch}, max CTAs {config.max_ctas}, "
-          f"{len(report.records)} layers)")
-    print(render_table(report.rows(), precision=args.precision))
-    summary_rows = []
-    for level in MEMORY_LEVELS:
-        summary = report.traffic_summary(level)
-        summary_rows.append({"metric": f"{level} traffic GMAE",
-                             "value": summary.gmae,
-                             "mean_ratio": summary.mean_ratio})
-    time_summary = report.time_summary()
-    summary_rows.append({"metric": "time GMAE", "value": time_summary.gmae,
-                         "mean_ratio": time_summary.mean_ratio})
-    print(render_table(summary_rows, precision=args.precision))
-    return 0
+    with _session_from_args(args) as session:
+        report = session.run(request)
+    return _emit(report, args)
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    gpu = get_device(args.gpu)
-    network = get_network(args.network, batch=args.batch,
-                          paper_subset=args.paper_subset)
-    model = DeltaModel(gpu)
-    rows = []
-    total = 0.0
-    for layer in (network.unique_layers() if args.unique else network.conv_layers()):
-        estimate = model.estimate(layer)
-        total += estimate.time_seconds
-        rows.append({
-            "layer": layer.name,
-            "time_ms": estimate.time_seconds * 1e3,
-            "bottleneck": estimate.bottleneck.value,
-            "TFLOP/s": estimate.throughput_tflops,
-            "L1_GB": estimate.traffic.l1_bytes / 1e9,
-            "L2_GB": estimate.traffic.l2_bytes / 1e9,
-            "DRAM_GB": estimate.traffic.dram_bytes / 1e9,
-        })
-    print(f"{network.name} on {gpu.name} (batch {args.batch})")
-    print(render_table(rows, precision=args.precision))
-    print(f"total conv time: {total * 1e3:.2f} ms")
-    return 0
+    request = EstimateRequest(
+        network=args.network,
+        gpu=args.gpu,
+        batch=args.batch,
+        unique=args.unique,
+        paper_subset=args.paper_subset,
+    )
+    with _session_from_args(args) as session:
+        report = session.run(request)
+    return _emit(report, args)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    request = SweepRequest(
+        networks=tuple(args.networks),
+        gpus=tuple(args.gpus),
+        batches=tuple(args.batches),
+        unique=not args.all_layers,
+        paper_subset=args.paper_subset,
+    )
+    with _session_from_args(args) as session:
+        report = session.run(request)
+    return _emit(report, args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,8 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="decimal places in printed tables")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser("list", help="list networks, GPUs and experiments")
-    list_parser.set_defaults(func=_cmd_list)
+    def add_format_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--format", choices=("text", "json"), default="text",
+                         help="output format (default: human-readable text)")
 
     def add_simulation_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--jobs", type=int, default=None,
@@ -128,10 +168,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for the on-disk simulation result "
                               "cache (repeat runs skip simulation)")
 
-    exp_parser = subparsers.add_parser("experiment",
-                                       help="run one paper table/figure experiment")
+    list_parser = subparsers.add_parser(
+        "list", help="list networks, GPUs and experiments")
+    add_format_flag(list_parser)
+    list_parser.set_defaults(func=_cmd_list)
+
+    exp_parser = subparsers.add_parser(
+        "experiment", help="run one paper table/figure experiment")
     exp_parser.add_argument("experiment_id", choices=available_experiments())
+    exp_parser.add_argument("--gpus", nargs="+", default=None, metavar="GPU",
+                            help="override the experiment's GPU(s)")
+    exp_parser.add_argument("--networks", nargs="+", default=None,
+                            metavar="NET",
+                            help="override the evaluated network(s)")
+    exp_parser.add_argument("--batch", type=int, default=None,
+                            help="override the mini-batch size")
+    exp_parser.add_argument("--max-ctas", type=int, default=None,
+                            help="override the exactly-simulated CTA cap")
+    exp_parser.add_argument("--layers-per-network", type=int, default=None,
+                            help="override the layers validated per network")
     add_simulation_flags(exp_parser)
+    add_format_flag(exp_parser)
     exp_parser.set_defaults(func=_cmd_experiment)
 
     val_parser = subparsers.add_parser(
@@ -143,19 +200,47 @@ def build_parser() -> argparse.ArgumentParser:
                             help="CTAs simulated exactly per layer (<=0 = all)")
     val_parser.add_argument("--layers-per-network", type=int, default=4,
                             help="layers per network (<=0 = all unique layers)")
+    val_parser.add_argument("--networks", nargs="+", default=None,
+                            metavar="NET",
+                            help="restrict the population to these networks")
     add_simulation_flags(val_parser)
+    add_format_flag(val_parser)
     val_parser.set_defaults(func=_cmd_validate)
 
-    est_parser = subparsers.add_parser("estimate",
-                                       help="estimate a network's conv layers on a GPU")
+    est_parser = subparsers.add_parser(
+        "estimate", help="estimate a network's conv layers on a GPU")
     est_parser.add_argument("--network", required=True)
     est_parser.add_argument("--gpu", default="titanxp")
     est_parser.add_argument("--batch", type=int, default=256)
     est_parser.add_argument("--unique", action="store_true",
                             help="only evaluate unique layer configurations")
     est_parser.add_argument("--paper-subset", action="store_true",
-                            help="restrict to the layers shown in the paper's figures")
+                            help="restrict to the layers shown in the paper's "
+                                 "figures")
+    add_format_flag(est_parser)
     est_parser.set_defaults(func=_cmd_estimate)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="model-only sweep over networks x GPUs x batch sizes")
+    sweep_parser.add_argument("--networks", nargs="+",
+                              default=["alexnet", "vgg16", "googlenet",
+                                       "resnet152"], metavar="NET")
+    sweep_parser.add_argument("--gpus", nargs="+",
+                              default=["titanxp", "v100"], metavar="GPU")
+    sweep_parser.add_argument("--batches", nargs="+", type=int,
+                              default=[64, 256], metavar="B")
+    sweep_parser.add_argument("--all-layers", action="store_true",
+                              help="evaluate every conv layer, not just the "
+                                   "unique configurations")
+    sweep_parser.add_argument("--paper-subset",
+                              action=argparse.BooleanOptionalAction,
+                              default=True,
+                              help="use the paper-subset network variants "
+                                   "(default; --no-paper-subset for the "
+                                   "full networks)")
+    add_format_flag(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -16,7 +16,7 @@ traffic assumptions, exactly as the paper does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..gpu.spec import GpuSpec

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import Literal
 
 from ..gpu.spec import FP32_BYTES, WARP_SIZE, GpuSpec
 from .layer import ConvLayerConfig
-from .tiling import CtaTile, GemmGrid
+from .tiling import GemmGrid
 
 
 #: How many times each input matrix is streamed through L1.

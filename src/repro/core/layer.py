@@ -13,8 +13,7 @@ map, which is exactly how cuDNN executes them with the implicit GEMM kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from ..gpu.spec import FP32_BYTES
 

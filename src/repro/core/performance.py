@@ -25,7 +25,7 @@ The difference is negligible (the prologue is charged once per layer).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..gpu.spec import GpuSpec

@@ -10,8 +10,8 @@ TITAN Xp and the distribution of performance bottlenecks across layers.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..gpu.design_options import DesignOption, PAPER_DESIGN_OPTIONS
 from ..gpu.spec import GpuSpec

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
 
 from ..gpu.spec import FP32_BYTES, WARP_SIZE, GpuSpec
 from .layer import ConvLayerConfig, GemmShape

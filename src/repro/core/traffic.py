@@ -16,7 +16,7 @@ from .dram import DramModelOptions, DramTraffic, estimate_dram_traffic
 from .l1 import L1Traffic, ReplicationMode, estimate_l1_traffic
 from .l2 import L2ModelOptions, L2Traffic, estimate_l2_traffic
 from .layer import ConvLayerConfig
-from .tiling import CtaTile, GemmGrid, build_grid
+from .tiling import GemmGrid, build_grid
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,7 @@ captured by the benchmarks).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
@@ -43,6 +44,34 @@ class ExperimentResult:
         for name, pairs in self.series.items():
             parts.append(render_series(name, pairs, precision=precision))
         return "\n\n".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data payload (lists/dicts/scalars only)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [dict(row) for row in self.rows],
+            "series": {name: [[x, y] for x, y in pairs]
+                       for name, pairs in self.series.items()},
+            "summary": dict(self.summary),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentResult":
+        return make_result(
+            experiment_id=str(payload["experiment_id"]),
+            title=str(payload["title"]),
+            rows=payload.get("rows", ()),
+            series=payload.get("series"),
+            summary=payload.get("summary"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
 
 
 def make_result(experiment_id: str, title: str,

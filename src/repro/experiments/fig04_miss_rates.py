@@ -10,12 +10,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..core.layer import ConvLayerConfig
 from ..gpu.devices import TITAN_XP
 from ..gpu.spec import GpuSpec
-from ..networks.googlenet import googlenet
-from ..sim.engine import ConvLayerSimulator, SimulatorConfig
+from ..networks.registry import get_network
 from .base import ExperimentResult, make_result
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig04"
 TITLE = "Fig. 4: L1 and L2 miss rates of GoogLeNet conv layers (inception_3a)"
@@ -28,19 +27,36 @@ DEFAULT_LAYER_NAMES = (
 )
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE)
 def run(gpu: GpuSpec = TITAN_XP, batch: int = 16,
-        layer_names: Sequence[str] = DEFAULT_LAYER_NAMES,
-        max_ctas: Optional[int] = 90) -> ExperimentResult:
-    """Measure L1/L2 miss rates of the selected GoogLeNet layers."""
-    network = googlenet(batch=batch)
-    simulator = ConvLayerSimulator(gpu, SimulatorConfig(max_ctas=max_ctas))
+        layer_names: Optional[Sequence[str]] = None,
+        max_ctas: Optional[int] = 90,
+        network: str = "googlenet",
+        session=None) -> ExperimentResult:
+    """Measure L1/L2 miss rates of the selected layers (GoogLeNet by default).
+
+    Simulations route through the session (memo + optional disk cache); for a
+    non-default ``network`` the default layer selection falls back to the
+    first unique conv layers.
+    """
+    from ..api.session import current_session
+    session = session if session is not None else current_session()
+    net = get_network(network, batch=batch)
+    if layer_names is None:
+        if network.strip().lower() == "googlenet":
+            layer_names = DEFAULT_LAYER_NAMES
+        else:
+            layer_names = tuple(
+                layer.name
+                for layer in net.unique_layers()[:len(DEFAULT_LAYER_NAMES)])
+    sim_config = session.simulator_config(max_ctas=max_ctas)
 
     rows = []
     l1_rates = []
     l2_rates = []
     for name in layer_names:
-        layer = network.layer(name)
-        result = simulator.run(layer)
+        layer = net.layer(name)
+        result = session.simulate(gpu, layer, sim_config)
         l1_rate = result.traffic.l1_miss_rate
         l2_rate = result.traffic.l2_miss_rate
         l1_rates.append(l1_rate)

@@ -10,24 +10,28 @@ every level, largest spread at L2 -- is preserved.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from ..analysis.validation import (
     MEMORY_LEVELS,
     QUICK_VALIDATION,
     ValidationConfig,
-    cached_validation,
+    validation_report,
 )
 from ..gpu.devices import all_devices
 from ..gpu.spec import GpuSpec
 from .base import ExperimentResult, make_result
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Fig. 11: normalized L1/L2/DRAM traffic estimates (model / measured)"
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE, uses_validation=True,
+                     default_gpus=("titanxp", "p100", "v100"))
 def run(devices: Optional[Sequence[GpuSpec]] = None,
-        config: ValidationConfig = QUICK_VALIDATION) -> ExperimentResult:
+        config: ValidationConfig = QUICK_VALIDATION,
+        session=None) -> ExperimentResult:
     """Validate traffic estimates against the simulator on every device."""
     devices = list(devices) if devices is not None else list(all_devices())
 
@@ -35,7 +39,7 @@ def run(devices: Optional[Sequence[GpuSpec]] = None,
     series = {}
     summary = {}
     for gpu in devices:
-        report = cached_validation(gpu, config)
+        report = validation_report(gpu, config, session=session)
         for record in report.records:
             row = {"gpu": gpu.name, "network": record.network,
                    "layer": record.layer.name}

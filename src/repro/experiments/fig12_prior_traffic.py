@@ -9,23 +9,26 @@ of magnitude for layers with large filters, and is close only for 1x1 layers.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..analysis.metrics import geometric_mean
-from ..analysis.validation import QUICK_VALIDATION, ValidationConfig, cached_validation
+from ..analysis.validation import QUICK_VALIDATION, ValidationConfig, validation_report
 from ..core.baselines import FixedMissRateTrafficModel
 from ..gpu.devices import TITAN_XP
 from ..gpu.spec import GpuSpec
 from .base import ExperimentResult, make_result
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig12"
 TITLE = "Fig. 12: L2 and DRAM traffic, DeLTA vs prior fixed-miss-rate methodology"
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE, uses_validation=True,
+                     default_gpus=("titanxp",))
 def run(gpu: GpuSpec = TITAN_XP,
-        config: ValidationConfig = QUICK_VALIDATION) -> ExperimentResult:
+        config: ValidationConfig = QUICK_VALIDATION,
+        session=None) -> ExperimentResult:
     """Compare normalized traffic of DeLTA and the miss-rate-1.0 baseline."""
-    report = cached_validation(gpu, config)
+    report = validation_report(gpu, config, session=session)
     prior = FixedMissRateTrafficModel(gpu, l1_miss_rate=1.0, l2_miss_rate=1.0)
 
     rows = []

@@ -9,23 +9,26 @@ throughput (MAC_BW) as the dominant bottleneck (~90% of layers).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
 
-from ..analysis.validation import QUICK_VALIDATION, ValidationConfig, cached_validation
+from ..analysis.validation import QUICK_VALIDATION, ValidationConfig, validation_report
 from ..gpu.devices import TITAN_XP
 from ..gpu.spec import GpuSpec
 from .base import ExperimentResult, make_result
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig13"
 TITLE = "Fig. 13: normalized execution time and bottlenecks (TITAN Xp)"
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE, uses_validation=True,
+                     default_gpus=("titanxp",))
 def run(gpu: GpuSpec = TITAN_XP,
         config: ValidationConfig = QUICK_VALIDATION,
         experiment_id: str = EXPERIMENT_ID,
-        title: str = TITLE) -> ExperimentResult:
+        title: str = TITLE,
+        session=None) -> ExperimentResult:
     """Validate execution-time estimates on one GPU (used by Fig. 13 and 14)."""
-    report = cached_validation(gpu, config)
+    report = validation_report(gpu, config, session=session)
 
     rows = []
     for record in report.records:

@@ -10,13 +10,18 @@ from ..gpu.devices import TESLA_V100
 from ..gpu.spec import GpuSpec
 from .base import ExperimentResult
 from .fig13_perf_titanxp import run as _run_perf
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig14"
 TITLE = "Fig. 14: normalized execution time and bottlenecks (TESLA V100)"
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE, uses_validation=True,
+                     default_gpus=("v100",))
 def run(gpu: GpuSpec = TESLA_V100,
-        config: ValidationConfig = QUICK_VALIDATION) -> ExperimentResult:
+        config: ValidationConfig = QUICK_VALIDATION,
+        session=None) -> ExperimentResult:
     """Validate execution-time estimates on the V100."""
     return _run_perf(gpu=gpu, config=config,
-                     experiment_id=EXPERIMENT_ID, title=TITLE)
+                     experiment_id=EXPERIMENT_ID, title=TITLE,
+                     session=session)

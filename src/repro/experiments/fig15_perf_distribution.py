@@ -12,11 +12,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.metrics import AccuracySummary
-from ..analysis.validation import QUICK_VALIDATION, ValidationConfig, cached_validation
+from ..analysis.validation import QUICK_VALIDATION, ValidationConfig, validation_report
 from ..core.baselines import PAPER_MISS_RATES, FixedMissRateModel
 from ..gpu.devices import TITAN_XP, all_devices
 from ..gpu.spec import GpuSpec
 from .base import ExperimentResult, make_result
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig15"
 TITLE = "Fig. 15: execution time estimate distributions and fixed-miss-rate comparison"
@@ -41,10 +42,13 @@ def _distribution(ratios: Sequence[float]) -> Dict[str, float]:
     }
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE, uses_validation=True,
+                     default_gpus=("titanxp", "p100", "v100"))
 def run(devices: Optional[Sequence[GpuSpec]] = None,
         baseline_gpu: GpuSpec = TITAN_XP,
         miss_rates: Sequence[float] = PAPER_MISS_RATES,
-        config: ValidationConfig = QUICK_VALIDATION) -> ExperimentResult:
+        config: ValidationConfig = QUICK_VALIDATION,
+        session=None) -> ExperimentResult:
     """Build both panels of Fig. 15."""
     devices = list(devices) if devices is not None else list(all_devices())
 
@@ -53,7 +57,7 @@ def run(devices: Optional[Sequence[GpuSpec]] = None,
 
     # Panel (a): DeLTA accuracy distribution per GPU.
     for gpu in devices:
-        report = cached_validation(gpu, config)
+        report = validation_report(gpu, config, session=session)
         ratios = report.time_ratios()
         stats = AccuracySummary.from_ratios(ratios)
         distribution = _distribution(ratios)
@@ -61,7 +65,7 @@ def run(devices: Optional[Sequence[GpuSpec]] = None,
         summary[f"DeLTA {gpu.name} GMAE"] = stats.gmae
 
     # Panel (b): fixed-miss-rate models on the baseline GPU.
-    baseline_report = cached_validation(baseline_gpu, config)
+    baseline_report = validation_report(baseline_gpu, config, session=session)
     for miss_rate in miss_rates:
         prior = FixedMissRateModel(baseline_gpu, miss_rate=miss_rate)
         ratios = []

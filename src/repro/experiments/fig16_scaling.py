@@ -13,24 +13,26 @@ The paper's headline observations:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..core.scaling import ScalingStudy
 from ..gpu.design_options import DesignOption, PAPER_DESIGN_OPTIONS
 from ..gpu.devices import TITAN_XP
 from ..gpu.spec import GpuSpec
-from ..networks.resnet import resnet152
+from ..networks.registry import get_network
 from .base import ExperimentResult, make_result
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig16"
 TITLE = "Fig. 16: GPU resource scaling study (ResNet152 conv layers)"
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE, fast=True)
 def run(baseline: GpuSpec = TITAN_XP,
         options: Sequence[DesignOption] = PAPER_DESIGN_OPTIONS,
-        batch: int = 256) -> ExperimentResult:
-    """Run the design-space exploration of Fig. 16."""
-    layers = resnet152(batch=batch).conv_layers()
+        batch: int = 256, network: str = "resnet152") -> ExperimentResult:
+    """Run the design-space exploration of Fig. 16 (ResNet152 by default)."""
+    layers = get_network(network, batch=batch).conv_layers()
     study = ScalingStudy(baseline=baseline, options=tuple(options))
     results = study.run(layers)
 

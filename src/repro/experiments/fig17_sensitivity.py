@@ -13,23 +13,36 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..analysis.metrics import AccuracySummary
-from ..analysis.sensitivity import DEFAULT_SWEEPS, run_all_sweeps
+from ..analysis.sensitivity import reference_layer, run_all_sweeps
 from ..analysis.validation import MEMORY_LEVELS
 from ..gpu.devices import TITAN_XP
 from ..gpu.spec import GpuSpec
 from ..sim.engine import SimulatorConfig
 from .base import ExperimentResult, make_result
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig17"
 TITLE = "Fig. 17: traffic sensitivity to conv layer configuration"
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE)
 def run(gpu: GpuSpec = TITAN_XP,
         sweeps: Optional[Dict[str, Sequence[int]]] = None,
-        max_ctas: int = 60) -> ExperimentResult:
-    """Run all four sensitivity sweeps of Fig. 17."""
+        max_ctas: int = 60,
+        batch: Optional[int] = None,
+        session=None) -> ExperimentResult:
+    """Run all four sensitivity sweeps of Fig. 17.
+
+    ``batch`` overrides the reference layer's mini-batch (the batch-size
+    panel still sweeps its own values); measurements route through the
+    session's engine policy, memo and disk cache.
+    """
+    from ..api.session import current_session
+    session = session if session is not None else current_session()
+    base = reference_layer(batch) if batch is not None else None
     results = run_all_sweeps(gpu, sweeps=sweeps,
-                             simulator_config=SimulatorConfig(max_ctas=max_ctas))
+                             simulator_config=SimulatorConfig(max_ctas=max_ctas),
+                             base=base, session=session)
 
     rows = []
     series = {}

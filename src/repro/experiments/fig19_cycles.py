@@ -8,22 +8,25 @@ regardless of the absolute scale.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..analysis.metrics import AccuracySummary
-from ..analysis.validation import QUICK_VALIDATION, ValidationConfig, cached_validation
+from ..analysis.validation import QUICK_VALIDATION, ValidationConfig, validation_report
 from ..gpu.devices import TITAN_XP
 from ..gpu.spec import GpuSpec
 from .base import ExperimentResult, make_result
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig19"
 TITLE = "Fig. 19: execution cycles, DeLTA vs measured (TITAN Xp)"
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE, uses_validation=True,
+                     default_gpus=("titanxp",))
 def run(gpu: GpuSpec = TITAN_XP,
-        config: ValidationConfig = QUICK_VALIDATION) -> ExperimentResult:
+        config: ValidationConfig = QUICK_VALIDATION,
+        session=None) -> ExperimentResult:
     """Tabulate estimated and measured cycles for the evaluated layers."""
-    report = cached_validation(gpu, config)
+    report = validation_report(gpu, config, session=session)
 
     rows = []
     ratios = []

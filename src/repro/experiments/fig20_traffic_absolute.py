@@ -7,27 +7,30 @@ across layers and the model tracks the measured volumes at every level.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..analysis.metrics import AccuracySummary
 from ..analysis.validation import (
     MEMORY_LEVELS,
     QUICK_VALIDATION,
     ValidationConfig,
-    cached_validation,
+    validation_report,
 )
 from ..gpu.devices import TITAN_XP
 from ..gpu.spec import GIGA, GpuSpec
 from .base import ExperimentResult, make_result
+from .registry import register_experiment
 
 EXPERIMENT_ID = "fig20"
 TITLE = "Fig. 20: absolute memory traffic, DeLTA vs measured (TITAN Xp)"
 
 
+@register_experiment(EXPERIMENT_ID, title=TITLE, uses_validation=True,
+                     default_gpus=("titanxp",))
 def run(gpu: GpuSpec = TITAN_XP,
-        config: ValidationConfig = QUICK_VALIDATION) -> ExperimentResult:
+        config: ValidationConfig = QUICK_VALIDATION,
+        session=None) -> ExperimentResult:
     """Tabulate absolute traffic volumes per layer and memory level."""
-    report = cached_validation(gpu, config)
+    report = validation_report(gpu, config, session=session)
 
     rows = []
     for record in report.records:

@@ -1,7 +1,8 @@
 """GPU device specifications and design-space options."""
 
 from .spec import FP32_BYTES, GIGA, KIB, MIB, WARP_SIZE, GpuSpec
-from .devices import TESLA_P100, TESLA_V100, TITAN_XP, all_devices, get_device
+from .devices import (TESLA_P100, TESLA_V100, TITAN_XP, all_devices,
+                      device_aliases, get_device, register_gpu, unregister_gpu)
 from .design_options import DesignOption, PAPER_DESIGN_OPTIONS, get_design_option
 
 __all__ = [
@@ -16,6 +17,9 @@ __all__ = [
     "TESLA_V100",
     "all_devices",
     "get_device",
+    "register_gpu",
+    "unregister_gpu",
+    "device_aliases",
     "DesignOption",
     "PAPER_DESIGN_OPTIONS",
     "get_design_option",

@@ -5,77 +5,65 @@ the micro-benchmark results reported in Appendix B (Fig. 18) and from prior
 micro-benchmarking work the paper cites.  The L1 request granularity is 128 B
 on Pascal and 32 B on Volta, which is what the paper found to match hardware
 behaviour best (Section VII-A).
+
+Devices register themselves through the :func:`register_gpu` decorator, which
+is also the extension point for adding custom devices::
+
+    @register_gpu("mygpu", "my gpu")
+    def _build_mygpu() -> GpuSpec:
+        return GpuSpec(...)
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Callable, Dict, List, Tuple, Union
 
 from .spec import GIGA, KIB, MIB, GpuSpec
 
-TITAN_XP = GpuSpec(
-    name="TITAN Xp",
-    num_sm=30,
-    core_clock_hz=1.58e9,
-    fp32_flops=12134 * GIGA,
-    register_file_bytes=256 * KIB,
-    smem_bytes=96 * KIB,
-    l1_bw_per_sm=92 * GIGA,
-    l2_bw=1051 * GIGA,
-    dram_bw=430 * GIGA,
-    l2_size=3 * MIB,
-    l1_size=48 * KIB,
-    l1_request_bytes=128,
-    lat_l1_cycles=32.0,
-    lat_l2_cycles=220.0,
-    lat_dram_cycles=500.0,
-)
+_DEVICES: Dict[str, GpuSpec] = {}
+#: registration order of unique specs (paper order for the built-in devices).
+_ORDER: List[GpuSpec] = []
 
-TESLA_P100 = GpuSpec(
-    name="P100",
-    num_sm=56,
-    core_clock_hz=1.2e9,
-    fp32_flops=8602 * GIGA,
-    register_file_bytes=256 * KIB,
-    smem_bytes=64 * KIB,
-    l1_bw_per_sm=38.1 * GIGA,
-    l2_bw=1382 * GIGA,
-    dram_bw=550 * GIGA,
-    l2_size=4 * MIB,
-    l1_size=24 * KIB,
-    l1_request_bytes=128,
-    lat_l1_cycles=32.0,
-    lat_l2_cycles=234.0,
-    lat_dram_cycles=580.0,
-)
 
-TESLA_V100 = GpuSpec(
-    name="V100",
-    num_sm=84,
-    core_clock_hz=1.38e9,
-    fp32_flops=14837 * GIGA,
-    register_file_bytes=256 * KIB,
-    smem_bytes=94 * KIB,
-    l1_bw_per_sm=94.1 * GIGA,
-    l2_bw=2167 * GIGA,
-    dram_bw=850 * GIGA,
-    l2_size=6 * MIB,
-    l1_size=128 * KIB,
-    l1_request_bytes=32,
-    lat_l1_cycles=28.0,
-    lat_l2_cycles=200.0,
-    lat_dram_cycles=500.0,
-)
+def register_gpu(*names: str) -> Callable[[Union[GpuSpec, Callable[[], GpuSpec]]],
+                                          Union[GpuSpec, Callable[[], GpuSpec]]]:
+    """Register a :class:`GpuSpec` under one or more lookup aliases.
 
-_DEVICES: Dict[str, GpuSpec] = {
-    "titanxp": TITAN_XP,
-    "titan xp": TITAN_XP,
-    "titan_xp": TITAN_XP,
-    "p100": TESLA_P100,
-    "tesla p100": TESLA_P100,
-    "v100": TESLA_V100,
-    "tesla v100": TESLA_V100,
-}
+    Usable as a decorator on a zero-argument factory function (the factory is
+    invoked once at registration time) or called directly on a spec instance.
+    Duplicate aliases raise ``ValueError``.
+    """
+    if not names:
+        raise ValueError("register_gpu requires at least one alias")
+
+    def decorator(obj: Union[GpuSpec, Callable[[], GpuSpec]]):
+        spec = obj() if callable(obj) else obj
+        if not isinstance(spec, GpuSpec):
+            raise TypeError(f"register_gpu expects a GpuSpec, got {type(spec).__name__}")
+        keys = [name.strip().lower() for name in names]
+        duplicates = sorted(key for key in keys if key in _DEVICES)
+        if duplicates:
+            raise ValueError(f"GPU alias(es) {duplicates} already registered")
+        for key in keys:
+            _DEVICES[key] = spec
+        # identity, not equality: an equal-valued copy registered under new
+        # aliases is a distinct device and must get its own catalog entry.
+        if not any(existing is spec for existing in _ORDER):
+            _ORDER.append(spec)
+        return obj
+
+    return decorator
+
+
+def unregister_gpu(name: str) -> None:
+    """Remove a device and every alias pointing at it (tests/plugins)."""
+    key = name.strip().lower()
+    spec = _DEVICES.pop(key, None)
+    if spec is None:
+        return
+    for alias in [alias for alias, value in _DEVICES.items() if value is spec]:
+        del _DEVICES[alias]
+    _ORDER[:] = [existing for existing in _ORDER if existing is not spec]
 
 
 def get_device(name: str) -> GpuSpec:
@@ -90,6 +78,81 @@ def get_device(name: str) -> GpuSpec:
         ) from None
 
 
-def all_devices() -> Iterable[GpuSpec]:
-    """The three devices evaluated in the paper, in paper order."""
-    return (TITAN_XP, TESLA_P100, TESLA_V100)
+def all_devices() -> Tuple[GpuSpec, ...]:
+    """Every registered device, in registration (paper) order."""
+    return tuple(_ORDER)
+
+
+def device_aliases() -> Dict[str, Tuple[str, ...]]:
+    """Canonical device name -> the lookup aliases accepted by get_device."""
+    return {spec.name: tuple(alias for alias, value in _DEVICES.items()
+                             if value is spec)
+            for spec in _ORDER}
+
+
+@register_gpu("titanxp", "titan xp", "titan_xp")
+def _build_titan_xp() -> GpuSpec:
+    return GpuSpec(
+        name="TITAN Xp",
+        num_sm=30,
+        core_clock_hz=1.58e9,
+        fp32_flops=12134 * GIGA,
+        register_file_bytes=256 * KIB,
+        smem_bytes=96 * KIB,
+        l1_bw_per_sm=92 * GIGA,
+        l2_bw=1051 * GIGA,
+        dram_bw=430 * GIGA,
+        l2_size=3 * MIB,
+        l1_size=48 * KIB,
+        l1_request_bytes=128,
+        lat_l1_cycles=32.0,
+        lat_l2_cycles=220.0,
+        lat_dram_cycles=500.0,
+    )
+
+
+@register_gpu("p100", "tesla p100")
+def _build_p100() -> GpuSpec:
+    return GpuSpec(
+        name="P100",
+        num_sm=56,
+        core_clock_hz=1.2e9,
+        fp32_flops=8602 * GIGA,
+        register_file_bytes=256 * KIB,
+        smem_bytes=64 * KIB,
+        l1_bw_per_sm=38.1 * GIGA,
+        l2_bw=1382 * GIGA,
+        dram_bw=550 * GIGA,
+        l2_size=4 * MIB,
+        l1_size=24 * KIB,
+        l1_request_bytes=128,
+        lat_l1_cycles=32.0,
+        lat_l2_cycles=234.0,
+        lat_dram_cycles=580.0,
+    )
+
+
+@register_gpu("v100", "tesla v100")
+def _build_v100() -> GpuSpec:
+    return GpuSpec(
+        name="V100",
+        num_sm=84,
+        core_clock_hz=1.38e9,
+        fp32_flops=14837 * GIGA,
+        register_file_bytes=256 * KIB,
+        smem_bytes=94 * KIB,
+        l1_bw_per_sm=94.1 * GIGA,
+        l2_bw=2167 * GIGA,
+        dram_bw=850 * GIGA,
+        l2_size=6 * MIB,
+        l1_size=128 * KIB,
+        l1_request_bytes=32,
+        lat_l1_cycles=28.0,
+        lat_l2_cycles=200.0,
+        lat_dram_cycles=500.0,
+    )
+
+
+TITAN_XP = get_device("titanxp")
+TESLA_P100 = get_device("p100")
+TESLA_V100 = get_device("v100")

@@ -8,6 +8,9 @@ from .registry import (
     available_networks,
     get_network,
     paper_benchmark_suite,
+    paper_subset_networks,
+    register_network,
+    unregister_network,
 )
 from .resnet import resnet152, resnet152_paper_subset
 from .vgg import vgg16
@@ -22,6 +25,9 @@ __all__ = [
     "resnet152_paper_subset",
     "get_network",
     "available_networks",
+    "paper_subset_networks",
+    "register_network",
+    "unregister_network",
     "paper_benchmark_suite",
     "PAPER_NETWORK_ORDER",
 ]

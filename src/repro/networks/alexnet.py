@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from ..core.layer import ConvLayerConfig
 from .base import ConvNetwork
+from .registry import register_network
 
 DEFAULT_BATCH = 256
 
 
+@register_network("alexnet")
 def alexnet(batch: int = DEFAULT_BATCH) -> ConvNetwork:
     """The five AlexNet convolution layers at the given mini-batch size."""
     sq = ConvLayerConfig.square

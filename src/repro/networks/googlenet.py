@@ -10,10 +10,11 @@ extracts exactly those layers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..core.layer import ConvLayerConfig
 from .base import ConvNetwork
+from .registry import register_network
 
 DEFAULT_BATCH = 256
 
@@ -52,6 +53,7 @@ def _inception_layers(batch: int, name: str, size: int, cin: int, n1x1: int,
     ]
 
 
+@register_network("googlenet")
 def googlenet(batch: int = DEFAULT_BATCH) -> ConvNetwork:
     """All GoogLeNet convolution layers at the given mini-batch size."""
     sq = ConvLayerConfig.square
@@ -77,6 +79,7 @@ PAPER_MODULES = ("conv1", "conv2_3x3", "conv2_3x3r", "3a", "4b", "4e", "5a")
 PAPER_BRANCHES = ("_1x1", "_3x3", "_3x3red", "_5x5", "_5x5red")
 
 
+@register_network("googlenet", paper_subset=True)
 def googlenet_paper_subset(batch: int = DEFAULT_BATCH) -> ConvNetwork:
     """The GoogLeNet layers shown in the paper's evaluation figures."""
     network = googlenet(batch)

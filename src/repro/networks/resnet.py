@@ -17,6 +17,7 @@ from typing import List, Sequence, Tuple
 
 from ..core.layer import ConvLayerConfig
 from .base import ConvNetwork
+from .registry import register_network
 
 DEFAULT_BATCH = 256
 
@@ -50,6 +51,7 @@ def _bottleneck(batch: int, stage: str, block: int, in_channels: int,
     return layers
 
 
+@register_network("resnet152")
 def resnet152(batch: int = DEFAULT_BATCH) -> ConvNetwork:
     """All ResNet-152 convolution layers at the given mini-batch size."""
     sq = ConvLayerConfig.square
@@ -84,6 +86,7 @@ PAPER_LAYER_NAMES: Sequence[str] = (
 )
 
 
+@register_network("resnet152", paper_subset=True)
 def resnet152_paper_subset(batch: int = DEFAULT_BATCH) -> ConvNetwork:
     """The ResNet-152 layers shown in the paper's evaluation figures."""
     network = resnet152(batch)

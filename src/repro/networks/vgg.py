@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..core.layer import ConvLayerConfig
 from .base import ConvNetwork
+from .registry import register_network
 
 DEFAULT_BATCH = 256
 
@@ -31,6 +32,7 @@ _VGG16_CONFIG = (
 )
 
 
+@register_network("vgg16")
 def vgg16(batch: int = DEFAULT_BATCH) -> ConvNetwork:
     """The thirteen VGG16 convolution layers at the given mini-batch size."""
     layers = tuple(

@@ -10,7 +10,7 @@ the paper measures with its micro-benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..gpu.spec import GpuSpec
 

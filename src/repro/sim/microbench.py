@@ -11,7 +11,7 @@ unloaded latency (cycles) and the effective bandwidth (GB/s).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -11,7 +11,7 @@ are resident on the device at the same time (``num_sm x active CTAs per SM``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Literal, Sequence, Tuple
+from typing import Iterator, List, Literal, Tuple
 
 from ..core.tiling import GemmGrid, active_ctas_per_sm
 from ..gpu.spec import GpuSpec

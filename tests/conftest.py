@@ -5,7 +5,24 @@ from __future__ import annotations
 import pytest
 
 from repro import TESLA_P100, TESLA_V100, TITAN_XP
+from repro.api.session import default_session
 from repro.core.layer import ConvLayerConfig
+
+
+@pytest.fixture(autouse=True)
+def _stable_session_policy():
+    """Keep the default session's execution policy from bleeding across tests.
+
+    The memoized simulation results deliberately survive (they are pure
+    values and sharing them keeps the suite fast); only the mutable policy
+    knobs are snapshotted and restored.
+    """
+    session = default_session()
+    policy = (session.jobs, session.sim_cache_dir, session.vectorized,
+              session.precision)
+    yield
+    (session.jobs, session.sim_cache_dir, session.vectorized,
+     session.precision) = policy
 
 
 @pytest.fixture

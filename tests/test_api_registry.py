@@ -1,0 +1,136 @@
+"""Tests for the decorator-based network/GPU/experiment registries."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import (
+    available_experiments,
+    available_networks,
+    get_device,
+    get_network,
+    register_experiment,
+    register_gpu,
+    register_network,
+    unregister_experiment,
+    unregister_gpu,
+    unregister_network,
+)
+from repro.experiments import make_result
+from repro.experiments.registry import get_experiment_spec
+from repro.gpu import TITAN_XP, GpuSpec, all_devices
+from repro.networks import ConvNetwork
+from repro.core.layer import ConvLayerConfig
+
+
+def _tiny_network(batch: int) -> ConvNetwork:
+    layer = ConvLayerConfig.square("only", batch, in_channels=8, in_size=14,
+                                   out_channels=16, filter_size=3, padding=1)
+    return ConvNetwork(name="TinyNet", layers=(layer,))
+
+
+class TestNetworkRegistry:
+    def test_decorator_registers_and_duplicate_raises(self):
+        try:
+            decorated = register_network("tinynet")(_tiny_network)
+            assert decorated is _tiny_network
+            assert "tinynet" in available_networks()
+            assert get_network("tinynet", batch=4).name == "TinyNet"
+            with pytest.raises(ValueError):
+                register_network("tinynet")(_tiny_network)
+        finally:
+            unregister_network("tinynet")
+        assert "tinynet" not in available_networks()
+
+    def test_paper_subset_falls_back_to_full_network(self):
+        # alexnet has no dedicated subset: both variants are identical.
+        full = get_network("alexnet", batch=8)
+        subset = get_network("alexnet", batch=8, paper_subset=True)
+        assert [layer.name for layer in full.conv_layers()] == \
+            [layer.name for layer in subset.conv_layers()]
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError):
+            get_network("nope")
+
+
+class TestGpuRegistry:
+    def test_decorator_on_factory_and_duplicate_alias_raises(self):
+        try:
+            @register_gpu("testgpu", "test gpu")
+            def _build() -> GpuSpec:
+                return replace(TITAN_XP, name="TestGPU")
+            assert get_device("testgpu") is get_device("test gpu")
+            assert get_device("TESTGPU") in all_devices()
+            with pytest.raises(ValueError):
+                register_gpu("testgpu")(replace(TITAN_XP, name="Other"))
+        finally:
+            unregister_gpu("testgpu")
+        with pytest.raises(KeyError):
+            get_device("testgpu")
+        with pytest.raises(KeyError):
+            get_device("test gpu")  # unregister drops every alias
+
+    def test_direct_call_style_registration(self):
+        spec = replace(TITAN_XP, name="CallStyle")
+        try:
+            returned = register_gpu("callstyle")(spec)
+            assert returned is spec
+            assert get_device("callstyle") is spec
+        finally:
+            unregister_gpu("callstyle")
+        assert not any(g is spec for g in all_devices())
+
+    def test_equal_valued_copy_is_a_distinct_catalog_entry(self):
+        # identity, not equality: a copy of a built-in spec registered under
+        # a new alias must appear in (and vanish from) the catalog without
+        # disturbing the built-in.
+        copy = replace(TITAN_XP)
+        assert copy == TITAN_XP
+        before = len(all_devices())
+        try:
+            register_gpu("myxp")(copy)
+            assert len(all_devices()) == before + 1
+            assert any(g is copy for g in all_devices())
+        finally:
+            unregister_gpu("myxp")
+        assert len(all_devices()) == before
+        assert any(g is TITAN_XP for g in all_devices())
+        assert get_device("titanxp") is TITAN_XP
+
+    def test_register_requires_alias_and_spec(self):
+        with pytest.raises(ValueError):
+            register_gpu()
+        with pytest.raises(TypeError):
+            register_gpu("notaspec")(object())
+
+
+class TestExperimentRegistry:
+    def test_decorator_registers_and_duplicate_raises(self):
+        def runner():
+            return make_result("zztest", "registry test")
+        try:
+            register_experiment("zztest", title="registry test",
+                                fast=True)(runner)
+            assert "zztest" in available_experiments()
+            spec = get_experiment_spec("zztest")
+            assert spec.fast and spec.runner is runner
+            with pytest.raises(ValueError):
+                register_experiment("zztest", title="dup")(runner)
+        finally:
+            unregister_experiment("zztest")
+        assert "zztest" not in available_experiments()
+
+    def test_all_paper_experiments_carry_metadata(self):
+        validation_backed = {"fig11", "fig12", "fig13", "fig14", "fig15",
+                             "fig19", "fig20"}
+        for experiment_id in validation_backed:
+            spec = get_experiment_spec(experiment_id)
+            assert spec.uses_validation
+            assert spec.default_gpus
+        for experiment_id in ("tab01", "fig06", "fig16", "fig18"):
+            assert get_experiment_spec(experiment_id).fast
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment_spec("fig99")

@@ -1,0 +1,102 @@
+"""JSON round-trip tests for Report and ExperimentResult."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import (
+    EstimateRequest,
+    ExperimentRequest,
+    Report,
+    Session,
+    ValidateRequest,
+)
+from repro.experiments import ExperimentResult
+from repro.experiments.registry import run_experiment
+
+
+def assert_numerically_equal(left, right, path="$"):
+    """Deep equality where floats compare exactly and NaN == NaN."""
+    assert type(left) is type(right), f"{path}: {type(left)} != {type(right)}"
+    if isinstance(left, dict):
+        assert left.keys() == right.keys(), path
+        for key in left:
+            assert_numerically_equal(left[key], right[key], f"{path}.{key}")
+    elif isinstance(left, (list, tuple)):
+        assert len(left) == len(right), path
+        for index, (a, b) in enumerate(zip(left, right)):
+            assert_numerically_equal(a, b, f"{path}[{index}]")
+    elif isinstance(left, float):
+        assert (math.isnan(left) and math.isnan(right)) or left == right, path
+    else:
+        assert left == right, path
+
+
+#: three experiments whose serialized output the round-trip tests cover —
+#: a spec table (ints/strings), a tile sweep (bools) and the scaling study
+#: (floats and per-option series).
+ROUND_TRIP_EXPERIMENTS = ("tab01", "fig06", "fig16")
+
+
+class TestExperimentResultRoundTrip:
+    @pytest.mark.parametrize("experiment_id", ROUND_TRIP_EXPERIMENTS)
+    def test_to_json_parses_back_numerically_equal(self, experiment_id):
+        result = run_experiment(experiment_id)
+        parsed = ExperimentResult.from_json(result.to_json())
+        assert parsed.experiment_id == result.experiment_id
+        assert_numerically_equal(parsed.to_dict(), result.to_dict())
+        # the parsed result renders to the identical text report.
+        assert parsed.render() == result.render()
+
+    def test_payload_is_plain_data(self):
+        payload = run_experiment("tab01").to_dict()
+        # json.dumps with default= disabled would raise on non-plain types.
+        json.dumps(payload)
+
+
+class TestReportRoundTrip:
+    @pytest.mark.parametrize("experiment_id", ROUND_TRIP_EXPERIMENTS)
+    def test_experiment_reports(self, experiment_id):
+        with Session() as session:
+            report = session.run(ExperimentRequest(experiment_id))
+        parsed = Report.from_json(report.to_json())
+        assert_numerically_equal(parsed.to_dict(), report.to_dict())
+        assert parsed.render() == report.render()
+
+    def test_estimate_report(self):
+        with Session() as session:
+            report = session.run(EstimateRequest("vgg16", gpu="p100",
+                                                 batch=16, unique=True))
+        parsed = Report.from_json(report.to_json(indent=2))
+        assert_numerically_equal(parsed.to_dict(), report.to_dict())
+
+    def test_validation_report(self):
+        request = ValidateRequest(gpu="titanxp", batch=2, max_ctas=30,
+                                  layers_per_network=1,
+                                  networks=("alexnet",))
+        with Session() as session:
+            report = session.run(request)
+        parsed = Report.from_json(report.to_json())
+        assert_numerically_equal(parsed.to_dict(), report.to_dict())
+
+    def test_schema_version_checked(self):
+        payload = Report(kind="estimate", title="x").to_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError):
+            Report.from_dict(payload)
+
+    def test_experiment_bridge(self):
+        result = run_experiment("tab01")
+        report = Report.from_experiment(result)
+        assert report.report_id == "tab01"
+        narrowed = report.to_experiment()
+        assert_numerically_equal(narrowed.to_dict(), result.to_dict())
+        with pytest.raises(ValueError):
+            Report(kind="sweep", title="not an experiment").to_experiment()
+
+    def test_text_render_matches_legacy_experiment_render(self):
+        """CLI text output is unchanged by the Report wrapper."""
+        result = run_experiment("fig16")
+        assert Report.from_experiment(result).render(precision=3) == \
+            result.render(precision=3)

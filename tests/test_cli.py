@@ -1,5 +1,7 @@
 """Tests for the command line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -55,3 +57,64 @@ class TestCommands:
                      "--batch", "16", "--unique", "--paper-subset"]) == 0
         output = capsys.readouterr().out
         assert "GoogLeNet on TITAN Xp" in output
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--networks", "alexnet", "--gpus", "titanxp",
+                     "v100", "--batches", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "model sweep" in output
+        assert "AlexNet" in output and "V100" in output
+
+    def test_sweep_paper_subset_is_toggleable(self):
+        args = build_parser().parse_args(["sweep", "--no-paper-subset"])
+        assert args.paper_subset is False
+        assert build_parser().parse_args(["sweep"]).paper_subset is True
+
+    def test_non_positive_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            main(["experiment", "tab01", "--jobs", "0"])
+
+
+class TestJsonOutput:
+    def test_list_format_json(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "alexnet" in payload["networks"]
+        # the paper-subset variants are listed explicitly.
+        assert set(payload["paper_subset_variants"]) == {"googlenet",
+                                                         "resnet152"}
+        gpu_names = {gpu["name"] for gpu in payload["gpus"]}
+        assert gpu_names == {"TITAN Xp", "P100", "V100"}
+        ids = {exp["id"] for exp in payload["experiments"]}
+        assert {"tab01", "fig11", "fig20"} <= ids
+
+    def test_experiment_format_json(self, capsys):
+        assert main(["experiment", "tab01", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report_id"] == "tab01"
+        assert len(payload["rows"]) == 3
+
+    def test_estimate_format_json(self, capsys):
+        assert main(["estimate", "--network", "alexnet", "--gpu", "v100",
+                     "--batch", "8", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "estimate"
+        assert payload["summary"]["total conv time (ms)"] > 0
+
+    def test_validate_format_json(self, capsys, tmp_path):
+        assert main(["validate", "--gpu", "titanxp", "--batch", "2",
+                     "--max-ctas", "30", "--layers-per-network", "1",
+                     "--networks", "alexnet", "--sim-cache", str(tmp_path),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "validation"
+        assert payload["meta"]["networks"] == ["alexnet"]
+        assert len(payload["rows"]) == 1
+
+    def test_experiment_override_flags(self, capsys):
+        assert main(["experiment", "fig13", "--gpus", "v100", "--networks",
+                     "alexnet", "--batch", "4", "--max-ctas", "40",
+                     "--layers-per-network", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "V100" in output
+        assert "AlexNet" in output

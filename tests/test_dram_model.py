@@ -9,7 +9,6 @@ from repro.core.dram import (
 )
 from repro.core.layer import ConvLayerConfig
 from repro.core.tiling import build_grid
-from repro.gpu import TITAN_XP
 
 
 class TestEffectiveIfmap:

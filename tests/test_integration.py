@@ -6,7 +6,6 @@ from repro import DeltaModel, TESLA_V100, TITAN_XP
 from repro.analysis.metrics import AccuracySummary
 from repro.analysis.validation import MEMORY_LEVELS, ValidationConfig, validate_gpu
 from repro.core.baselines import FixedMissRateTrafficModel
-from repro.core.bottleneck import Bottleneck
 from repro.core.scaling import ScalingStudy
 from repro.gpu import get_design_option
 from repro.networks import googlenet, resnet152, vgg16

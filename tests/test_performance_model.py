@@ -1,6 +1,5 @@
 """Tests for the performance model (Section V, Eq. 14-18 and Fig. 10 cases)."""
 
-import dataclasses
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.bottleneck import Bottleneck
 from repro.core.scaling import ScalingStudy
 from repro.gpu import PAPER_DESIGN_OPTIONS, TITAN_XP, get_design_option
 from repro.networks import resnet152

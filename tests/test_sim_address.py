@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.layer import ConvLayerConfig
 from repro.sim.address import INVALID_ADDRESS, TensorLayout
 
 
