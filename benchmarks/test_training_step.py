@@ -1,0 +1,62 @@
+"""Benchmark: training-step breakdown (fwd/dgrad/wgrad) across the CNNs.
+
+Regenerates the ``training`` experiment at the paper's batch size and asserts
+the qualitative shape of the pass algebra: every pass conserves the forward
+MACs (a step is exactly 3x the forward work), the backward passes add real
+time on every network, and the model-vs-simulator agreement on backward-pass
+traffic stays within the same order of magnitude on a sampled layer.
+"""
+
+from bench_utils import run_once
+
+from repro.core.model import DeltaModel
+from repro.core.workload import TRAINING_PASSES, lower_pass
+from repro.experiments import training_step
+from repro.gpu import TITAN_XP
+from repro.networks import alexnet
+from repro.sim.engine import ConvLayerSimulator, SimulatorConfig
+
+
+def test_training_step_breakdown(benchmark):
+    result = run_once(benchmark, training_step.run)
+
+    assert len(result.rows) == 8  # 4 networks x 2 GPUs
+    for row in result.rows:
+        # the step decomposes exactly into its three passes.
+        step = row["forward_ms"] + row["dgrad_ms"] + row["wgrad_ms"]
+        assert abs(step - row["step_ms"]) / row["step_ms"] < 1e-9
+        # training costs real time beyond the forward pass on every network.
+        assert row["backward_to_forward"] > 0.5
+        # each pass moves a positive amount of DRAM traffic.
+        for pass_kind in TRAINING_PASSES:
+            assert row[f"{pass_kind}_dram_gb"] > 0
+
+    # the batch sweep is monotone: bigger batches take longer.
+    for name, pairs in result.series.items():
+        times = [t for _, t in pairs]
+        assert times == sorted(times), name
+
+    assert result.summary["mean backward/forward time ratio"] > 0.5
+    print()
+    print(result.render())
+
+
+def test_backward_pass_model_vs_simulator(benchmark):
+    """Model and simulator agree on backward-pass traffic for a real layer."""
+    layer = alexnet(batch=8).layer("conv2")
+    model = DeltaModel(TITAN_XP)
+    sim = ConvLayerSimulator(TITAN_XP, SimulatorConfig(max_ctas=120))
+
+    def run_passes():
+        out = {}
+        for pass_kind in ("dgrad", "wgrad"):
+            workload = lower_pass(layer, pass_kind)
+            out[pass_kind] = (model.traffic(workload), sim.run(workload))
+        return out
+
+    results = run_once(benchmark, run_passes)
+    for pass_kind, (estimate, measured) in results.items():
+        for level in ("l1", "l2", "dram"):
+            ratio = (estimate.level_bytes(level)
+                     / measured.traffic.level_bytes(level))
+            assert 0.2 < ratio < 5.0, (pass_kind, level, ratio)

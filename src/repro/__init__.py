@@ -20,6 +20,7 @@ Public API highlights
 """
 
 from .core import (
+    TRAINING_PASSES,
     Bottleneck,
     ConvLayerConfig,
     CtaTile,
@@ -27,10 +28,14 @@ from .core import (
     ExecutionEstimate,
     FixedMissRateModel,
     GemmShape,
+    GemmWorkload,
     PerformanceModel,
     ScalingStudy,
     TrafficEstimate,
     TrafficModel,
+    TrainingStepEstimate,
+    lower_pass,
+    training_workloads,
 )
 from .gpu import TESLA_P100, TESLA_V100, TITAN_XP, GpuSpec, all_devices, get_device
 from .networks import (
@@ -64,10 +69,15 @@ __all__ = [
     "ExecutionEstimate",
     "FixedMissRateModel",
     "GemmShape",
+    "GemmWorkload",
     "PerformanceModel",
     "ScalingStudy",
     "TrafficEstimate",
     "TrafficModel",
+    "TrainingStepEstimate",
+    "TRAINING_PASSES",
+    "lower_pass",
+    "training_workloads",
     "GpuSpec",
     "TITAN_XP",
     "TESLA_P100",

@@ -38,6 +38,7 @@ from ..core.bottleneck import Bottleneck
 from ..core.layer import ConvLayerConfig
 from ..core.model import DeltaModel
 from ..core.tiling import build_grid
+from ..core.workload import PassKind, lower_pass
 from ..gpu.spec import GpuSpec
 from ..networks.registry import paper_benchmark_suite
 from ..sim.engine import (ConvLayerSimulator, SimResult, SimTraffic,
@@ -213,13 +214,14 @@ def select_layers(config: ValidationConfig = QUICK_VALIDATION
 # ----------------------------------------------------------------------
 # Simulation with optional on-disk result cache
 # ----------------------------------------------------------------------
-_SIM_CACHE_VERSION = 1
+_SIM_CACHE_VERSION = 2
 
 
 def _sim_cache_key(gpu: GpuSpec, layer: ConvLayerConfig,
-                   config: SimulatorConfig) -> str:
+                   config: SimulatorConfig,
+                   pass_kind: PassKind = "forward") -> str:
     """Stable digest of everything that determines a simulation result."""
-    payload = repr((_SIM_CACHE_VERSION, gpu, layer, config))
+    payload = repr((_SIM_CACHE_VERSION, gpu, layer, config, pass_kind))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
@@ -229,25 +231,28 @@ def _sim_cache_path(cache_dir: str, key: str) -> str:
 
 def simulate_layer(gpu: GpuSpec, layer: ConvLayerConfig,
                    config: SimulatorConfig,
-                   cache_dir: Optional[str] = None) -> SimResult:
-    """Run the simulator for one layer, consulting the on-disk cache."""
+                   cache_dir: Optional[str] = None,
+                   pass_kind: PassKind = "forward") -> SimResult:
+    """Run the simulator for one layer's pass, consulting the on-disk cache."""
+    workload = lower_pass(layer, pass_kind)
     if cache_dir:
-        key = _sim_cache_key(gpu, layer, config)
+        key = _sim_cache_key(gpu, layer, config, pass_kind)
         path = _sim_cache_path(cache_dir, key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 stored = json.load(handle)
-            grid = build_grid(layer, tile_hw=config.cta_tile_hw)
+            grid = build_grid(workload, tile_hw=config.cta_tile_hw)
             return SimResult(
                 layer=layer, gpu=gpu, grid=grid,
                 traffic=SimTraffic(**stored["traffic"]),
                 time_seconds=stored["time_seconds"],
                 simulated_ctas=stored["simulated_ctas"],
                 scale_factor=stored["scale_factor"],
+                pass_kind=pass_kind,
             )
         except (OSError, ValueError, KeyError, TypeError):
             pass  # unreadable or stale-shaped record: treat as a cache miss
-    result = ConvLayerSimulator(gpu, config).run(layer)
+    result = ConvLayerSimulator(gpu, config).run(workload)
     if cache_dir:
         os.makedirs(cache_dir, exist_ok=True)
         traffic = result.traffic
@@ -273,11 +278,16 @@ def simulate_layer(gpu: GpuSpec, layer: ConvLayerConfig,
     return result
 
 
-def _simulate_task(task: Tuple[GpuSpec, ConvLayerConfig, SimulatorConfig,
-                               Optional[str]]) -> SimResult:
-    """Module-level worker so process pools can pickle it."""
-    gpu, layer, config, cache_dir = task
-    return simulate_layer(gpu, layer, config, cache_dir=cache_dir)
+def _simulate_task(task: Tuple) -> SimResult:
+    """Module-level worker so process pools can pickle it.
+
+    ``task`` is ``(gpu, layer, config, cache_dir)`` with an optional trailing
+    ``pass_kind`` (defaults to the forward pass).
+    """
+    gpu, layer, config, cache_dir = task[:4]
+    pass_kind = task[4] if len(task) > 4 else "forward"
+    return simulate_layer(gpu, layer, config, cache_dir=cache_dir,
+                          pass_kind=pass_kind)
 
 
 def simulate_population(gpu: GpuSpec,

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence
 from ..analysis.validation import (MEMORY_LEVELS, QUICK_VALIDATION,
                                    ValidationConfig, select_layers)
 from ..core.model import DeltaModel
+from ..core.training import estimate_training_step
 from ..experiments.registry import ExperimentSpec, get_experiment_spec
 from ..gpu.devices import get_device
 from ..networks.registry import get_network
@@ -86,19 +87,25 @@ def _base_meta(session: "Session", request: Request) -> Dict[str, object]:
 # Estimate / sweep (pure model, no simulation)
 # ----------------------------------------------------------------------
 
-def _estimate_rows(model: DeltaModel, layers) -> List[Dict[str, object]]:
+def _estimate_rows(model: DeltaModel, layers,
+                   pass_kinds=("forward",)) -> List[Dict[str, object]]:
+    single_forward = tuple(pass_kinds) == ("forward",)
     rows = []
     for layer in layers:
-        estimate = model.estimate(layer)
-        rows.append({
-            "layer": layer.name,
-            "time_ms": estimate.time_seconds * 1e3,
-            "bottleneck": estimate.bottleneck.value,
-            "TFLOP/s": estimate.throughput_tflops,
-            "L1_GB": estimate.traffic.l1_bytes / 1e9,
-            "L2_GB": estimate.traffic.l2_bytes / 1e9,
-            "DRAM_GB": estimate.traffic.dram_bytes / 1e9,
-        })
+        for pass_kind in pass_kinds:
+            estimate = model.estimate_pass(layer, pass_kind)
+            row: Dict[str, object] = {"layer": layer.name}
+            if not single_forward:
+                row["pass"] = pass_kind
+            row.update({
+                "time_ms": estimate.time_seconds * 1e3,
+                "bottleneck": estimate.bottleneck.value,
+                "TFLOP/s": estimate.throughput_tflops,
+                "L1_GB": estimate.traffic.l1_bytes / 1e9,
+                "L2_GB": estimate.traffic.l2_bytes / 1e9,
+                "DRAM_GB": estimate.traffic.dram_bytes / 1e9,
+            })
+            rows.append(row)
     return rows
 
 
@@ -108,27 +115,47 @@ def _run_estimate(session: "Session", request: EstimateRequest) -> Report:
                           paper_subset=request.paper_subset)
     layers = (network.unique_layers() if request.unique
               else network.conv_layers())
-    rows = _estimate_rows(DeltaModel(gpu), layers)
-    total_ms = sum(row["time_ms"] for row in rows)
-    bottlenecks = Counter(row["bottleneck"] for row in rows)
-    summary = {
-        "total conv time (ms)": total_ms,
-        "layers": len(rows),
-        "dominant bottleneck": (bottlenecks.most_common(1)[0][0]
-                                if bottlenecks else "n/a"),
-    }
+    model = DeltaModel(gpu)
+    pass_kinds = request.pass_kinds
+    if request.passes == "training":
+        step = estimate_training_step(model, layers, batch=request.batch,
+                                      passes=pass_kinds, name=network.name)
+        rows = step.rows()
+        bottlenecks = Counter(row["bottleneck"] for row in rows)
+        summary = step.summary()
+        summary["dominant bottleneck"] = (bottlenecks.most_common(1)[0][0]
+                                          if bottlenecks else "n/a")
+        title = (f"{network.name} training step on {gpu.name} "
+                 f"(batch {request.batch})")
+    else:
+        rows = _estimate_rows(model, layers, pass_kinds)
+        total_ms = sum(row["time_ms"] for row in rows)
+        bottlenecks = Counter(row["bottleneck"] for row in rows)
+        summary = {
+            "total conv time (ms)": total_ms,
+            "layers": len(rows),
+            "dominant bottleneck": (bottlenecks.most_common(1)[0][0]
+                                    if bottlenecks else "n/a"),
+        }
+        title = f"{network.name} on {gpu.name} (batch {request.batch})"
+        if request.passes != "forward":
+            title = (f"{network.name} {request.passes} pass on {gpu.name} "
+                     f"(batch {request.batch})")
     meta = _base_meta(session, request)
     meta.update({"network": network.name, "gpu": gpu.name,
                  "batch": request.batch, "unique": request.unique,
-                 "paper_subset": request.paper_subset})
-    return Report(kind="estimate",
-                  title=f"{network.name} on {gpu.name} (batch {request.batch})",
+                 "paper_subset": request.paper_subset,
+                 "passes": request.passes})
+    return Report(kind="estimate", title=title,
                   rows=tuple(rows), summary=summary, meta=meta)
 
 
 def _run_sweep(session: "Session", request: SweepRequest) -> Report:
     rows: List[Dict[str, object]] = []
     series: Dict[str, list] = {}
+    pass_kinds = request.pass_kinds
+    scope = ("conv" if request.passes == "forward"
+             else f"{request.passes} conv")
     for gpu_name in request.gpus:
         gpu = get_device(gpu_name)
         model = DeltaModel(gpu)
@@ -138,20 +165,25 @@ def _run_sweep(session: "Session", request: SweepRequest) -> Report:
                                       paper_subset=request.paper_subset)
                 layers = (network.unique_layers() if request.unique
                           else network.conv_layers())
-                layer_rows = _estimate_rows(model, layers)
+                layer_rows = _estimate_rows(model, layers, pass_kinds)
                 total_ms = sum(row["time_ms"] for row in layer_rows)
                 bottlenecks = Counter(row["bottleneck"] for row in layer_rows)
-                rows.append({
+                row: Dict[str, object] = {
                     "network": network.name,
                     "gpu": gpu.name,
                     "batch": batch,
-                    "layers": len(layer_rows),
+                }
+                if request.passes != "forward":
+                    row["passes"] = request.passes
+                row.update({
+                    "layers": len(layers),
                     "total_time_ms": total_ms,
-                    "dram_gb": sum(row["DRAM_GB"] for row in layer_rows),
+                    "dram_gb": sum(r["DRAM_GB"] for r in layer_rows),
                     "dominant_bottleneck": bottlenecks.most_common(1)[0][0],
                 })
+                rows.append(row)
                 series.setdefault(
-                    f"{network.name} conv time on {gpu.name} (ms)", []
+                    f"{network.name} {scope} time on {gpu.name} (ms)", []
                 ).append((batch, total_ms))
     fastest = min(rows, key=lambda row: row["total_time_ms"])
     summary = {
@@ -159,14 +191,18 @@ def _run_sweep(session: "Session", request: SweepRequest) -> Report:
         "networks": ", ".join(request.networks),
         "gpus": ", ".join(request.gpus),
         "batches": ", ".join(str(batch) for batch in request.batches),
+        "passes": request.passes,
         "fastest combination": (f"{fastest['network']}/{fastest['gpu']}"
                                 f"/b{fastest['batch']}"),
     }
     meta = _base_meta(session, request)
+    meta["passes"] = request.passes
     return Report(kind="sweep",
                   title=(f"model sweep: {len(request.networks)} networks x "
                          f"{len(request.gpus)} GPUs x "
-                         f"{len(request.batches)} batch sizes"),
+                         f"{len(request.batches)} batch sizes"
+                         + ("" if request.passes == "forward"
+                            else f" ({request.passes} passes)")),
                   rows=tuple(rows), series={k: tuple(v) for k, v in series.items()},
                   summary=summary, meta=meta)
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Tuple, Union
 
+from ..core.workload import PassKind, expand_passes, normalize_passes
+
 Names = Union[str, Sequence[str]]
 
 
@@ -38,10 +40,19 @@ class EstimateRequest:
     unique: bool = False
     #: restrict to the layers shown in the paper's figures.
     paper_subset: bool = False
+    #: training passes to evaluate: "forward" (default), "dgrad", "wgrad" or
+    #: "training" (all three, reported as a full training step).
+    passes: str = "forward"
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "passes", normalize_passes(self.passes))
         if self.batch <= 0:
             raise ValueError("batch must be positive")
+
+    @property
+    def pass_kinds(self) -> Tuple[PassKind, ...]:
+        """The concrete pass kinds this request evaluates, in order."""
+        return expand_passes(self.passes)
 
 
 @dataclass(frozen=True)
@@ -53,15 +64,23 @@ class SweepRequest:
     batches: Tuple[int, ...] = (64, 256)
     unique: bool = True
     paper_subset: bool = True
+    #: training passes summed per combination (see EstimateRequest.passes).
+    passes: str = "forward"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "networks", _name_tuple(self.networks))
         object.__setattr__(self, "gpus", _name_tuple(self.gpus))
         object.__setattr__(self, "batches", tuple(int(b) for b in self.batches))
+        object.__setattr__(self, "passes", normalize_passes(self.passes))
         if not (self.networks and self.gpus and self.batches):
             raise ValueError("networks, gpus and batches must be non-empty")
         if any(batch <= 0 for batch in self.batches):
             raise ValueError("batches must be positive")
+
+    @property
+    def pass_kinds(self) -> Tuple[PassKind, ...]:
+        """The concrete pass kinds each combination sums over."""
+        return expand_passes(self.passes)
 
 
 @dataclass(frozen=True)

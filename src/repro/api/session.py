@@ -38,15 +38,41 @@ from ..analysis.validation import (
 )
 from ..core.layer import ConvLayerConfig
 from ..core.model import DeltaModel
+from ..core.workload import PassKind
 from ..gpu.spec import GpuSpec
 from ..sim.engine import SimResult, SimulatorConfig
 
 #: one simulation work unit: everything that determines a SimResult.
+#: ``(gpu, layer, config)`` simulates the forward pass; a trailing pass kind
+#: selects a backward-pass GEMM: ``(gpu, layer, config, "wgrad")``.
 SimUnit = Tuple[GpuSpec, ConvLayerConfig, SimulatorConfig]
 
 
+def _normalize_unit(unit) -> Tuple[GpuSpec, ConvLayerConfig,
+                                   SimulatorConfig, PassKind]:
+    """Pad a 3-element unit with the forward pass kind."""
+    if len(unit) == 3:
+        gpu, layer, config = unit
+        return gpu, layer, config, "forward"
+    gpu, layer, config, pass_kind = unit
+    return gpu, layer, config, pass_kind
+
+
+def _unit_key(unit) -> Tuple:
+    """Dedupe identity of one work unit.
+
+    Built on :meth:`ConvLayerConfig.structural_key` — the same identity the
+    network unique-layer dedupe uses — plus the pass kind, so two layers that
+    differ only in name (or two requests asking for the same structure) share
+    one simulation.
+    """
+    gpu, layer, config, pass_kind = _normalize_unit(unit)
+    return (gpu, layer.structural_key(), config, pass_kind)
+
+
 # the validation harness's pool worker does exactly what we need: run one
-# (gpu, layer, config, cache_dir) task through the disk-cache-aware path.
+# (gpu, layer, config, cache_dir[, pass_kind]) task through the
+# disk-cache-aware path.
 _run_unit = _simulate_task
 
 
@@ -78,7 +104,9 @@ class Session:
     def __init__(self, jobs: int = 1, sim_cache_dir: Optional[str] = None,
                  vectorized: bool = True, precision: int = 3) -> None:
         self._lock = threading.RLock()
-        self._sim_results: Dict[SimUnit, SimResult] = {}
+        #: memoized results keyed by the unit's structural identity
+        #: (gpu, layer.structural_key(), simulator config, pass kind).
+        self._sim_results: Dict[Tuple, SimResult] = {}
         self._validation_memo: Dict[Tuple[GpuSpec, ValidationConfig],
                                     ValidationReport] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -129,10 +157,11 @@ class Session:
     # -- simulation with dedup + shared pool ----------------------------
 
     def simulate(self, gpu: GpuSpec, layer: ConvLayerConfig,
-                 config: Optional[SimulatorConfig] = None) -> SimResult:
-        """Simulate one layer, consulting the session memo and disk cache."""
+                 config: Optional[SimulatorConfig] = None,
+                 pass_kind: PassKind = "forward") -> SimResult:
+        """Simulate one layer's pass, consulting the session memo and cache."""
         resolved = config if config is not None else self.simulator_config()
-        return self.simulate_many([(gpu, layer, resolved)])[0]
+        return self.simulate_many([(gpu, layer, resolved, pass_kind)])[0]
 
     def simulate_many(self, units: Sequence[SimUnit],
                       jobs: Optional[int] = None,
@@ -140,32 +169,37 @@ class Session:
         """Simulate many work units, deduped, over the session's pool.
 
         Results come back aligned with ``units``.  Units already present in
-        the session memo cost nothing; duplicates within ``units`` run once.
+        the session memo cost nothing; duplicates within ``units`` — including
+        same-structure layers under different names, and the same layer
+        requested for the same training pass twice — run once.
         ``jobs``/``cache_dir`` override the session policy for this call.
         """
-        units = [tuple(unit) for unit in units]
+        keys = [_unit_key(unit) for unit in units]
         with self._lock:
-            fresh: List[SimUnit] = []
+            fresh: List[Tuple] = []
+            fresh_keys: List[Tuple] = []
             seen = set()
-            for unit in units:
-                if unit in self._sim_results or unit in seen:
+            for unit, key in zip(units, keys):
+                if key in self._sim_results or key in seen:
                     self.stats.sim_memo_hits += 1
                 else:
-                    seen.add(unit)
-                    fresh.append(unit)
+                    seen.add(key)
+                    fresh.append(_normalize_unit(unit))
+                    fresh_keys.append(key)
             if cache_dir is None:
                 cache_dir = self.sim_cache_dir
-        tasks = [(gpu, layer, config, cache_dir) for gpu, layer, config in fresh]
+        tasks = [(gpu, layer, config, cache_dir, pass_kind)
+                 for gpu, layer, config, pass_kind in fresh]
         workers = jobs if jobs is not None else self.jobs
         if len(tasks) <= 1 or workers <= 1:
             results = [_run_unit(task) for task in tasks]
         else:
             results = list(self._ensure_pool(workers).map(_run_unit, tasks))
         with self._lock:
-            for unit, result in zip(fresh, results):
-                self._sim_results[unit] = result
+            for key, result in zip(fresh_keys, results):
+                self._sim_results[key] = result
             self.stats.sim_tasks += len(tasks)
-            return [self._sim_results[unit] for unit in units]
+            return [self._sim_results[key] for key in keys]
 
     def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
         """The shared pool, grown (never shrunk) to at least ``workers``.

@@ -25,11 +25,14 @@ Validate the model against the simulator for one GPU::
 
     delta-repro validate --gpu titanxp --batch 16 --jobs 4
 
-Estimate one network on one GPU, or sweep networks x GPUs x batches::
+Estimate one network on one GPU, or sweep networks x GPUs x batches.
+``--pass`` selects the training pass to model: ``forward`` (default),
+``dgrad``, ``wgrad`` or ``training`` (a full fwd+dgrad+wgrad step)::
 
     delta-repro estimate --network resnet152 --gpu v100 --batch 256
+    delta-repro estimate --network alexnet --pass training
     delta-repro sweep --networks alexnet vgg16 --gpus titanxp v100 \\
-        --batches 64 256
+        --batches 64 256 --pass training
 
 List everything that is available (also as JSON)::
 
@@ -129,6 +132,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         batch=args.batch,
         unique=args.unique,
         paper_subset=args.paper_subset,
+        passes=args.passes,
     )
     with _session_from_args(args) as session:
         report = session.run(request)
@@ -142,6 +146,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         batches=tuple(args.batches),
         unique=not args.all_layers,
         paper_subset=args.paper_subset,
+        passes=args.passes,
     )
     with _session_from_args(args) as session:
         report = session.run(request)
@@ -160,6 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
     def add_format_flag(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--format", choices=("text", "json"), default="text",
                          help="output format (default: human-readable text)")
+
+    def add_pass_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--pass", dest="passes",
+                         choices=("forward", "dgrad", "wgrad", "training"),
+                         default="forward",
+                         help="training pass(es) to model: one GEMM pass or "
+                              "'training' for the full fwd+dgrad+wgrad step")
 
     def add_simulation_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--jobs", type=int, default=None,
@@ -217,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     est_parser.add_argument("--paper-subset", action="store_true",
                             help="restrict to the layers shown in the paper's "
                                  "figures")
+    add_pass_flag(est_parser)
     add_format_flag(est_parser)
     est_parser.set_defaults(func=_cmd_estimate)
 
@@ -239,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="use the paper-subset network variants "
                                    "(default; --no-paper-subset for the "
                                    "full networks)")
+    add_pass_flag(sweep_parser)
     add_format_flag(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
     return parser

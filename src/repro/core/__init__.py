@@ -14,6 +14,11 @@ from .model import DeltaModel
 from .performance import ExecutionEstimate, PerformanceModel
 from .scaling import ScalingResult, ScalingStudy
 from .streams import StreamTimes, compute_stream_times
+from .training import (
+    LayerPassEstimate,
+    TrainingStepEstimate,
+    estimate_training_step,
+)
 from .tiling import (
     CtaTile,
     GemmGrid,
@@ -25,8 +30,41 @@ from .tiling import (
     waves,
 )
 from .traffic import TrafficEstimate, TrafficModel
+from .workload import (
+    PASS_CHOICES,
+    PASS_KINDS,
+    TRAINING_PASSES,
+    GemmWorkload,
+    Im2colPattern,
+    OperandSpec,
+    as_workload,
+    expand_passes,
+    lower_dgrad,
+    lower_forward,
+    lower_pass,
+    lower_wgrad,
+    normalize_passes,
+    training_workloads,
+)
 
 __all__ = [
+    "GemmWorkload",
+    "Im2colPattern",
+    "OperandSpec",
+    "PASS_CHOICES",
+    "PASS_KINDS",
+    "TRAINING_PASSES",
+    "as_workload",
+    "expand_passes",
+    "lower_forward",
+    "lower_dgrad",
+    "lower_wgrad",
+    "lower_pass",
+    "normalize_passes",
+    "training_workloads",
+    "LayerPassEstimate",
+    "TrainingStepEstimate",
+    "estimate_training_step",
     "Bottleneck",
     "ConvLayerConfig",
     "GemmShape",

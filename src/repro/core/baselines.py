@@ -17,7 +17,7 @@ traffic assumptions, exactly as the paper does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from ..gpu.spec import GpuSpec
 from .dram import DramTraffic
@@ -26,6 +26,7 @@ from .layer import ConvLayerConfig
 from .performance import ExecutionEstimate, PerformanceModel
 from .tiling import GemmGrid, build_grid
 from .traffic import TrafficEstimate, TrafficModel
+from .workload import GemmWorkload, as_workload
 
 
 #: miss rates swept in Fig. 15b; 1.0 is the value prior work advocates.
@@ -47,15 +48,16 @@ class FixedMissRateTrafficModel:
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1], got {value}")
 
-    def estimate(self, layer: ConvLayerConfig,
+    def estimate(self, source: Union[ConvLayerConfig, GemmWorkload],
                  grid: Optional[GemmGrid] = None) -> TrafficEstimate:
         """Traffic estimate with the naive fixed-miss-rate assumption."""
+        workload = as_workload(source)
         if grid is None:
-            grid = build_grid(layer, tile_hw=self.cta_tile_hw)
+            grid = build_grid(workload, tile_hw=self.cta_tile_hw)
         # The L1 request stream is identical to DeLTA's (it only depends on
         # the kernel), so reuse DeLTA's L1 model.
         delta = TrafficModel(gpu=self.gpu, cta_tile_hw=self.cta_tile_hw)
-        reference = delta.estimate(layer, grid=grid)
+        reference = delta.estimate(workload, grid=grid)
         l1 = reference.l1
 
         l2_total = l1.total_bytes * self.l1_miss_rate
@@ -63,7 +65,7 @@ class FixedMissRateTrafficModel:
         ifmap_share = l1.ifmap_bytes / l1.total_bytes if l1.total_bytes else 0.0
 
         loops = max(1, grid.total_main_loops)
-        dtype = layer.dtype_bytes
+        dtype = workload.dtype_bytes
         l2 = L2Traffic(
             ifmap_bytes=l2_total * ifmap_share,
             filter_bytes=l2_total * (1.0 - ifmap_share),
@@ -75,7 +77,7 @@ class FixedMissRateTrafficModel:
             filter_bytes=dram_total * (1.0 - ifmap_share),
         )
         return TrafficEstimate(
-            layer=layer, gpu=self.gpu, grid=grid, l1=l1, l2=l2, dram=dram,
+            workload=workload, gpu=self.gpu, grid=grid, l1=l1, l2=l2, dram=dram,
         )
 
 
@@ -96,10 +98,10 @@ class FixedMissRateModel:
             cta_tile_hw=self.cta_tile_hw,
         )
 
-    def traffic(self, layer: ConvLayerConfig) -> TrafficEstimate:
-        return self.traffic_model.estimate(layer)
+    def traffic(self, source: Union[ConvLayerConfig, GemmWorkload]) -> TrafficEstimate:
+        return self.traffic_model.estimate(source)
 
-    def estimate(self, layer: ConvLayerConfig) -> ExecutionEstimate:
-        traffic = self.traffic_model.estimate(layer)
+    def estimate(self, source: Union[ConvLayerConfig, GemmWorkload]) -> ExecutionEstimate:
+        traffic = self.traffic_model.estimate(source)
         performance = PerformanceModel(gpu=self.gpu)
-        return performance.estimate(layer, traffic=traffic)
+        return performance.estimate(traffic.workload, traffic=traffic)

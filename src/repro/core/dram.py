@@ -1,29 +1,41 @@
-"""DRAM traffic model (Section IV-C of the paper).
+"""DRAM traffic model (Section IV-C of the paper), operand-generic.
 
 The L2 cache is shared by all SMs, so the CTAs of one *CTA batch* (all CTAs
 executing concurrently) can reuse each other's data.  With the column-wise CTA
 scheduling the paper assumes for the tall-and-skinny im2col GEMM:
 
-* filter data have short re-reference distances (every CTA in a batch shares
-  them) and a small total footprint, so they are read from DRAM once;
-* IFmap data are re-read once per *column* of CTA tiles, because the
-  re-reference distance between CTA columns exceeds the L2 capacity.
+* the N-side operand (the filter matrix in the forward pass) has short
+  re-reference distances (every CTA in a batch shares it) and a small total
+  footprint, so it is read from DRAM once;
+* the M-side operand (the im2col matrix in the forward pass) is re-read once
+  per *column* of CTA tiles, because the re-reference distance between CTA
+  columns exceeds the L2 capacity.
 
-    Eq. 10  T_DRAM_IFmap  = padded IFmap size * (columns of CTA tiles)
-            T_DRAM_Filter = filter size
-            T_DRAM        = T_DRAM_IFmap + T_DRAM_Filter
+    Eq. 10  T_DRAM_A = A's effective footprint * (columns of CTA tiles)
+            T_DRAM_B = B's effective footprint
+            T_DRAM   = T_DRAM_A + T_DRAM_B
 
-For 1x1 convolutions with stride > 1 only the sampled IFmap positions are
-read, which the model accounts for by shrinking the effective IFmap.
+Each operand's effective footprint (``OperandSpec.dram_elements``) is set by
+the lowering: the forward IFmap operand uses the padded address range (with
+the strided-1x1 exception), every other operand its exact tensor size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Union
 
 from .layer import ConvLayerConfig
 from .tiling import GemmGrid
+from .workload import GemmWorkload, as_workload, effective_ifmap_elements
+
+__all__ = [
+    "DramModelOptions",
+    "DramTraffic",
+    "SchedulingOrder",
+    "effective_ifmap_elements",
+    "estimate_dram_traffic",
+]
 
 
 SchedulingOrder = Literal["column", "row"]
@@ -34,10 +46,11 @@ class DramModelOptions:
     """Assumptions of the DRAM traffic model.
 
     ``scheduling`` selects the CTA scheduling order assumed for inter-CTA
-    reuse: the paper's column-wise order (IFmap re-read per CTA column) or a
-    row-wise order (filters re-read per CTA row) used as an ablation.
-    ``include_output_write`` adds the epilogue OFmap write-back to the DRAM
-    traffic total (the paper's figures report load traffic only).
+    reuse: the paper's column-wise order (the M-side operand re-read per CTA
+    column) or a row-wise order (the N-side operand re-read per CTA row) used
+    as an ablation.  ``include_output_write`` adds the epilogue write-back of
+    the workload's output tensor to the DRAM traffic total (the paper's
+    figures report load traffic only).
     """
 
     scheduling: SchedulingOrder = "column"
@@ -46,7 +59,12 @@ class DramModelOptions:
 
 @dataclass(frozen=True)
 class DramTraffic:
-    """DRAM traffic of one convolution layer."""
+    """DRAM traffic of one GEMM workload.
+
+    ``ifmap_bytes`` is the M-side (``a``) operand's traffic and
+    ``filter_bytes`` the N-side (``b``) operand's, keeping the forward-pass
+    vocabulary.
+    """
 
     ifmap_bytes: float
     filter_bytes: float
@@ -61,42 +79,29 @@ class DramTraffic:
         return self.ifmap_bytes + self.filter_bytes
 
 
-def effective_ifmap_elements(layer: ConvLayerConfig) -> float:
-    """Padded IFmap footprint actually referenced by the convolution.
-
-    The footprint includes the zero padding (the model follows the paper and
-    treats padded rows/columns as part of the address range), but excludes the
-    input positions a strided 1x1 convolution never touches.
-    """
-    if layer.is_pointwise and layer.stride > 1:
-        touched = layer.out_height * layer.out_width
-        return float(layer.batch * layer.in_channels * touched)
-    return float(layer.batch * layer.in_channels
-                 * layer.padded_height * layer.padded_width)
-
-
-def estimate_dram_traffic(layer: ConvLayerConfig, grid: GemmGrid,
+def estimate_dram_traffic(source: Union[ConvLayerConfig, GemmWorkload],
+                          grid: GemmGrid,
                           options: DramModelOptions = DramModelOptions()) -> DramTraffic:
-    """Eq. 10: DRAM load traffic of the layer, in bytes."""
-    ifmap_elements = effective_ifmap_elements(layer)
-    filter_elements = float(layer.filter_elements)
+    """Eq. 10: DRAM load traffic of one GEMM workload, in bytes."""
+    workload = as_workload(source)
+    a_elements = workload.a.dram_elements
+    b_elements = workload.b.dram_elements
 
     if options.scheduling == "column":
-        ifmap_passes = grid.ctas_n
-        filter_passes = 1
+        a_passes = grid.ctas_n if workload.a.dram_replicated else 1
+        b_passes = 1
     elif options.scheduling == "row":
-        ifmap_passes = 1
-        filter_passes = grid.ctas_m
+        a_passes = 1
+        b_passes = grid.ctas_m if workload.b.dram_replicated else 1
     else:  # pragma: no cover - guarded by Literal type
         raise ValueError(f"unknown scheduling order {options.scheduling!r}")
 
-    ifmap_bytes = ifmap_elements * ifmap_passes * layer.dtype_bytes
-    filter_bytes = filter_elements * filter_passes * layer.dtype_bytes
+    dtype = workload.dtype_bytes
     output_bytes = 0.0
     if options.include_output_write:
-        output_bytes = float(layer.ofmap_elements * layer.dtype_bytes)
+        output_bytes = float(workload.out_elements * dtype)
     return DramTraffic(
-        ifmap_bytes=ifmap_bytes,
-        filter_bytes=filter_bytes,
+        ifmap_bytes=a_elements * a_passes * dtype,
+        filter_bytes=b_elements * b_passes * dtype,
         output_bytes=output_bytes,
     )

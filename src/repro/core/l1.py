@@ -1,4 +1,4 @@
-"""L1 cache traffic model (Section IV-A of the paper).
+"""L1 cache traffic model (Section IV-A of the paper), operand-generic.
 
 The im2col layout makes the addresses of adjacent IFmap-matrix elements
 non-contiguous, so a fully coalesced warp load of 32 consecutive column
@@ -9,33 +9,40 @@ this with a *memory load inefficiency* (MLI) factor per input matrix:
                 = ((Wi + 2*Pad) * Stride) / (Wi + 2*Pad - Wf + 1)
     Eq. 3   MLI_IFmap = ceil(ratio * warp_bytes / request_bytes)
                         / (warp_bytes / request_bytes)
-    Eq. 4   T_L1 = (M*K) * MLI_IFmap + (N*K) * MLI_Filter     [elements]
+    Eq. 4   T_L1 = (M*K) * MLI_A + (N*K) * MLI_B     [elements]
 
 Filter-matrix loads gather ``32 / blkK`` distant columns per warp; the paper
 reports the alignment-averaged inefficiency as 2.0 (blkK = 8) and 2.75
 (blkK = 4) for 128-byte L1 requests.  :func:`filter_mli` reproduces those
 constants from first principles so the model extends to other request sizes
 (Volta uses 32-byte requests).
+
+The equations are evaluated per :class:`~repro.core.workload.OperandSpec`:
+the operand's ``l1_pattern`` selects between the im2col streaming MLI
+(Eq. 2-3), the segment-gather MLI (filter matrices, :func:`filter_mli`) and
+the ideal contiguous-stream MLI (dense gradient matrices), so the same code
+path serves the forward, dgrad and wgrad GEMMs of a training step.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Optional, Union
 
 from ..gpu.spec import FP32_BYTES, WARP_SIZE, GpuSpec
 from .layer import ConvLayerConfig
-from .tiling import GemmGrid
+from .tiling import CtaTile, GemmGrid
+from .workload import GemmWorkload, Im2colPattern, OperandSpec, as_workload
 
 
 #: How many times each input matrix is streamed through L1.
 #:
-#: * ``"per-cta"`` (default): every CTA loads its own blkM x K IFmap tile and
-#:   blkN x K filter tile from global memory, so the IFmap matrix is read once
-#:   per CTA *column* and the filter matrix once per CTA *row*.  This is what
-#:   the warp-level load stream of the CUTLASS-style kernel actually issues
-#:   (and what the simulator substrate observes).
+#: * ``"per-cta"`` (default): every CTA loads its own blkM x K A tile and
+#:   blkN x K B tile from global memory, so the A matrix is read once per CTA
+#:   *column* and the B matrix once per CTA *row*.  This is what the
+#:   warp-level load stream of the CUTLASS-style kernel actually issues (and
+#:   what the simulator substrate observes).
 #: * ``"paper"``: apply Eq. 4 exactly as printed, counting each input matrix
 #:   once.  The two agree whenever the CTA grid has a single row/column.
 ReplicationMode = Literal["per-cta", "paper"]
@@ -43,7 +50,12 @@ ReplicationMode = Literal["per-cta", "paper"]
 
 @dataclass(frozen=True)
 class L1Traffic:
-    """L1 load traffic of one convolution layer."""
+    """L1 load traffic of one GEMM workload.
+
+    ``ifmap_bytes``/``mli_ifmap`` describe the M-side (``a``) operand and
+    ``filter_bytes``/``mli_filter`` the N-side (``b``) operand; the field
+    names keep the paper's forward-pass vocabulary.
+    """
 
     ifmap_bytes: float
     filter_bytes: float
@@ -55,34 +67,44 @@ class L1Traffic:
         return self.ifmap_bytes + self.filter_bytes
 
 
-def ifmap_request_ratio(layer: ConvLayerConfig) -> float:
-    """Eq. 2: elements spanned per element used along one IFmap-matrix column.
+PatternLike = Union[ConvLayerConfig, Im2colPattern]
 
-    Successive elements of an IFmap-matrix column are the positions of one
-    filter element as the filter slides across the (padded) IFmap, so their
+
+def ifmap_request_ratio(pattern: PatternLike) -> float:
+    """Eq. 2: elements spanned per element used along one im2col column.
+
+    Successive elements of an im2col-matrix column are the positions of one
+    filter element as the filter slides across the (padded) input, so their
     addresses advance by ``stride`` with a jump of ``Wf - 1`` at each row
     boundary.  The ratio is >= 1 and equals 1 only for 1x1 filters with
     stride 1 (perfectly dense columns).
     """
-    if layer.is_pointwise and layer.stride == 1:
+    if pattern.is_pointwise and pattern.stride == 1:
         return 1.0
-    numerator = layer.padded_width * layer.stride
-    denominator = layer.padded_width - layer.filter_width + 1
+    numerator = pattern.padded_width * pattern.stride
+    denominator = pattern.padded_width - pattern.filter_width + 1
     return numerator / denominator
 
 
-def ifmap_mli(layer: ConvLayerConfig, gpu: GpuSpec) -> float:
-    """Eq. 3: L1 load inefficiency for IFmap-matrix loads.
-
-    ``warp_bytes`` is the data one warp consumes per load instruction
-    (32 threads x 4 bytes); the requested footprint is rounded up to whole L1
-    requests, then normalized by the ideal request count.
-    """
-    ratio = ifmap_request_ratio(layer)
-    warp_bytes = WARP_SIZE * layer.dtype_bytes
+def _streaming_mli(ratio: float, gpu: GpuSpec, dtype_bytes: int) -> float:
+    """Eq. 3: column-streaming load inefficiency for a given span ratio."""
+    warp_bytes = WARP_SIZE * dtype_bytes
     requests_ideal = warp_bytes / gpu.l1_request_bytes
     requests_made = math.ceil(ratio * warp_bytes / gpu.l1_request_bytes)
     return requests_made / requests_ideal
+
+
+def ifmap_mli(pattern: PatternLike, gpu: GpuSpec,
+              dtype_bytes: Optional[int] = None) -> float:
+    """Eq. 3: L1 load inefficiency for im2col-matrix streaming loads.
+
+    ``warp_bytes`` is the data one warp consumes per load instruction
+    (32 threads x dtype bytes); the requested footprint is rounded up to
+    whole L1 requests, then normalized by the ideal request count.
+    """
+    if dtype_bytes is None:
+        dtype_bytes = getattr(pattern, "dtype_bytes", FP32_BYTES)
+    return _streaming_mli(ifmap_request_ratio(pattern), gpu, dtype_bytes)
 
 
 #: MLI_Filter constants reported in Section IV-A for 128-byte L1 requests.
@@ -128,39 +150,54 @@ def filter_mli(blk_k: int, gpu: GpuSpec, dtype_bytes: int = FP32_BYTES,
     return bytes_fetched / bytes_used
 
 
-def estimate_l1_traffic(layer: ConvLayerConfig, grid: GemmGrid, gpu: GpuSpec,
+def operand_mli(operand: OperandSpec, tile: CtaTile, gpu: GpuSpec,
+                dtype_bytes: int) -> float:
+    """L1 load inefficiency of one operand under its declared load pattern."""
+    if operand.l1_pattern == "im2col":
+        return ifmap_mli(operand.pattern, gpu, dtype_bytes)
+    if operand.l1_pattern == "gather":
+        return filter_mli(tile.blk_k, gpu, dtype_bytes)
+    if operand.l1_pattern == "contiguous":
+        return _streaming_mli(1.0, gpu, dtype_bytes)
+    raise ValueError(f"unknown L1 load pattern {operand.l1_pattern!r}")
+
+
+def estimate_l1_traffic(source: Union[ConvLayerConfig, GemmWorkload],
+                        grid: GemmGrid, gpu: GpuSpec,
                         replication: ReplicationMode = "per-cta") -> L1Traffic:
-    """Eq. 4: total L1 load traffic of the layer, in bytes.
+    """Eq. 4: total L1 load traffic of one GEMM workload, in bytes.
 
     ``replication`` selects how often each input matrix is counted (see
-    :data:`ReplicationMode`).  The CTA-tile rows of the grid replicate filter
-    loads and its columns replicate IFmap loads.
+    :data:`ReplicationMode`).  The CTA-tile rows of the grid replicate the
+    N-side operand's loads and its columns replicate the M-side operand's.
     """
-    gemm = layer.gemm_shape()
+    workload = as_workload(source)
+    gemm = workload.gemm
     tile = grid.tile
-    mli_if = ifmap_mli(layer, gpu)
-    mli_fil = filter_mli(tile.blk_k, gpu, layer.dtype_bytes)
+    dtype = workload.dtype_bytes
+    mli_a = operand_mli(workload.a, tile, gpu, dtype)
+    mli_b = operand_mli(workload.b, tile, gpu, dtype)
 
     if replication == "per-cta":
-        ifmap_passes = grid.ctas_n
-        filter_passes = grid.ctas_m
+        a_passes = grid.ctas_n
+        b_passes = grid.ctas_m
         # Partial edge tiles still issue full-width tile loads; account for
         # the rounded-up tile coverage of each matrix.
-        ifmap_elements = grid.ctas_m * tile.blk_m * gemm.k
-        filter_elements = grid.ctas_n * tile.blk_n * gemm.k
+        a_elements = grid.ctas_m * tile.blk_m * gemm.k
+        b_elements = grid.ctas_n * tile.blk_n * gemm.k
     elif replication == "paper":
-        ifmap_passes = 1
-        filter_passes = 1
-        ifmap_elements = gemm.ifmap_matrix_elements
-        filter_elements = gemm.filter_matrix_elements
+        a_passes = 1
+        b_passes = 1
+        a_elements = gemm.ifmap_matrix_elements
+        b_elements = gemm.filter_matrix_elements
     else:
         raise ValueError(f"unknown replication mode {replication!r}")
 
-    ifmap_bytes = ifmap_elements * ifmap_passes * mli_if * layer.dtype_bytes
-    filter_bytes = filter_elements * filter_passes * mli_fil * layer.dtype_bytes
+    a_bytes = a_elements * a_passes * mli_a * dtype
+    b_bytes = b_elements * b_passes * mli_b * dtype
     return L1Traffic(
-        ifmap_bytes=ifmap_bytes,
-        filter_bytes=filter_bytes,
-        mli_ifmap=mli_if,
-        mli_filter=mli_fil,
+        ifmap_bytes=a_bytes,
+        filter_bytes=b_bytes,
+        mli_ifmap=mli_a,
+        mli_filter=mli_b,
     )

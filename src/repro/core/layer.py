@@ -14,6 +14,7 @@ map, which is exactly how cuDNN executes them with the implicit GEMM kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Tuple
 
 from ..gpu.spec import FP32_BYTES
 
@@ -111,6 +112,30 @@ class ConvLayerConfig:
 
     def with_name(self, name: str) -> "ConvLayerConfig":
         return replace(self, name=name)
+
+    def with_dtype(self, dtype_bytes: int) -> "ConvLayerConfig":
+        """Return a copy of this layer with a different element width."""
+        return replace(self, dtype_bytes=dtype_bytes)
+
+    def structural_key(self) -> Tuple[int, ...]:
+        """Configuration identity of the layer, ignoring its name.
+
+        Two layers with equal keys produce identical model and simulator
+        results; both the network unique-layer dedupe and the session's
+        simulation work-unit dedupe key on this method so they cannot drift.
+        """
+        return (
+            self.batch,
+            self.in_channels,
+            self.in_height,
+            self.in_width,
+            self.out_channels,
+            self.filter_height,
+            self.filter_width,
+            self.stride,
+            self.padding,
+            self.dtype_bytes,
+        )
 
     # ------------------------------------------------------------------
     # Geometry

@@ -8,12 +8,21 @@
     for layer in alexnet(batch=256).conv_layers():
         estimate = model.estimate(layer)
         print(layer.name, estimate.time_seconds, estimate.bottleneck)
+
+Every query accepts either a :class:`~repro.core.layer.ConvLayerConfig`
+(evaluated as its forward-pass GEMM, exactly the seed behaviour) or a
+:class:`~repro.core.workload.GemmWorkload` produced by the pass lowering;
+:meth:`DeltaModel.estimate_pass` and :meth:`DeltaModel.estimate_training_step`
+cover the backward passes and whole training steps::
+
+    step = model.estimate_training_step(alexnet(batch=256))
+    print(step.total_time_seconds, step.time_by_pass)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List
+from typing import Iterable, List, Tuple, Union
 
 from ..gpu.spec import GpuSpec
 from .dram import DramModelOptions
@@ -22,6 +31,11 @@ from .l2 import L2ModelOptions
 from .layer import ConvLayerConfig
 from .performance import ExecutionEstimate, PerformanceModel
 from .traffic import TrafficEstimate, TrafficModel
+from .training import TrainingStepEstimate, estimate_training_step
+from .workload import (TRAINING_PASSES, GemmWorkload, PassKind, lower_pass,
+                       training_workloads)
+
+Source = Union[ConvLayerConfig, GemmWorkload]
 
 
 @dataclass(frozen=True)
@@ -54,21 +68,38 @@ class DeltaModel:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def traffic(self, layer: ConvLayerConfig) -> TrafficEstimate:
-        """Estimate L1/L2/DRAM traffic for one layer."""
-        return self.traffic_model.estimate(layer)
+    def traffic(self, source: Source) -> TrafficEstimate:
+        """Estimate L1/L2/DRAM traffic for one workload (or forward layer)."""
+        return self.traffic_model.estimate(source)
 
-    def estimate(self, layer: ConvLayerConfig) -> ExecutionEstimate:
-        """Estimate execution time and bottleneck for one layer."""
-        return self.performance_model.estimate(layer)
+    def estimate(self, source: Source) -> ExecutionEstimate:
+        """Estimate execution time and bottleneck for one workload."""
+        return self.performance_model.estimate(source)
 
-    def estimate_layers(self, layers: Iterable[ConvLayerConfig]) -> List[ExecutionEstimate]:
-        """Estimate every layer of a network (or any layer iterable)."""
-        return [self.estimate(layer) for layer in layers]
+    def estimate_pass(self, layer: ConvLayerConfig,
+                      pass_kind: PassKind) -> ExecutionEstimate:
+        """Estimate one training pass (forward, dgrad or wgrad) of a layer."""
+        return self.estimate(lower_pass(layer, pass_kind))
 
-    def total_time(self, layers: Iterable[ConvLayerConfig]) -> float:
+    def estimate_layer_training(self, layer: ConvLayerConfig
+                                ) -> List[ExecutionEstimate]:
+        """All three training-pass estimates of one layer, in pass order."""
+        return [self.estimate(workload)
+                for workload in training_workloads(layer)]
+
+    def estimate_layers(self, layers: Iterable[Source]) -> List[ExecutionEstimate]:
+        """Estimate every layer of a network (or any workload iterable)."""
+        return [self.estimate(source) for source in layers]
+
+    def total_time(self, layers: Iterable[Source]) -> float:
         """Total predicted execution time (seconds) of a sequence of layers."""
         return sum(estimate.time_seconds for estimate in self.estimate_layers(layers))
+
+    def estimate_training_step(self, network,
+                               passes: Tuple[PassKind, ...] = TRAINING_PASSES
+                               ) -> TrainingStepEstimate:
+        """Per-pass and total time/traffic of one training step of a network."""
+        return estimate_training_step(self, network, passes=passes)
 
     def for_gpu(self, gpu: GpuSpec) -> "DeltaModel":
         """A copy of this model targeting a different (e.g. scaled) GPU."""

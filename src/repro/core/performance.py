@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..gpu.spec import GpuSpec
 from .bottleneck import Bottleneck
@@ -34,13 +34,14 @@ from .layer import ConvLayerConfig
 from .streams import StreamTimes, compute_stream_times
 from .tiling import active_ctas_per_sm
 from .traffic import TrafficEstimate, TrafficModel
+from .workload import GemmWorkload, as_workload
 
 
 @dataclass(frozen=True)
 class ExecutionEstimate:
-    """Predicted execution time of one convolution layer on one GPU."""
+    """Predicted execution time of one GEMM workload on one GPU."""
 
-    layer: ConvLayerConfig
+    workload: GemmWorkload
     gpu: GpuSpec
     traffic: TrafficEstimate
     streams: StreamTimes
@@ -56,6 +57,15 @@ class ExecutionEstimate:
     ctas_per_sm: int
 
     @property
+    def layer(self) -> ConvLayerConfig:
+        """The convolution layer the workload was lowered from."""
+        return self.workload.layer
+
+    @property
+    def pass_kind(self) -> str:
+        return self.workload.pass_kind
+
+    @property
     def cycles(self) -> float:
         """Execution time converted to core clock cycles."""
         return self.time_seconds * self.gpu.core_clock_hz
@@ -65,13 +75,13 @@ class ExecutionEstimate:
         """Achieved FP32 throughput in TFLOP/s."""
         if self.time_seconds <= 0:
             return 0.0
-        return self.layer.flops / self.time_seconds / 1e12
+        return self.workload.flops / self.time_seconds / 1e12
 
     @property
     def mac_efficiency(self) -> float:
         """Achieved fraction of the device's peak MAC throughput."""
         peak = self.gpu.fp32_flops
-        return min(1.0, self.layer.flops / (self.time_seconds * peak))
+        return min(1.0, self.workload.flops / (self.time_seconds * peak))
 
 
 @dataclass(frozen=True)
@@ -91,7 +101,7 @@ class PerformanceModel:
                        streams: StreamTimes) -> float:
         gpu = self.gpu
         tile = traffic.grid.tile
-        dtype = traffic.layer.dtype_bytes
+        dtype = traffic.workload.dtype_bytes
         clock = gpu.core_clock_hz
         input_bytes = tile.input_elements_per_loop * dtype
         warp_load_bytes = ((tile.warp_m + tile.warp_n) * tile.blk_k
@@ -106,7 +116,7 @@ class PerformanceModel:
     def _epilogue_time(self, traffic: TrafficEstimate,
                        bottleneck_bw: Optional[float] = None) -> float:
         tile = traffic.grid.tile
-        dtype = traffic.layer.dtype_bytes
+        dtype = traffic.workload.dtype_bytes
         output_bytes = tile.output_elements * dtype
         bw = bottleneck_bw if bottleneck_bw is not None else self.gpu.dram_bw
         return output_bytes / bw
@@ -114,12 +124,13 @@ class PerformanceModel:
     # ------------------------------------------------------------------
     # Main estimate
     # ------------------------------------------------------------------
-    def estimate(self, layer: ConvLayerConfig,
+    def estimate(self, source: Union[ConvLayerConfig, GemmWorkload],
                  traffic: Optional[TrafficEstimate] = None) -> ExecutionEstimate:
-        """Predict execution time and bottleneck for ``layer``."""
+        """Predict execution time and bottleneck for one workload."""
         gpu = self.gpu
+        workload = as_workload(source)
         if traffic is None:
-            traffic = self._traffic_model().estimate(layer)
+            traffic = self._traffic_model().estimate(workload)
         streams = compute_stream_times(traffic, gpu)
         grid = traffic.grid
         tile = grid.tile
@@ -127,7 +138,8 @@ class PerformanceModel:
         loops = grid.main_loops_per_cta
         num_ctas = grid.num_ctas
         ctas_per_sm = math.ceil(num_ctas / gpu.num_sm)
-        active = min(active_ctas_per_sm(tile, gpu, layer.dtype_bytes), ctas_per_sm)
+        active = min(active_ctas_per_sm(tile, gpu, workload.dtype_bytes),
+                     ctas_per_sm)
 
         t_prologue = self._prologue_time(traffic, streams)
         t_epilogue = self._epilogue_time(traffic)
@@ -163,7 +175,7 @@ class PerformanceModel:
         time_seconds = candidates[bottleneck]
 
         return ExecutionEstimate(
-            layer=layer,
+            workload=workload,
             gpu=gpu,
             traffic=traffic,
             streams=streams,

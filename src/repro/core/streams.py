@@ -91,7 +91,7 @@ def bandwidth_times(traffic: TrafficEstimate, gpu: GpuSpec) -> tuple:
 def compute_stream_times(traffic: TrafficEstimate, gpu: GpuSpec) -> StreamTimes:
     """All per-main-loop stream times for one layer on one GPU."""
     tile = traffic.grid.tile
-    dtype_bytes = traffic.layer.dtype_bytes
+    dtype_bytes = traffic.workload.dtype_bytes
     t_gls, gls_l1, gls_l2, gls_dram = gls_time(traffic, gpu)
     t_sas = sas_time(tile, gpu, dtype_bytes)
     t_cs = cs_time(tile, gpu)

@@ -21,8 +21,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from typing import Union
+
 from ..gpu.spec import FP32_BYTES, WARP_SIZE, GpuSpec
 from .layer import ConvLayerConfig, GemmShape
+from .workload import GemmWorkload, as_workload
 
 
 @dataclass(frozen=True)
@@ -145,9 +148,10 @@ class GemmGrid:
         return self.ctas_m / self.ctas_n
 
 
-def build_grid(layer: ConvLayerConfig, tile_hw: int = 128) -> GemmGrid:
-    """Convenience: GEMM grid for a convolution layer."""
-    gemm = layer.gemm_shape()
+def build_grid(source: Union[ConvLayerConfig, GemmWorkload],
+               tile_hw: int = 128) -> GemmGrid:
+    """GEMM grid for a workload (or a conv layer's forward-pass workload)."""
+    gemm = as_workload(source).gemm
     return GemmGrid(gemm=gemm, tile=select_cta_tile(gemm, tile_hw=tile_hw))
 
 
@@ -170,11 +174,12 @@ def ctas_per_sm(grid: GemmGrid, gpu: GpuSpec) -> int:
     return math.ceil(grid.num_ctas / gpu.num_sm)
 
 
-def cta_batch_size(tile: CtaTile, gpu: GpuSpec) -> int:
+def cta_batch_size(tile: CtaTile, gpu: GpuSpec,
+                   dtype_bytes: int = FP32_BYTES) -> int:
     """CTAs executing concurrently across the whole device (one CTA batch)."""
-    return active_ctas_per_sm(tile, gpu) * gpu.num_sm
+    return active_ctas_per_sm(tile, gpu, dtype_bytes) * gpu.num_sm
 
 
-def waves(grid: GemmGrid, gpu: GpuSpec) -> int:
+def waves(grid: GemmGrid, gpu: GpuSpec, dtype_bytes: int = FP32_BYTES) -> int:
     """Number of CTA batches (waves) needed to run the whole GEMM."""
-    return math.ceil(grid.num_ctas / cta_batch_size(grid.tile, gpu))
+    return math.ceil(grid.num_ctas / cta_batch_size(grid.tile, gpu, dtype_bytes))

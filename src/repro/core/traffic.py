@@ -1,15 +1,17 @@
 """Facade combining the per-level traffic models into a single estimate.
 
 :class:`TrafficModel` evaluates the L1 (Section IV-A), L2 (IV-B) and DRAM
-(IV-C) models for a convolution layer on a GPU and returns a
+(IV-C) models for one GEMM workload on a GPU and returns a
 :class:`TrafficEstimate` with per-level totals, per-main-loop volumes (used by
-the performance model of Section V) and derived miss rates.
+the performance model of Section V) and derived miss rates.  Entry points
+accept either a :class:`~repro.core.workload.GemmWorkload` or a
+:class:`~repro.core.layer.ConvLayerConfig` (lowered to its forward pass).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from ..gpu.spec import GpuSpec
 from .dram import DramModelOptions, DramTraffic, estimate_dram_traffic
@@ -17,18 +19,28 @@ from .l1 import L1Traffic, ReplicationMode, estimate_l1_traffic
 from .l2 import L2ModelOptions, L2Traffic, estimate_l2_traffic
 from .layer import ConvLayerConfig
 from .tiling import GemmGrid, build_grid
+from .workload import GemmWorkload, as_workload
 
 
 @dataclass(frozen=True)
 class TrafficEstimate:
-    """Traffic at every level of the memory hierarchy for one layer."""
+    """Traffic at every level of the memory hierarchy for one workload."""
 
-    layer: ConvLayerConfig
+    workload: GemmWorkload
     gpu: GpuSpec
     grid: GemmGrid
     l1: L1Traffic
     l2: L2Traffic
     dram: DramTraffic
+
+    @property
+    def layer(self) -> ConvLayerConfig:
+        """The convolution layer the workload was lowered from."""
+        return self.workload.layer
+
+    @property
+    def pass_kind(self) -> str:
+        return self.workload.pass_kind
 
     # ------------------------------------------------------------------
     # Totals
@@ -102,15 +114,16 @@ class TrafficModel:
     #: CTA tile height/width family used by the GEMM kernel (128 or 256).
     cta_tile_hw: int = 128
 
-    def estimate(self, layer: ConvLayerConfig,
+    def estimate(self, source: Union[ConvLayerConfig, GemmWorkload],
                  grid: Optional[GemmGrid] = None) -> TrafficEstimate:
-        """Estimate L1, L2 and DRAM traffic for ``layer``."""
+        """Estimate L1, L2 and DRAM traffic for one workload."""
+        workload = as_workload(source)
         if grid is None:
-            grid = build_grid(layer, tile_hw=self.cta_tile_hw)
-        l1 = estimate_l1_traffic(layer, grid, self.gpu,
+            grid = build_grid(workload, tile_hw=self.cta_tile_hw)
+        l1 = estimate_l1_traffic(workload, grid, self.gpu,
                                  replication=self.l1_replication)
-        l2 = estimate_l2_traffic(layer, grid, self.gpu, self.l2_options)
-        dram = estimate_dram_traffic(layer, grid, self.dram_options)
+        l2 = estimate_l2_traffic(workload, grid, self.gpu, self.l2_options)
+        dram = estimate_dram_traffic(workload, grid, self.dram_options)
         # Traffic can only shrink as it moves up the hierarchy; the analytical
         # approximations occasionally violate this for degenerate layers, so
         # clamp to keep downstream consumers (miss rates, bottleneck search)
@@ -133,7 +146,7 @@ class TrafficModel:
                 output_bytes=dram.output_bytes,
             )
         return TrafficEstimate(
-            layer=layer,
+            workload=workload,
             gpu=self.gpu,
             grid=grid,
             l1=l1,

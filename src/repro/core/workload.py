@@ -1,0 +1,396 @@
+"""Pass-aware GEMM workload IR: the unit of work the model stack consumes.
+
+The paper models DNN *training*: every convolution layer executes three im2col
+GEMMs per training step (Section II) — the forward pass, the data-gradient
+pass (dgrad) and the weight-gradient pass (wgrad).  This module decouples the
+memory-hierarchy and performance models from "a forward convolution layer" by
+lowering a :class:`~repro.core.layer.ConvLayerConfig` onto a frozen
+:class:`GemmWorkload` that carries everything the models need:
+
+* the GEMM shape (M, N, K),
+* one :class:`OperandSpec` per input operand (the M-side operand ``a`` and the
+  N-side operand ``b``) describing the tensor it reads, its L1 load pattern,
+  its intra-tile L2 reuse and its DRAM footprint, and
+* the datatype width, which flows through every byte computation.
+
+The three passes are operand swaps/transposes of one another (writing
+``col(I)`` for the im2col expansion of the input feature map)::
+
+    forward  O  = col(I) . W      (M, N, K) = (B*Ho*Wo,  Co,        Ci*Hf*Wf)
+    dgrad    dI = col2im(dO . W^T)(M, N, K) = (B*Ho*Wo,  Ci*Hf*Wf,  Co)
+    wgrad    dW = dO^T . col(I)   (M, N, K) = (Co,       Ci*Hf*Wf,  B*Ho*Wo)
+
+dgrad swaps N and K relative to forward; wgrad swaps M and K.  Because the
+product M*N*K is invariant under those swaps, each pass performs exactly the
+forward pass's MAC count and a full training step costs 3x the forward MACs —
+a property the tests assert for every registered network.
+
+Operand bindings per pass:
+
+* **forward** — ``a`` is the replicated im2col IFmap matrix (sliding-window
+  reuse, Eqs. 2-8), ``b`` is the dense filter matrix.
+* **dgrad** — ``a`` is the output-gradient matrix ``dO`` (dense: every element
+  unique, contiguous along M), ``b`` is the transposed filter.  The im2col
+  structure moves to the *output* (``col2im`` scatter), so neither input
+  operand has sliding-window reuse: dgrad behaves like a pointwise GEMM.
+* **wgrad** — ``a`` is ``dO^T`` (dense; the kernel streams dO along its
+  contiguous K extent and transposes through shared memory), ``b`` is the
+  im2col IFmap matrix entered on the N side: its tile rows now run along the
+  K axis (output positions) and its columns along N (filter offsets), which
+  is why the L2 sliding-window equations take explicit (rows, cols) extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Tuple, Union
+
+from .layer import ConvLayerConfig, GemmShape
+
+#: the three per-layer GEMMs of one training step, in execution order.
+PassKind = Literal["forward", "dgrad", "wgrad"]
+TRAINING_PASSES: Tuple[PassKind, ...] = ("forward", "dgrad", "wgrad")
+PASS_KINDS: Tuple[PassKind, ...] = TRAINING_PASSES
+
+#: accepted values for the public ``passes`` option (requests / CLI).
+PASS_CHOICES: Tuple[str, ...] = ("forward", "dgrad", "wgrad", "training")
+
+#: warp-load pattern of one operand, selecting its L1 inefficiency model:
+#: "im2col" streams a sliding-window matrix column-wise (Eq. 2-3), "gather"
+#: collects 32/blkK distant blkK-element segments per warp (the filter-matrix
+#: pattern), "contiguous" streams dense rows (ideal coalescing).
+L1Pattern = Literal["im2col", "gather", "contiguous"]
+
+#: intra-tile reuse captured by the private L1: "sliding" tiles have the
+#: im2col duplication (unique footprint from Eq. 5-8), "unique" tiles have no
+#: duplication (every element distinct).
+L2Reuse = Literal["sliding", "unique"]
+
+
+def normalize_passes(value: Union[str, None]) -> str:
+    """Validate and normalize a public ``passes`` option value."""
+    if value is None:
+        return "forward"
+    normalized = str(value).strip().lower()
+    if normalized not in PASS_CHOICES:
+        raise ValueError(
+            f"unknown pass {value!r}; expected one of {list(PASS_CHOICES)}")
+    return normalized
+
+
+def expand_passes(value: Union[str, None]) -> Tuple[PassKind, ...]:
+    """The pass kinds a public ``passes`` option evaluates."""
+    normalized = normalize_passes(value)
+    if normalized == "training":
+        return TRAINING_PASSES
+    return (normalized,)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class Im2colPattern:
+    """Sliding-window reuse geometry of an im2col operand.
+
+    Property names deliberately mirror :class:`ConvLayerConfig` so the Eq. 2-8
+    helpers in :mod:`repro.core.l1` / :mod:`repro.core.l2` accept either.
+    """
+
+    batch: int
+    #: channels of the backing tensor (Ci for the IFmap matrix).
+    channels: int
+    in_height: int
+    in_width: int
+    filter_height: int
+    filter_width: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        positive = {
+            "batch": self.batch,
+            "channels": self.channels,
+            "in_height": self.in_height,
+            "in_width": self.in_width,
+            "filter_height": self.filter_height,
+            "filter_width": self.filter_width,
+            "stride": self.stride,
+        }
+        for attr, value in positive.items():
+            if value <= 0:
+                raise ValueError(f"{attr} must be positive, got {value}")
+        if self.padding < 0:
+            raise ValueError(f"padding must be non-negative, got {self.padding}")
+
+    @property
+    def padded_height(self) -> int:
+        return self.in_height + 2 * self.padding
+
+    @property
+    def padded_width(self) -> int:
+        return self.in_width + 2 * self.padding
+
+    @property
+    def out_height(self) -> int:
+        return (self.padded_height - self.filter_height) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.padded_width - self.filter_width) // self.stride + 1
+
+    @property
+    def is_pointwise(self) -> bool:
+        return self.filter_height == 1 and self.filter_width == 1
+
+    @property
+    def filter_pixels(self) -> int:
+        return self.filter_height * self.filter_width
+
+    @classmethod
+    def of_layer(cls, layer: ConvLayerConfig) -> "Im2colPattern":
+        """The forward im2col pattern of a convolution layer."""
+        return cls(
+            batch=layer.batch,
+            channels=layer.in_channels,
+            in_height=layer.in_height,
+            in_width=layer.in_width,
+            filter_height=layer.filter_height,
+            filter_width=layer.filter_width,
+            stride=layer.stride,
+            padding=layer.padding,
+        )
+
+
+def effective_ifmap_elements(layer: ConvLayerConfig) -> float:
+    """Padded IFmap footprint actually referenced by the convolution.
+
+    The footprint includes the zero padding (the model follows the paper and
+    treats padded rows/columns as part of the address range), but excludes the
+    input positions a strided 1x1 convolution never touches.
+    """
+    if layer.is_pointwise and layer.stride > 1:
+        touched = layer.out_height * layer.out_width
+        return float(layer.batch * layer.in_channels * touched)
+    return float(layer.batch * layer.in_channels
+                 * layer.padded_height * layer.padded_width)
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """One GEMM input operand: tensor identity, footprints and reuse pattern."""
+
+    #: tensor the operand reads: "ifmap", "filter" or "ofmap_grad".
+    role: str
+    #: warp-load pattern selecting the L1 inefficiency model.
+    l1_pattern: L1Pattern
+    #: intra-tile reuse selecting the L2 unique-footprint model.
+    l2_reuse: L2Reuse
+    #: backing tensor footprint in elements (what the address space holds).
+    tensor_elements: int
+    #: effective DRAM footprint of one full read of the operand, in elements
+    #: (the padded/strided-adjusted range of Eq. 10).
+    dram_elements: float
+    #: sliding-window geometry; required when l1_pattern/l2_reuse is im2col.
+    pattern: Optional[Im2colPattern] = None
+    #: whether the operand is re-read from DRAM once per orthogonal CTA
+    #: dimension (Eq. 10's per-column IFmap re-read).  True for the tall
+    #: forward/dgrad grids whose CTA columns execute far apart in time; False
+    #: for wgrad, whose few-CTA grid runs as a handful of concurrent waves
+    #: streaming the K (reduction) axis in lockstep, so every operand chunk
+    #: is fetched once and shared — the same argument the paper makes for the
+    #: forward filter matrix.
+    dram_replicated: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tensor_elements <= 0:
+            raise ValueError("tensor_elements must be positive")
+        if self.dram_elements <= 0:
+            raise ValueError("dram_elements must be positive")
+        if (self.l1_pattern == "im2col" or self.l2_reuse == "sliding") \
+                and self.pattern is None:
+            raise ValueError(
+                f"operand {self.role!r} uses an im2col pattern but none given")
+
+
+@dataclass(frozen=True)
+class GemmWorkload:
+    """One im2col GEMM of a convolution layer's training step.
+
+    The IR the whole model stack consumes: ``a`` is the M-side input operand,
+    ``b`` the N-side input operand, ``out`` describes the tensor the epilogue
+    writes.  ``layer`` records the convolution the workload was lowered from
+    (the simulator derives exact tensor addresses from it).
+    """
+
+    name: str
+    pass_kind: PassKind
+    gemm: GemmShape
+    a: OperandSpec
+    b: OperandSpec
+    #: tensor the epilogue produces: "ofmap", "ifmap_grad" or "filter_grad".
+    out_role: str
+    #: footprint of the output tensor, in elements.
+    out_elements: int
+    #: bytes per tensor element; flows through every byte computation.
+    dtype_bytes: int
+    #: the convolution layer this workload was lowered from.
+    layer: ConvLayerConfig
+
+    def __post_init__(self) -> None:
+        if self.pass_kind not in PASS_KINDS:
+            raise ValueError(f"unknown pass kind {self.pass_kind!r}")
+        if self.out_elements <= 0:
+            raise ValueError("out_elements must be positive")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations: M*N*K."""
+        return self.gemm.macs
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    def structural_key(self) -> Tuple:
+        """Configuration identity of the workload, ignoring names."""
+        return self.layer.structural_key() + (self.pass_kind,)
+
+    def describe(self) -> str:
+        gemm = self.gemm
+        return (f"{self.name}: {self.pass_kind} GEMM "
+                f"M={gemm.m} N={gemm.n} K={gemm.k} "
+                f"a={self.a.role}/{self.a.l1_pattern} "
+                f"b={self.b.role}/{self.b.l1_pattern} -> {self.out_role}")
+
+
+# ----------------------------------------------------------------------
+# Lowering: ConvLayerConfig -> per-pass GemmWorkload
+# ----------------------------------------------------------------------
+
+def _pass_name(layer: ConvLayerConfig, pass_kind: PassKind) -> str:
+    return layer.name if pass_kind == "forward" else f"{layer.name}:{pass_kind}"
+
+
+def lower_forward(layer: ConvLayerConfig) -> GemmWorkload:
+    """Forward pass: O = col(I) . W — exactly the seed model's geometry."""
+    return GemmWorkload(
+        name=_pass_name(layer, "forward"),
+        pass_kind="forward",
+        gemm=layer.gemm_shape(),
+        a=OperandSpec(
+            role="ifmap",
+            l1_pattern="im2col",
+            l2_reuse="sliding",
+            tensor_elements=layer.ifmap_elements,
+            dram_elements=effective_ifmap_elements(layer),
+            pattern=Im2colPattern.of_layer(layer),
+        ),
+        b=OperandSpec(
+            role="filter",
+            l1_pattern="gather",
+            l2_reuse="unique",
+            tensor_elements=layer.filter_elements,
+            dram_elements=float(layer.filter_elements),
+        ),
+        out_role="ofmap",
+        out_elements=layer.ofmap_elements,
+        dtype_bytes=layer.dtype_bytes,
+        layer=layer,
+    )
+
+
+def lower_dgrad(layer: ConvLayerConfig) -> GemmWorkload:
+    """Data-gradient pass: dI = col2im(dO . W^T) — N and K swapped."""
+    forward = layer.gemm_shape()
+    return GemmWorkload(
+        name=_pass_name(layer, "dgrad"),
+        pass_kind="dgrad",
+        gemm=GemmShape(m=forward.m, n=forward.k, k=forward.n),
+        a=OperandSpec(
+            role="ofmap_grad",
+            l1_pattern="contiguous",
+            l2_reuse="unique",
+            tensor_elements=layer.ofmap_elements,
+            dram_elements=float(layer.ofmap_elements),
+        ),
+        b=OperandSpec(
+            role="filter",
+            l1_pattern="gather",
+            l2_reuse="unique",
+            tensor_elements=layer.filter_elements,
+            dram_elements=float(layer.filter_elements),
+        ),
+        out_role="ifmap_grad",
+        out_elements=layer.ifmap_elements,
+        dtype_bytes=layer.dtype_bytes,
+        layer=layer,
+    )
+
+
+def lower_wgrad(layer: ConvLayerConfig) -> GemmWorkload:
+    """Weight-gradient pass: dW = dO^T . col(I) — M and K swapped."""
+    forward = layer.gemm_shape()
+    return GemmWorkload(
+        name=_pass_name(layer, "wgrad"),
+        pass_kind="wgrad",
+        gemm=GemmShape(m=forward.n, n=forward.k, k=forward.m),
+        a=OperandSpec(
+            role="ofmap_grad",
+            l1_pattern="contiguous",
+            l2_reuse="unique",
+            tensor_elements=layer.ofmap_elements,
+            dram_elements=float(layer.ofmap_elements),
+            dram_replicated=False,
+        ),
+        b=OperandSpec(
+            role="ifmap",
+            l1_pattern="im2col",
+            l2_reuse="sliding",
+            tensor_elements=layer.ifmap_elements,
+            dram_elements=effective_ifmap_elements(layer),
+            pattern=Im2colPattern.of_layer(layer),
+            dram_replicated=False,
+        ),
+        out_role="filter_grad",
+        out_elements=layer.filter_elements,
+        dtype_bytes=layer.dtype_bytes,
+        layer=layer,
+    )
+
+
+_LOWERINGS = {
+    "forward": lower_forward,
+    "dgrad": lower_dgrad,
+    "wgrad": lower_wgrad,
+}
+
+
+def lower_pass(layer: ConvLayerConfig, pass_kind: PassKind) -> GemmWorkload:
+    """Lower one convolution layer onto one training-pass GEMM workload."""
+    try:
+        lowering = _LOWERINGS[pass_kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown pass kind {pass_kind!r}; expected one of "
+            f"{list(PASS_KINDS)}") from None
+    return lowering(layer)
+
+
+def training_workloads(layer: ConvLayerConfig) -> Tuple[GemmWorkload, ...]:
+    """All three per-layer GEMMs of one training step, in execution order."""
+    return tuple(lower_pass(layer, pass_kind) for pass_kind in TRAINING_PASSES)
+
+
+def as_workload(source: Union[ConvLayerConfig, GemmWorkload],
+                pass_kind: PassKind = "forward") -> GemmWorkload:
+    """Coerce a layer (lowered to ``pass_kind``) or pass a workload through.
+
+    Model entry points accept either, so existing forward-pass call sites keep
+    working unchanged while pass-aware callers hand over explicit workloads.
+    """
+    if isinstance(source, GemmWorkload):
+        return source
+    if isinstance(source, ConvLayerConfig):
+        return lower_pass(source, pass_kind)
+    raise TypeError(
+        f"expected ConvLayerConfig or GemmWorkload, got {type(source).__name__}")

@@ -16,21 +16,6 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 from ..core.layer import ConvLayerConfig
 
 
-def _structural_key(layer: ConvLayerConfig) -> Tuple:
-    """Configuration identity of a layer, ignoring its name."""
-    return (
-        layer.batch,
-        layer.in_channels,
-        layer.in_height,
-        layer.in_width,
-        layer.out_channels,
-        layer.filter_height,
-        layer.filter_width,
-        layer.stride,
-        layer.padding,
-    )
-
-
 @dataclass(frozen=True)
 class ConvNetwork:
     """A CNN reduced to its convolution layers, in forward order."""
@@ -53,10 +38,14 @@ class ConvNetwork:
         return list(self.layers)
 
     def unique_layers(self) -> List[ConvLayerConfig]:
-        """The unique-configuration subset, preserving first occurrence order."""
+        """The unique-configuration subset, preserving first occurrence order.
+
+        Identity is :meth:`ConvLayerConfig.structural_key` — the same key the
+        session's simulation work-unit dedupe uses, so the two cannot drift.
+        """
         seen: Dict[Tuple, ConvLayerConfig] = {}
         for layer in self.layers:
-            key = _structural_key(layer)
+            key = layer.structural_key()
             if key not in seen:
                 seen[key] = layer
         return list(seen.values())

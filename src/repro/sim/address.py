@@ -1,11 +1,14 @@
 """Physical address mapping of the convolution tensors.
 
-The simulator places the IFmap tensor (BCHW layout, the performance-efficient
-ordering the paper assumes) at address 0 and the filter tensor (KCRS layout)
-immediately after it, aligned to a cache line.  Zero-padded positions are not
-backed by memory: the implicit-GEMM kernel predicates those loads away, so the
-address generator returns ``INVALID_ADDRESS`` for them and the trace simply
-omits the access.
+The simulator places each GEMM workload's M-side (``a``) operand tensor at
+address 0 and its N-side (``b``) operand tensor immediately after it, aligned
+to a cache line (:class:`WorkloadLayout`).  For the forward pass that is the
+IFmap tensor (BCHW layout, the performance-efficient ordering the paper
+assumes) followed by the filter tensor (KCRS layout) — exactly the seed's
+:class:`TensorLayout`, which is kept as the forward-pass view.  Zero-padded
+positions are not backed by memory: the implicit-GEMM kernel predicates those
+loads away, so the address generator returns ``INVALID_ADDRESS`` for them and
+the trace simply omits the access.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.layer import ConvLayerConfig
+from ..core.workload import GemmWorkload
 
 #: marker for predicated-off (padding / out-of-range) accesses.
 INVALID_ADDRESS = np.int64(-1)
@@ -93,3 +97,49 @@ class TensorLayout:
         index = out_channel.astype(np.int64) * k_total + k_index.astype(np.int64)
         addresses = self.filter_base + index * self.dtype_bytes
         return np.where(valid, addresses, INVALID_ADDRESS)
+
+
+@dataclass(frozen=True)
+class WorkloadLayout:
+    """Byte-address layout of one GEMM workload's two input operand tensors.
+
+    The A-operand tensor sits at address 0 and the B-operand tensor follows,
+    aligned to a cache line.  For a forward workload this reproduces
+    :class:`TensorLayout` byte for byte (A = IFmap, B = filter).
+    """
+
+    workload: GemmWorkload
+    line_bytes: int = 128
+
+    @property
+    def dtype_bytes(self) -> int:
+        return self.workload.dtype_bytes
+
+    @property
+    def a_base(self) -> int:
+        return 0
+
+    @property
+    def a_bytes(self) -> int:
+        return self.workload.a.tensor_elements * self.dtype_bytes
+
+    @property
+    def b_base(self) -> int:
+        return _align_up(self.a_bytes, self.line_bytes)
+
+    @property
+    def b_bytes(self) -> int:
+        return self.workload.b.tensor_elements * self.dtype_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.b_base + self.b_bytes
+
+    # forward-pass vocabulary aliases (the paper's naming).
+    @property
+    def ifmap_base(self) -> int:
+        return self.a_base
+
+    @property
+    def filter_base(self) -> int:
+        return self.b_base

@@ -33,16 +33,17 @@ DESIGN.md for why that preserves the comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.layer import ConvLayerConfig
 from ..core.tiling import GemmGrid, build_grid
+from ..core.workload import GemmWorkload, PassKind, as_workload
 from ..gpu.spec import GpuSpec
 from .cache import LruCache, SetAssociativeCache, SetAssociativeCacheBank
 from .dram import DramChannel
-from .im2col import Im2colTraceGenerator, TileAccess
+from .im2col import GemmTraceGenerator, TileAccess
 from .scheduler import CtaScheduler, SchedulingOrder
 
 #: K offsets per batched trace-generation call (bounds peak lattice memory).
@@ -103,7 +104,13 @@ class SimulatorConfig:
 
 @dataclass(frozen=True)
 class SimTraffic:
-    """Measured (simulated) traffic of one layer, in bytes."""
+    """Measured (simulated) traffic of one GEMM workload, in bytes.
+
+    ``dram_ifmap_bytes`` is the M-side (``a``) operand's DRAM traffic and
+    ``dram_filter_bytes`` the N-side (``b``) operand's; the field names keep
+    the forward-pass vocabulary (for dgrad/wgrad workloads ``a`` is the
+    output-gradient matrix).
+    """
 
     l1_bytes: float
     l2_bytes: float
@@ -130,7 +137,7 @@ class SimTraffic:
 
 @dataclass(frozen=True)
 class SimResult:
-    """Complete simulation outcome for one layer on one GPU."""
+    """Complete simulation outcome for one workload on one GPU."""
 
     layer: ConvLayerConfig
     gpu: GpuSpec
@@ -141,6 +148,8 @@ class SimResult:
     simulated_ctas: int
     #: extrapolation factor applied to per-CTA quantities.
     scale_factor: float
+    #: the training pass the simulated GEMM implements.
+    pass_kind: PassKind = "forward"
 
     @property
     def cycles(self) -> float:
@@ -148,7 +157,7 @@ class SimResult:
 
 
 class ConvLayerSimulator:
-    """Simulate the im2col GEMM of a convolution layer on a GPU."""
+    """Simulate one im2col GEMM workload of a convolution layer on a GPU."""
 
     def __init__(self, gpu: GpuSpec,
                  config: SimulatorConfig = SimulatorConfig()) -> None:
@@ -158,22 +167,25 @@ class ConvLayerSimulator:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, layer: ConvLayerConfig) -> SimResult:
-        """Simulate ``layer`` and return traffic and execution time."""
+    def run(self, source: Union[ConvLayerConfig, GemmWorkload]) -> SimResult:
+        """Simulate one workload (or a layer's forward pass) and return
+        traffic and execution time."""
+        workload = as_workload(source)
         if self.config.vectorized:
-            return self._run_vectorized(layer)
-        return self._run_reference(layer)
+            return self._run_vectorized(workload)
+        return self._run_reference(workload)
 
     # ------------------------------------------------------------------
     # Vectorized pipeline
     # ------------------------------------------------------------------
-    def _run_vectorized(self, layer: ConvLayerConfig) -> SimResult:
+    def _run_vectorized(self, workload: GemmWorkload) -> SimResult:
         gpu = self.gpu
         config = self.config
-        grid = build_grid(layer, tile_hw=config.cta_tile_hw)
+        grid = build_grid(workload, tile_hw=config.cta_tile_hw)
         tile = grid.tile
-        trace = Im2colTraceGenerator(layer, tile, gpu)
-        scheduler = CtaScheduler(grid, gpu, order=config.scheduling)
+        trace = GemmTraceGenerator(workload, tile, gpu)
+        scheduler = CtaScheduler(grid, gpu, order=config.scheduling,
+                                 dtype_bytes=workload.dtype_bytes)
         sector_bytes = gpu.sector_bytes
 
         l1_bank = SetAssociativeCacheBank(gpu.num_sm, gpu.l1_size,
@@ -188,8 +200,8 @@ class ConvLayerSimulator:
             l2_cache = SetAssociativeCache(gpu.l2_size, sector_bytes,
                                            ways=config.l2_ways)
         dram = DramChannel(gpu)
-        filter_sector_boundary = trace.layout.filter_base // sector_bytes
-        t_compute = self._compute_time_per_loop(layer, tile)
+        b_sector_boundary = trace.layout.b_base // sector_bytes
+        t_compute = self._compute_time_per_loop(workload, tile)
 
         k_offsets = [loop * tile.blk_k for loop in range(grid.main_loops_per_cta)]
         num_loops = len(k_offsets)
@@ -198,10 +210,10 @@ class ConvLayerSimulator:
         # Memoized per-coordinate records spanning every K offset: per-loop
         # unique-sector views, plus the per-loop L1 request counts and
         # precomputed fetch bytes under the configured accounting mode.
-        if_tiles: Dict[int, Tuple[List[np.ndarray], np.ndarray,
-                                  np.ndarray]] = {}
-        fil_tiles: Dict[int, Tuple[List[np.ndarray], np.ndarray,
-                                   np.ndarray]] = {}
+        a_tiles: Dict[int, Tuple[List[np.ndarray], np.ndarray,
+                                 np.ndarray]] = {}
+        b_tiles: Dict[int, Tuple[List[np.ndarray], np.ndarray,
+                                 np.ndarray]] = {}
 
         def materialize(store, generator, coords: List[int]) -> None:
             chunks = []
@@ -232,8 +244,8 @@ class ConvLayerSimulator:
 
         l1_bytes = 0.0
         l2_bytes = 0.0
-        dram_ifmap_bytes = 0.0
-        dram_filter_bytes = 0.0
+        dram_a_bytes = 0.0
+        dram_b_bytes = 0.0
         l1_requests = 0.0
         simulated_ctas = 0
         simulated_time = 0.0
@@ -245,13 +257,13 @@ class ConvLayerSimulator:
             per_sm = wave.per_sm()
             sms = list(per_sm)
             new_ms = sorted({m for ctas in per_sm.values() for m, _ in ctas}
-                            - set(if_tiles))
+                            - set(a_tiles))
             new_ns = sorted({n for ctas in per_sm.values() for _, n in ctas}
-                            - set(fil_tiles))
+                            - set(b_tiles))
             if new_ms:
-                materialize(if_tiles, trace.ifmap_tile_batch, new_ms)
+                materialize(a_tiles, trace.a_tile_batch, new_ms)
             if new_ns:
-                materialize(fil_tiles, trace.filter_tile_batch, new_ns)
+                materialize(b_tiles, trace.b_tile_batch, new_ns)
 
             # Wave-static per-loop aggregates (exact integer-valued floats,
             # so the summation order cannot change the totals).
@@ -260,9 +272,9 @@ class ConvLayerSimulator:
             for sm in sms:
                 fetch_total = np.zeros(num_loops)
                 for cta_m, cta_n in per_sm[sm]:
-                    fetch_total += if_tiles[cta_m][2] + fil_tiles[cta_n][2]
-                    requests_per_loop += (if_tiles[cta_m][1]
-                                          + fil_tiles[cta_n][1])
+                    fetch_total += a_tiles[cta_m][2] + b_tiles[cta_n][2]
+                    requests_per_loop += (a_tiles[cta_m][1]
+                                          + b_tiles[cta_n][1])
                 sm_fetch[sm] = fetch_total
                 l1_bytes += float(fetch_total.sum())
             l1_requests += float(requests_per_loop.sum())
@@ -272,7 +284,7 @@ class ConvLayerSimulator:
                 [[] for _ in range(num_loops)]
             for sm in sms:
                 for cta_m, cta_n in per_sm[sm]:
-                    for views in (if_tiles[cta_m][0], fil_tiles[cta_n][0]):
+                    for views in (a_tiles[cta_m][0], b_tiles[cta_n][0]):
                         for loop, piece in enumerate(views):
                             if piece.size:
                                 loop_segments[loop].append((sm, piece))
@@ -301,11 +313,10 @@ class ConvLayerSimulator:
                 else:
                     dram_missed = empty
                 loop_dram_total = float(dram_missed.size * sector_bytes)
-                filter_misses = int(np.count_nonzero(
-                    dram_missed >= filter_sector_boundary))
-                dram_filter_bytes += filter_misses * sector_bytes
-                dram_ifmap_bytes += (dram_missed.size - filter_misses) \
-                    * sector_bytes
+                b_misses = int(np.count_nonzero(
+                    dram_missed >= b_sector_boundary))
+                dram_b_bytes += b_misses * sector_bytes
+                dram_a_bytes += (dram_missed.size - b_misses) * sector_bytes
 
                 wave_time += self._loop_time(
                     per_sm, loop_l1_per_sm, loop_l2_total, loop_dram_total,
@@ -313,35 +324,38 @@ class ConvLayerSimulator:
             simulated_ctas += wave.num_ctas
             simulated_time += wave_time
 
-        dram.read(dram_ifmap_bytes + dram_filter_bytes)
+        dram.read(dram_a_bytes + dram_b_bytes)
 
         scale = grid.num_ctas / max(1, simulated_ctas)
         traffic = self._extrapolate_traffic(
-            layer, grid, scale,
-            l1_bytes, l2_bytes, dram_ifmap_bytes, dram_filter_bytes, l1_requests)
-        time_seconds = self._total_time(layer, grid, simulated_time, scale, dram)
+            workload, grid, scale,
+            l1_bytes, l2_bytes, dram_a_bytes, dram_b_bytes, l1_requests)
+        time_seconds = self._total_time(workload, grid, simulated_time, scale,
+                                        dram)
 
         return SimResult(
-            layer=layer,
+            layer=workload.layer,
             gpu=self.gpu,
             grid=grid,
             traffic=traffic,
             time_seconds=time_seconds,
             simulated_ctas=simulated_ctas,
             scale_factor=scale,
+            pass_kind=workload.pass_kind,
         )
 
     # ------------------------------------------------------------------
     # Scalar reference pipeline
     # ------------------------------------------------------------------
-    def _run_reference(self, layer: ConvLayerConfig) -> SimResult:
+    def _run_reference(self, workload: GemmWorkload) -> SimResult:
         """Original per-sector simulation loop (reference implementation)."""
         gpu = self.gpu
         config = self.config
-        grid = build_grid(layer, tile_hw=config.cta_tile_hw)
+        grid = build_grid(workload, tile_hw=config.cta_tile_hw)
         tile = grid.tile
-        trace = Im2colTraceGenerator(layer, tile, gpu)
-        scheduler = CtaScheduler(grid, gpu, order=config.scheduling)
+        trace = GemmTraceGenerator(workload, tile, gpu)
+        scheduler = CtaScheduler(grid, gpu, order=config.scheduling,
+                                 dtype_bytes=workload.dtype_bytes)
 
         l1_caches = [SetAssociativeCache(gpu.l1_size, gpu.sector_bytes,
                                          ways=config.l1_ways)
@@ -353,34 +367,34 @@ class ConvLayerSimulator:
                                            ways=config.l2_ways)
         dram = DramChannel(gpu)
 
-        filter_sector_boundary = trace.layout.filter_base // gpu.sector_bytes
+        b_sector_boundary = trace.layout.b_base // gpu.sector_bytes
 
-        # Filter tiles depend only on (cta_n, k_offset); memoize them.
-        filter_tiles: Dict[Tuple[int, int], TileAccess] = {}
+        # B tiles depend only on (cta_n, k_offset); memoize them.
+        b_tiles: Dict[Tuple[int, int], TileAccess] = {}
 
-        def filter_tile(cta_n: int, k_offset: int) -> TileAccess:
+        def b_tile(cta_n: int, k_offset: int) -> TileAccess:
             key = (cta_n, k_offset)
-            if key not in filter_tiles:
-                filter_tiles[key] = trace.filter_tile_access(cta_n, k_offset)
-            return filter_tiles[key]
+            if key not in b_tiles:
+                b_tiles[key] = trace.b_tile_access(cta_n, k_offset)
+            return b_tiles[key]
 
-        # IFmap tiles depend only on (cta_m, k_offset); memoize them too (the
+        # A tiles depend only on (cta_m, k_offset); memoize them too (the
         # same CTA row recurs both within and across waves under column
         # scheduling).
-        ifmap_tiles: Dict[Tuple[int, int], TileAccess] = {}
+        a_tiles: Dict[Tuple[int, int], TileAccess] = {}
 
-        def ifmap_tile(cta_m: int, k_offset: int) -> TileAccess:
+        def a_tile(cta_m: int, k_offset: int) -> TileAccess:
             key = (cta_m, k_offset)
-            if key not in ifmap_tiles:
-                ifmap_tiles[key] = trace.ifmap_tile_access(cta_m, k_offset)
-            return ifmap_tiles[key]
+            if key not in a_tiles:
+                a_tiles[key] = trace.a_tile_access(cta_m, k_offset)
+            return a_tiles[key]
 
-        t_compute = self._compute_time_per_loop(layer, tile)
+        t_compute = self._compute_time_per_loop(workload, tile)
 
         l1_bytes = 0.0
         l2_bytes = 0.0
-        dram_ifmap_bytes = 0.0
-        dram_filter_bytes = 0.0
+        dram_a_bytes = 0.0
+        dram_b_bytes = 0.0
         l1_requests = 0.0
         simulated_ctas = 0
         simulated_time = 0.0
@@ -400,17 +414,17 @@ class ConvLayerSimulator:
                 for sm, ctas in per_sm.items():
                     sm_l1_bytes = 0.0
                     for cta_m, cta_n in ctas:
-                        if_access = ifmap_tile(cta_m, k_offset)
-                        fil_access = filter_tile(cta_n, k_offset)
-                        l1_requests += (if_access.l1_requests
-                                        + fil_access.l1_requests)
+                        a_access = a_tile(cta_m, k_offset)
+                        b_access = b_tile(cta_n, k_offset)
+                        l1_requests += (a_access.l1_requests
+                                        + b_access.l1_requests)
                         cta_l1 = sum(access.fetch_bytes(config.l1_accounting,
                                                         gpu.l1_request_bytes,
                                                         gpu.sector_bytes)
-                                     for access in (if_access, fil_access))
+                                     for access in (a_access, b_access))
                         sm_l1_bytes += cta_l1
 
-                        for sectors in (if_access.sectors, fil_access.sectors):
+                        for sectors in (a_access.sectors, b_access.sectors):
                             if sectors.size == 0:
                                 continue
                             cache = l1_caches[sm]
@@ -424,10 +438,10 @@ class ConvLayerSimulator:
                             for sector in missed:
                                 if not l2_cache.access(sector):
                                     loop_dram_total += gpu.sector_bytes
-                                    if sector >= filter_sector_boundary:
-                                        dram_filter_bytes += gpu.sector_bytes
+                                    if sector >= b_sector_boundary:
+                                        dram_b_bytes += gpu.sector_bytes
                                     else:
-                                        dram_ifmap_bytes += gpu.sector_bytes
+                                        dram_a_bytes += gpu.sector_bytes
                     loop_l1_per_sm[sm] = sm_l1_bytes
                     l1_bytes += sm_l1_bytes
                 l2_bytes += loop_l2_total
@@ -438,35 +452,38 @@ class ConvLayerSimulator:
             simulated_ctas += wave.num_ctas
             simulated_time += wave_time
 
-        dram.read(dram_ifmap_bytes + dram_filter_bytes)
+        dram.read(dram_a_bytes + dram_b_bytes)
 
         scale = grid.num_ctas / max(1, simulated_ctas)
         traffic = self._extrapolate_traffic(
-            layer, grid, scale,
-            l1_bytes, l2_bytes, dram_ifmap_bytes, dram_filter_bytes, l1_requests)
-        time_seconds = self._total_time(layer, grid, simulated_time, scale, dram)
+            workload, grid, scale,
+            l1_bytes, l2_bytes, dram_a_bytes, dram_b_bytes, l1_requests)
+        time_seconds = self._total_time(workload, grid, simulated_time, scale,
+                                        dram)
 
         return SimResult(
-            layer=layer,
+            layer=workload.layer,
             gpu=self.gpu,
             grid=grid,
             traffic=traffic,
             time_seconds=time_seconds,
             simulated_ctas=simulated_ctas,
             scale_factor=scale,
+            pass_kind=workload.pass_kind,
         )
 
     # ------------------------------------------------------------------
     # Timing helpers
     # ------------------------------------------------------------------
-    def _compute_time_per_loop(self, layer: ConvLayerConfig, tile) -> float:
+    def _compute_time_per_loop(self, workload: GemmWorkload, tile) -> float:
         """Per-loop compute/SMEM stream time (independent of traffic)."""
         gpu = self.gpu
+        dtype = workload.dtype_bytes
         macs_per_second_per_sm = gpu.macs_per_second / gpu.num_sm
         t_cs = tile.macs_per_loop / macs_per_second_per_sm
-        smem_store_bytes = tile.input_elements_per_loop * layer.dtype_bytes
+        smem_store_bytes = tile.input_elements_per_loop * dtype
         smem_load_bytes = ((tile.warp_m + tile.warp_n) * tile.blk_k
-                           * tile.num_warps * layer.dtype_bytes)
+                           * tile.num_warps * dtype)
         t_sas = (smem_store_bytes / gpu.smem_st_bw_per_sm
                  + smem_load_bytes / gpu.smem_ld_bw_per_sm)
         return max(t_cs, t_sas)
@@ -498,13 +515,13 @@ class ConvLayerSimulator:
             latency_bound = 0.0
         return max(compute_time, l1_time, l2_time, dram_bw_time, latency_bound)
 
-    def _total_time(self, layer: ConvLayerConfig, grid: GemmGrid,
+    def _total_time(self, workload: GemmWorkload, grid: GemmGrid,
                     simulated_time: float, scale: float,
                     dram: DramChannel) -> float:
-        """Extrapolated layer execution time including prologue and epilogue."""
+        """Extrapolated execution time including prologue and epilogue."""
         gpu = self.gpu
         prologue = gpu.lat_dram_cycles / gpu.core_clock_hz
-        output_bytes = layer.ofmap_elements * layer.dtype_bytes
+        output_bytes = workload.out_elements * workload.dtype_bytes
         epilogue = output_bytes / gpu.dram_bw
         if self.config.include_output_write:
             dram.write(output_bytes)
@@ -513,32 +530,33 @@ class ConvLayerSimulator:
     # ------------------------------------------------------------------
     # Extrapolation
     # ------------------------------------------------------------------
-    def _extrapolate_traffic(self, layer: ConvLayerConfig, grid: GemmGrid,
+    def _extrapolate_traffic(self, workload: GemmWorkload, grid: GemmGrid,
                              scale: float, l1_bytes: float, l2_bytes: float,
-                             dram_ifmap: float, dram_filter: float,
+                             dram_a: float, dram_b: float,
                              l1_requests: float) -> SimTraffic:
-        """Scale sampled per-CTA traffic to the whole layer.
+        """Scale sampled per-CTA traffic to the whole workload.
 
-        L1 and L2 traffic are per-CTA streams and scale linearly.  DRAM IFmap
-        traffic also scales linearly (each wave touches fresh data under
-        column-wise scheduling) but is capped at one full IFmap read per CTA
-        column.  Filter DRAM traffic is compulsory when the sampled waves show
-        no refetching, in which case it is left unscaled.
+        L1 and L2 traffic are per-CTA streams and scale linearly.  The A
+        operand's DRAM traffic also scales linearly (each wave touches fresh
+        data under column-wise scheduling) but is capped at one full tensor
+        read per CTA column.  B-operand DRAM traffic is compulsory when the
+        sampled waves show no refetching, in which case it is left unscaled.
         """
-        ifmap_cap = (layer.ifmap_elements * layer.dtype_bytes) * grid.ctas_n
-        dram_ifmap_scaled = min(dram_ifmap * scale, max(ifmap_cap, dram_ifmap))
+        dtype = workload.dtype_bytes
+        a_cap = (workload.a.tensor_elements * dtype) * grid.ctas_n
+        dram_a_scaled = min(dram_a * scale, max(a_cap, dram_a))
 
-        filter_footprint = layer.filter_elements * layer.dtype_bytes
-        if dram_filter <= filter_footprint * 1.05:
-            dram_filter_scaled = dram_filter
+        b_footprint = workload.b.tensor_elements * dtype
+        if dram_b <= b_footprint * 1.05:
+            dram_b_scaled = dram_b
         else:
-            dram_filter_scaled = dram_filter * scale
+            dram_b_scaled = dram_b * scale
 
         return SimTraffic(
             l1_bytes=l1_bytes * scale,
             l2_bytes=l2_bytes * scale,
-            dram_bytes=dram_ifmap_scaled + dram_filter_scaled,
-            dram_ifmap_bytes=dram_ifmap_scaled,
-            dram_filter_bytes=dram_filter_scaled,
+            dram_bytes=dram_a_scaled + dram_b_scaled,
+            dram_ifmap_bytes=dram_a_scaled,
+            dram_filter_bytes=dram_b_scaled,
             l1_requests=l1_requests * scale,
         )

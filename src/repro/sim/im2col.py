@@ -1,33 +1,51 @@
-"""Im2col tile address generation and warp-level coalescing.
+"""GEMM tile address generation and warp-level coalescing, per workload.
 
 For each CTA main-loop iteration the GEMM kernel loads one ``blkM x blkK``
-IFmap-matrix tile and one ``blkN x blkK`` filter-matrix tile from global
-memory.  :class:`Im2colTraceGenerator` produces, for a given CTA coordinate
-and K offset, the byte addresses of those tiles (implicitly, without ever
-materializing the replicated im2col matrix), the number of L1 requests the
-warps issue after coalescing, and the set of memory sectors the tile touches.
+A-operand tile and one ``blkN x blkK`` B-operand tile from global memory.
+:class:`GemmTraceGenerator` produces, for a given CTA coordinate and K offset
+of any training-pass workload (forward, dgrad or wgrad), the byte addresses of
+those tiles (implicitly, without ever materializing the replicated im2col
+matrix), the number of L1 requests the warps issue after coalescing, and the
+set of memory sectors the tile touches.  The three passes differ only in how
+GEMM coordinates map to tensor addresses:
+
+* **forward** — A is the im2col IFmap matrix (M rows are output positions, K
+  columns are filter offsets), B is the KCRS filter matrix.
+* **dgrad** — A is the output-gradient matrix ``dO`` (M rows are output
+  positions, K columns are output channels), B is the transposed filter.
+* **wgrad** — A is ``dO^T`` (M rows are output channels, K columns are output
+  positions), B is the im2col IFmap matrix entered on the N side (N columns
+  are filter offsets, K rows are output positions).
+
+Every mapping decomposes into a sum of a pure own-axis part and a pure K-axis
+part, so tile addresses are built with one outer add over small per-axis
+coordinate vectors — the property the batched fast path exploits.
 
 Thread-to-data mapping follows Section IV-A of the paper:
 
-* IFmap tiles are loaded column by column; each warp of 32 threads loads 32
+* A tiles are loaded column by column; each warp of 32 threads loads 32
   consecutive rows of one column, and the loads coalesce into L1 requests of
   ``gpu.l1_request_bytes``.
-* Filter tiles are loaded with ``32 / blkK`` columns per warp (each thread
-  loads one element), so each warp gathers several distant ``blkK``-element
+* B tiles are loaded with ``32 / blkK`` columns per warp (each thread loads
+  one element), so each warp gathers several distant ``blkK``-element
   segments.
+
+:class:`Im2colTraceGenerator` is the forward-pass view with the paper's
+IFmap/filter vocabulary; it accepts a :class:`ConvLayerConfig` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.layer import ConvLayerConfig
 from ..core.tiling import CtaTile
+from ..core.workload import GemmWorkload, as_workload
 from ..gpu.spec import GpuSpec, WARP_SIZE
-from .address import INVALID_ADDRESS, TensorLayout
+from .address import INVALID_ADDRESS, WorkloadLayout
 
 
 @dataclass(frozen=True)
@@ -91,83 +109,206 @@ def _unique_sectors(addresses: np.ndarray, sector_bytes: int) -> np.ndarray:
     return np.unique(addresses[valid] // sector_bytes)
 
 
-@dataclass(frozen=True)
-class Im2colTraceGenerator:
-    """Generates the memory accesses of a layer's blocked im2col GEMM."""
+#: per-axis address decomposition of one operand: byte offsets relative to
+#: the operand's base, optional feature-map (row, col) parts for the
+#: padding-predication bounds check, and the in-range mask.
+AxisParts = Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray],
+                  np.ndarray]
 
-    layer: ConvLayerConfig
+
+@dataclass(frozen=True)
+class GemmTraceGenerator:
+    """Generates the memory accesses of one blocked GEMM workload."""
+
+    workload: GemmWorkload
     tile: CtaTile
     gpu: GpuSpec
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "_layout", TensorLayout(self.layer,
-                                                         self.gpu.line_bytes))
+        object.__setattr__(self, "_layout",
+                           WorkloadLayout(self.workload, self.gpu.line_bytes))
 
     @property
-    def layout(self) -> TensorLayout:
+    def layout(self) -> WorkloadLayout:
         return self._layout
+
+    @property
+    def layer(self) -> ConvLayerConfig:
+        return self.workload.layer
 
     # ------------------------------------------------------------------
     # GEMM coordinate helpers
     # ------------------------------------------------------------------
-    def _m_to_image_coords(self, m: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Map GEMM row indices to (batch, output row, output col)."""
+    def _position_to_image_coords(self, values: np.ndarray
+                                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map output-position indices to (batch, output row, output col)."""
         layer = self.layer
         per_image = layer.out_height * layer.out_width
-        batch = m // per_image
-        rem = m % per_image
+        batch = values // per_image
+        rem = values % per_image
         out_row = rem // layer.out_width
         out_col = rem % layer.out_width
         return batch, out_row, out_col
 
-    def _k_to_filter_coords(self, k: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Map GEMM column indices to (input channel, filter row, filter col)."""
+    def _offset_to_filter_coords(self, values: np.ndarray
+                                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map filter-offset indices to (input channel, filter row, col)."""
         layer = self.layer
         per_channel = layer.filter_height * layer.filter_width
-        channel = k // per_channel
-        rem = k % per_channel
+        channel = values // per_channel
+        rem = values % per_channel
         f_row = rem // layer.filter_width
         f_col = rem % layer.filter_width
         return channel, f_row, f_col
 
     # ------------------------------------------------------------------
+    # Per-axis address parts (byte offsets relative to the operand base)
+    # ------------------------------------------------------------------
+    def _coord_dtype(self):
+        # int32 only when the own-part + K-part sum cannot overflow; int32
+        # sorts are ~2x faster than int64 ones downstream.
+        return (np.int32 if self.layout.total_bytes
+                < np.iinfo(np.int32).max // 2 else np.int64)
+
+    def _im2col_position_parts(self, values: np.ndarray, extent: int,
+                               channels: int) -> AxisParts:
+        """Output-position axis of an im2col operand (forward A rows)."""
+        layer = self.layer
+        dtype = self._coord_dtype()
+        ok = values < extent
+        clamped = np.minimum(values, extent - 1)
+        batch, out_row, out_col = self._position_to_image_coords(clamped)
+        row = (out_row * layer.stride - layer.padding).astype(dtype)
+        col = (out_col * layer.stride - layer.padding).astype(dtype)
+        plane = layer.in_height * layer.in_width
+        base = ((batch * channels * plane + row * layer.in_width + col)
+                * layer.dtype_bytes).astype(dtype)
+        ok = ok & (batch >= 0) & (batch < layer.batch)
+        return base, row, col, ok
+
+    def _im2col_offset_parts(self, values: np.ndarray, extent: int) -> AxisParts:
+        """Filter-offset axis of an im2col operand (forward A columns)."""
+        layer = self.layer
+        dtype = self._coord_dtype()
+        ok = values < extent
+        channel, f_row, f_col = self._offset_to_filter_coords(
+            np.minimum(values, extent - 1))
+        plane = layer.in_height * layer.in_width
+        base = ((channel * plane + f_row * layer.in_width + f_col)
+                * layer.dtype_bytes).astype(dtype)
+        return base, f_row.astype(dtype), f_col.astype(dtype), ok
+
+    def _ofmap_position_parts(self, values: np.ndarray, extent: int) -> AxisParts:
+        """Output-position axis of the dO matrix (dgrad A rows, wgrad A cols)."""
+        layer = self.layer
+        dtype = self._coord_dtype()
+        ok = values < extent
+        batch, out_row, out_col = self._position_to_image_coords(
+            np.minimum(values, extent - 1))
+        plane = layer.out_height * layer.out_width
+        base = ((batch * layer.out_channels * plane
+                 + out_row * layer.out_width + out_col)
+                * layer.dtype_bytes).astype(dtype)
+        return base, None, None, ok
+
+    def _ofmap_channel_parts(self, values: np.ndarray, extent: int) -> AxisParts:
+        """Output-channel axis of the dO matrix (dgrad A cols, wgrad A rows)."""
+        layer = self.layer
+        dtype = self._coord_dtype()
+        ok = values < extent
+        plane = layer.out_height * layer.out_width
+        base = (np.minimum(values, extent - 1) * plane
+                * layer.dtype_bytes).astype(dtype)
+        return base, None, None, ok
+
+    def _matrix_parts(self, values: np.ndarray, extent: int,
+                      pitch: int) -> AxisParts:
+        """Dense row-major matrix axis: offset = value * pitch elements."""
+        dtype = self._coord_dtype()
+        ok = values < extent
+        base = (np.minimum(values, extent - 1) * pitch
+                * self.layer.dtype_bytes).astype(dtype)
+        return base, None, None, ok
+
+    def _operand_parts(self, operand: str, axis: str,
+                       values: np.ndarray) -> AxisParts:
+        """Address parts of one operand along ``axis`` ("own" or "k")."""
+        layer = self.layer
+        gemm = self.workload.gemm
+        pass_kind = self.workload.pass_kind
+        if pass_kind == "forward":
+            if operand == "a":
+                if axis == "own":
+                    return self._im2col_position_parts(values, gemm.m,
+                                                       layer.in_channels)
+                return self._im2col_offset_parts(values, gemm.k)
+            if axis == "own":  # filter matrix: address = n * K + k
+                return self._matrix_parts(values, gemm.n, gemm.k)
+            return self._matrix_parts(values, gemm.k, 1)
+        if pass_kind == "dgrad":
+            if operand == "a":
+                if axis == "own":
+                    return self._ofmap_position_parts(values, gemm.m)
+                return self._ofmap_channel_parts(values, gemm.k)
+            if axis == "own":  # transposed filter: address = k * N + n
+                return self._matrix_parts(values, gemm.n, 1)
+            return self._matrix_parts(values, gemm.k, gemm.n)
+        if pass_kind == "wgrad":
+            if operand == "a":
+                if axis == "own":
+                    return self._ofmap_channel_parts(values, gemm.m)
+                return self._ofmap_position_parts(values, gemm.k)
+            if axis == "own":
+                return self._im2col_offset_parts(values, gemm.n)
+            return self._im2col_position_parts(values, gemm.k,
+                                               layer.in_channels)
+        raise ValueError(f"unknown pass kind {pass_kind!r}")
+
+    def _operand_bounds(self, operand: str) -> Optional[Tuple[int, int]]:
+        """Feature-map bounds predicating an operand's loads, if any."""
+        spec = self.workload.a if operand == "a" else self.workload.b
+        if spec.l1_pattern == "im2col" or spec.l2_reuse == "sliding":
+            return (self.layer.in_height, self.layer.in_width)
+        return None
+
+    def _operand_base(self, operand: str) -> int:
+        return self.layout.a_base if operand == "a" else self.layout.b_base
+
+    # ------------------------------------------------------------------
     # Tile address generation
     # ------------------------------------------------------------------
-    def ifmap_tile_addresses(self, cta_m: int, k_offset: int) -> np.ndarray:
-        """Byte addresses of the (blkM x blkK) IFmap tile of one main loop.
+    def _tile_addresses(self, operand: str, own_values: np.ndarray,
+                        k_values: np.ndarray) -> np.ndarray:
+        """Byte addresses of one (own x K) tile; predicated-off -> INVALID."""
+        base_o, row_o, col_o, ok_o = self._operand_parts(operand, "own",
+                                                         own_values)
+        base_k, row_k, col_k, ok_k = self._operand_parts(operand, "k", k_values)
+        valid = ok_o[:, np.newaxis] & ok_k[np.newaxis, :]
+        bounds = self._operand_bounds(operand)
+        if bounds is not None:
+            height, width = bounds
+            row = row_o[:, np.newaxis] + row_k[np.newaxis, :]
+            col = col_o[:, np.newaxis] + col_k[np.newaxis, :]
+            valid &= (row >= 0) & (row < height) & (col >= 0) & (col < width)
+        addresses = (base_o[:, np.newaxis].astype(np.int64)
+                     + base_k[np.newaxis, :] + self._operand_base(operand))
+        return np.where(valid, addresses, INVALID_ADDRESS)
+
+    def a_tile_addresses(self, cta_m: int, k_offset: int) -> np.ndarray:
+        """Byte addresses of the (blkM x blkK) A tile of one main loop.
 
         Rows beyond M and columns beyond K, as well as zero-padded input
         positions, are marked :data:`INVALID_ADDRESS`.
         """
-        layer = self.layer
-        tile = self.tile
-        gemm = layer.gemm_shape()
+        own = cta_m * self.tile.blk_m + np.arange(self.tile.blk_m)
+        k = k_offset + np.arange(self.tile.blk_k)
+        return self._tile_addresses("a", own, k)
 
-        m_index = cta_m * tile.blk_m + np.arange(tile.blk_m)
-        k_index = k_offset + np.arange(tile.blk_k)
-        m_grid, k_grid = np.meshgrid(m_index, k_index, indexing="ij")
-        in_range = (m_grid < gemm.m) & (k_grid < gemm.k)
-
-        batch, out_row, out_col = self._m_to_image_coords(np.minimum(m_grid, gemm.m - 1))
-        channel, f_row, f_col = self._k_to_filter_coords(np.minimum(k_grid, gemm.k - 1))
-
-        in_row = out_row * layer.stride - layer.padding + f_row
-        in_col = out_col * layer.stride - layer.padding + f_col
-        addresses = self.layout.ifmap_addresses(batch, channel, in_row, in_col)
-        return np.where(in_range, addresses, INVALID_ADDRESS)
-
-    def filter_tile_addresses(self, cta_n: int, k_offset: int) -> np.ndarray:
-        """Byte addresses of the (blkN x blkK) filter tile of one main loop."""
-        layer = self.layer
-        tile = self.tile
-        gemm = layer.gemm_shape()
-
-        n_index = cta_n * tile.blk_n + np.arange(tile.blk_n)
-        k_index = k_offset + np.arange(tile.blk_k)
-        n_grid, k_grid = np.meshgrid(n_index, k_index, indexing="ij")
-        in_range = (n_grid < gemm.n) & (k_grid < gemm.k)
-        addresses = self.layout.filter_addresses(n_grid, k_grid)
-        return np.where(in_range, addresses, INVALID_ADDRESS)
+    def b_tile_addresses(self, cta_n: int, k_offset: int) -> np.ndarray:
+        """Byte addresses of the (blkN x blkK) B tile of one main loop."""
+        own = cta_n * self.tile.blk_n + np.arange(self.tile.blk_n)
+        k = k_offset + np.arange(self.tile.blk_k)
+        return self._tile_addresses("b", own, k)
 
     # ------------------------------------------------------------------
     # Coalescing
@@ -183,21 +324,35 @@ class Im2colTraceGenerator:
         return TileAccess(l1_requests=requests, l1_sectors=warp_sectors,
                           sectors=sectors, elements=elements)
 
-    def ifmap_tile_access(self, cta_m: int, k_offset: int) -> TileAccess:
-        """Coalesced accesses of one IFmap tile (column-major warp mapping)."""
-        addresses = self.ifmap_tile_addresses(cta_m, k_offset)
-        rows, cols = addresses.shape
+    def _a_group_ids(self) -> np.ndarray:
+        """Warp map of the A tile, following the operand's contiguity axis.
+
+        Forward and dgrad A operands are contiguous along M, so each warp
+        covers 32 rows of one column (the paper's column-major mapping).  The
+        wgrad A operand (dO^T) is contiguous along K: the kernel streams
+        32/blkK row segments per warp and transposes through shared memory —
+        the same lane mapping the B-tile loads use — which is the load
+        stream the lowering's ``contiguous`` L1 pattern models.
+        """
+        rows, cols = self.tile.blk_m, self.tile.blk_k
+        if self.workload.a.l1_pattern == "contiguous" \
+                and self.workload.pass_kind == "wgrad":
+            return (np.arange(rows * cols) // WARP_SIZE).reshape(rows, cols)
         row_group = np.arange(rows) // WARP_SIZE
         col_ids = np.arange(cols)
-        # group id = (column, row group): each warp covers 32 rows of one column.
-        group_ids = (col_ids[np.newaxis, :] * (rows // WARP_SIZE + 1)
-                     + row_group[:, np.newaxis])
+        return (col_ids[np.newaxis, :] * (rows // WARP_SIZE + 1)
+                + row_group[:, np.newaxis])
+
+    def a_tile_access(self, cta_m: int, k_offset: int) -> TileAccess:
+        """Coalesced accesses of one A tile (column-major warp mapping)."""
+        addresses = self.a_tile_addresses(cta_m, k_offset)
+        group_ids = self._a_group_ids()
         return self._build_access(addresses, np.broadcast_to(group_ids,
                                                              addresses.shape))
 
-    def filter_tile_access(self, cta_n: int, k_offset: int) -> TileAccess:
-        """Coalesced accesses of one filter tile (blkK-major warp mapping)."""
-        addresses = self.filter_tile_addresses(cta_n, k_offset)
+    def b_tile_access(self, cta_n: int, k_offset: int) -> TileAccess:
+        """Coalesced accesses of one B tile (blkK-major warp mapping)."""
+        addresses = self.b_tile_addresses(cta_n, k_offset)
         flat = addresses.reshape(-1)  # n-major, k-minor: matches thread order
         lane = np.arange(flat.size)
         group_ids = lane // WARP_SIZE
@@ -206,119 +361,80 @@ class Im2colTraceGenerator:
     # ------------------------------------------------------------------
     # Batched generation (vectorized engine fast path)
     # ------------------------------------------------------------------
-    def _ifmap_group_ids(self) -> np.ndarray:
-        rows, cols = self.tile.blk_m, self.tile.blk_k
-        row_group = np.arange(rows) // WARP_SIZE
-        col_ids = np.arange(cols)
-        return (col_ids[np.newaxis, :] * (rows // WARP_SIZE + 1)
-                + row_group[:, np.newaxis])
+    def _tile_batch(self, operand: str, blk_own: int,
+                    coords: Sequence[int],
+                    k_offsets: Sequence[int]) -> "TileAccessBatch":
+        """All (coord, k_offset) tiles of the cross product, batched.
 
-    def ifmap_tile_batch(self, cta_ms: Sequence[int],
-                         k_offsets: Sequence[int]) -> "TileAccessBatch":
-        """All (cta_m, k_offset) IFmap tiles of the cross product, batched.
-
-        Tile index ``mi * len(k_offsets) + ki`` corresponds to
-        ``(cta_ms[mi], k_offsets[ki])``.  Results are identical to the scalar
-        :meth:`ifmap_tile_access`, but one address computation and one sort
-        serve the whole batch, which is what makes exact trace generation
-        tractable.
+        Tile index ``ci * len(k_offsets) + ki`` corresponds to
+        ``(coords[ci], k_offsets[ki])``.  Results are identical to the scalar
+        per-tile methods, but one address computation and one sort serve the
+        whole batch, which is what makes exact trace generation tractable.
+        The per-axis decomposition keeps every division/modulo on the small
+        per-axis coordinate vectors; only cheap adds/compares touch the full
+        lattice.
         """
-        cta_ms = np.asarray(cta_ms, dtype=np.int64)
+        coords = np.asarray(coords, dtype=np.int64)
         k_offsets = np.asarray(k_offsets, dtype=np.int64)
-        num_tiles = cta_ms.size * k_offsets.size
+        num_tiles = coords.size * k_offsets.size
         if num_tiles == 0:
             return TileAccessBatch.empty()
-        layer = self.layer
         tile = self.tile
-        gemm = layer.gemm_shape()
-        layout = self.layout
+        blk_k = tile.blk_k
 
-        # The BCHW im2col byte address separates into an outer sum of a pure
-        # M-axis part and a pure K-axis part:
-        #   element index = batch*C*H*W + (out_row*s - p)*W + (out_col*s - p)
-        #                 + channel*H*W + f_row*W + f_col
-        # so every division/modulo runs on the small per-axis coordinate
-        # vectors and only cheap adds/compares touch the full lattice.
-        # int32 only when the M-part + K-part sum cannot overflow.
-        coord_dtype = (np.int32 if layout.total_bytes
-                       < np.iinfo(np.int32).max // 2 else np.int64)
+        own_values = (coords[:, np.newaxis] * blk_own
+                      + np.arange(blk_own)).ravel()
+        k_values = (k_offsets[:, np.newaxis] + np.arange(blk_k)).ravel()
+        base_o, row_o, col_o, ok_o = self._operand_parts(operand, "own",
+                                                         own_values)
+        base_k, row_k, col_k, ok_k = self._operand_parts(operand, "k",
+                                                         k_values)
 
-        # M axis: (num_cta_m * blk_m) flat coordinate vectors.
-        m_values = (cta_ms[:, np.newaxis] * tile.blk_m
-                    + np.arange(tile.blk_m)).ravel()
-        m_ok = m_values < gemm.m
-        m_clamped = np.minimum(m_values, gemm.m - 1)
-        batch, out_row, out_col = self._m_to_image_coords(m_clamped)
-        row_m = (out_row * layer.stride - layer.padding).astype(coord_dtype)
-        col_m = (out_col * layer.stride - layer.padding).astype(coord_dtype)
-        plane = layer.in_height * layer.in_width
-        base_m = ((batch * layer.in_channels * plane + row_m * layer.in_width
-                   + col_m) * self.layer.dtype_bytes).astype(coord_dtype)
-        m_ok &= (batch >= 0) & (batch < layer.batch)
-
-        # K axis: (num_k_offsets * blk_k) flat coordinate vectors.
-        k_values = (k_offsets[:, np.newaxis] + np.arange(tile.blk_k)).ravel()
-        k_ok = k_values < gemm.k
-        channel, f_row, f_col = self._k_to_filter_coords(
-            np.minimum(k_values, gemm.k - 1))
-        row_k = f_row.astype(coord_dtype)
-        col_k = f_col.astype(coord_dtype)
-        base_k = ((channel * plane + f_row * layer.in_width + f_col)
-                  * self.layer.dtype_bytes).astype(coord_dtype)
-
-        # Outer combination over the (M axis, K axis) lattice.  Addresses stay
-        # in the narrow dtype; the key builder upcasts only when necessary.
-        row = row_m[:, np.newaxis] + row_k[np.newaxis, :]
-        col = col_m[:, np.newaxis] + col_k[np.newaxis, :]
-        valid = ((row >= 0) & (row < layer.in_height)
-                 & (col >= 0) & (col < layer.in_width)
-                 & (m_ok[:, np.newaxis] & k_ok[np.newaxis, :]))
+        # Outer combination over the (own axis, K axis) lattice.  Addresses
+        # stay in the narrow dtype; the key builder upcasts only if necessary.
+        valid = ok_o[:, np.newaxis] & ok_k[np.newaxis, :]
+        bounds = self._operand_bounds(operand)
+        if bounds is not None:
+            height, width = bounds
+            row = row_o[:, np.newaxis] + row_k[np.newaxis, :]
+            col = col_o[:, np.newaxis] + col_k[np.newaxis, :]
+            valid &= (row >= 0) & (row < height) & (col >= 0) & (col < width)
+        coord_dtype = base_o.dtype.type
         addresses = np.where(
             valid,
-            base_m[:, np.newaxis] + base_k[np.newaxis, :]
-            + coord_dtype(layout.ifmap_base),
+            base_o[:, np.newaxis] + base_k[np.newaxis, :]
+            + coord_dtype(self._operand_base(operand)),
             coord_dtype(INVALID_ADDRESS))
 
-        # (num_cta_m, blk_m, num_k, blk_k) -> (num_cta_m, num_k, blk_m, blk_k)
-        addresses = addresses.reshape(cta_ms.size, tile.blk_m,
-                                      k_offsets.size, tile.blk_k) \
+        # (ncoords, blk_own, nk, blk_k) -> (ncoords, nk, blk_own, blk_k)
+        addresses = addresses.reshape(coords.size, blk_own,
+                                      k_offsets.size, blk_k) \
             .transpose(0, 2, 1, 3).reshape(num_tiles, -1)
-        return self._build_access_batch(addresses,
-                                        self._ifmap_group_ids().ravel())
+        if operand == "a":
+            group_ids = self._a_group_ids().ravel()
+        else:
+            group_ids = np.arange(blk_own * blk_k) // WARP_SIZE
+        return self._build_access_batch(addresses, group_ids)
 
-    def filter_tile_batch(self, cta_ns: Sequence[int],
-                          k_offsets: Sequence[int]) -> "TileAccessBatch":
-        """All (cta_n, k_offset) filter tiles of the cross product, batched."""
-        cta_ns = np.asarray(cta_ns, dtype=np.int64)
-        k_offsets = np.asarray(k_offsets, dtype=np.int64)
-        num_tiles = cta_ns.size * k_offsets.size
-        if num_tiles == 0:
-            return TileAccessBatch.empty()
-        tile = self.tile
-        gemm = self.layer.gemm_shape()
+    def a_tile_batch(self, cta_ms: Sequence[int],
+                     k_offsets: Sequence[int]) -> "TileAccessBatch":
+        """All (cta_m, k_offset) A tiles of the cross product, batched."""
+        return self._tile_batch("a", self.tile.blk_m, cta_ms, k_offsets)
 
-        n_grid = (cta_ns[:, np.newaxis] * tile.blk_n
-                  + np.arange(tile.blk_n))[:, np.newaxis, :, np.newaxis]
-        k_grid = (k_offsets[:, np.newaxis]
-                  + np.arange(tile.blk_k))[np.newaxis, :, np.newaxis, :]
-        in_range = (n_grid < gemm.n) & (k_grid < gemm.k)
-        addresses = self.layout.filter_addresses(
-            np.broadcast_to(n_grid, in_range.shape),
-            np.broadcast_to(k_grid, in_range.shape))
-        addresses = np.where(in_range, addresses, INVALID_ADDRESS)
-        flat = addresses.reshape(num_tiles, -1)
-        lane_groups = np.arange(flat.shape[1]) // WARP_SIZE
-        return self._build_access_batch(flat, lane_groups)
+    def b_tile_batch(self, cta_ns: Sequence[int],
+                     k_offsets: Sequence[int]) -> "TileAccessBatch":
+        """All (cta_n, k_offset) B tiles of the cross product, batched."""
+        return self._tile_batch("b", self.tile.blk_n, cta_ns, k_offsets)
 
-    def ifmap_tile_access_batch(self, cta_ms: Sequence[int],
-                                k_offset: int) -> List[TileAccess]:
-        """Batched :meth:`ifmap_tile_access` over many CTA rows at once."""
-        return self.ifmap_tile_batch(cta_ms, [k_offset]).tiles()
+    def a_tile_access_batch(self, cta_ms: Sequence[int],
+                            k_offset: int) -> List[TileAccess]:
+        """Batched :meth:`a_tile_access` over many CTA rows at once."""
+        return self.a_tile_batch(cta_ms, [k_offset]).tiles()
 
-    def filter_tile_access_batch(self, cta_ns: Sequence[int],
-                                 k_offset: int) -> List[TileAccess]:
-        """Batched :meth:`filter_tile_access` over many CTA columns at once."""
-        return self.filter_tile_batch(cta_ns, [k_offset]).tiles()
+    def b_tile_access_batch(self, cta_ns: Sequence[int],
+                            k_offset: int) -> List[TileAccess]:
+        """Batched :meth:`b_tile_access` over many CTA columns at once."""
+        return self.b_tile_batch(cta_ns, [k_offset]).tiles()
 
     def _build_access_batch(self, addresses: np.ndarray,
                             group_ids: np.ndarray) -> "TileAccessBatch":
@@ -407,6 +523,28 @@ class Im2colTraceGenerator:
             sectors=unique_pairs % sector_span,
             offsets=offsets,
         )
+
+
+class Im2colTraceGenerator(GemmTraceGenerator):
+    """Forward-pass trace generator with the paper's IFmap/filter vocabulary.
+
+    Accepts a :class:`ConvLayerConfig` (lowered to its forward workload) for
+    backward compatibility with the seed API; the ``ifmap_*``/``filter_*``
+    methods alias the generic A/B-operand ones.
+    """
+
+    def __init__(self, layer: Union[ConvLayerConfig, GemmWorkload],
+                 tile: CtaTile, gpu: GpuSpec) -> None:
+        super().__init__(workload=as_workload(layer), tile=tile, gpu=gpu)
+
+    ifmap_tile_addresses = GemmTraceGenerator.a_tile_addresses
+    filter_tile_addresses = GemmTraceGenerator.b_tile_addresses
+    ifmap_tile_access = GemmTraceGenerator.a_tile_access
+    filter_tile_access = GemmTraceGenerator.b_tile_access
+    ifmap_tile_batch = GemmTraceGenerator.a_tile_batch
+    filter_tile_batch = GemmTraceGenerator.b_tile_batch
+    ifmap_tile_access_batch = GemmTraceGenerator.a_tile_access_batch
+    filter_tile_access_batch = GemmTraceGenerator.b_tile_access_batch
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Literal, Tuple
 
 from ..core.tiling import GemmGrid, active_ctas_per_sm
-from ..gpu.spec import GpuSpec
+from ..gpu.spec import FP32_BYTES, GpuSpec
 
 SchedulingOrder = Literal["column", "row"]
 
@@ -60,10 +60,12 @@ class CtaScheduler:
     grid: GemmGrid
     gpu: GpuSpec
     order: SchedulingOrder = "column"
+    #: element width of the scheduled workload; occupancy depends on it.
+    dtype_bytes: int = FP32_BYTES
 
     @property
     def active_ctas_per_sm(self) -> int:
-        return active_ctas_per_sm(self.grid.tile, self.gpu)
+        return active_ctas_per_sm(self.grid.tile, self.gpu, self.dtype_bytes)
 
     @property
     def wave_size(self) -> int:

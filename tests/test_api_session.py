@@ -281,3 +281,48 @@ class TestAllExperimentsRunThroughSession:
                 "fig17", max_ctas=30,
                 options={"sweeps": {"batch": [2, 4]}}))
             assert len(fig17.rows) == 2
+
+
+class TestWorkUnitDedupe:
+    """The executor's dedupe key is the layer's structural key + pass kind."""
+
+    def test_same_structure_different_name_dedupes(self):
+        from repro.core.layer import ConvLayerConfig
+        from repro.sim.engine import SimulatorConfig
+        layer_a = ConvLayerConfig.square("a", 1, 4, 8, 8, 3, padding=1)
+        layer_b = layer_a.with_name("b")
+        assert layer_a.structural_key() == layer_b.structural_key()
+        config = SimulatorConfig(max_ctas=10)
+        with Session() as session:
+            session.simulate_many([(TITAN_XP, layer_a, config),
+                                   (TITAN_XP, layer_b, config)])
+            assert session.stats.sim_tasks == 1
+            assert session.stats.sim_memo_hits == 1
+
+    def test_pass_kind_distinguishes_units(self):
+        from repro.core.layer import ConvLayerConfig
+        from repro.sim.engine import SimulatorConfig
+        layer = ConvLayerConfig.square("a", 1, 4, 8, 8, 3, padding=1)
+        config = SimulatorConfig(max_ctas=10)
+        with Session() as session:
+            forward = session.simulate(TITAN_XP, layer, config)
+            wgrad = session.simulate(TITAN_XP, layer, config,
+                                     pass_kind="wgrad")
+            assert session.stats.sim_tasks == 2
+            assert forward.pass_kind == "forward"
+            assert wgrad.pass_kind == "wgrad"
+            # repeat requests hit the memo, per pass kind.
+            session.simulate(TITAN_XP, layer, config, pass_kind="wgrad")
+            assert session.stats.sim_tasks == 2
+
+    def test_dtype_distinguishes_units(self):
+        from repro.core.layer import ConvLayerConfig
+        layer = ConvLayerConfig.square("a", 1, 4, 8, 8, 3, padding=1)
+        assert layer.structural_key() != layer.with_dtype(2).structural_key()
+
+    def test_network_dedupe_uses_the_same_key(self):
+        from repro.core.layer import ConvLayerConfig
+        from repro.networks.base import ConvNetwork
+        layer = ConvLayerConfig.square("x", 1, 4, 8, 8, 3, padding=1)
+        network = ConvNetwork(name="n", layers=(layer, layer.with_name("y")))
+        assert len(network.unique_layers()) == 1

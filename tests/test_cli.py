@@ -118,3 +118,43 @@ class TestJsonOutput:
         output = capsys.readouterr().out
         assert "V100" in output
         assert "AlexNet" in output
+
+
+class TestPassFlag:
+    def test_estimate_training_pass(self, capsys):
+        assert main(["estimate", "--network", "alexnet", "--batch", "32",
+                     "--unique", "--pass", "training"]) == 0
+        output = capsys.readouterr().out
+        assert "training step" in output
+        assert "wgrad" in output
+        assert "total step time" in output
+
+    def test_estimate_training_json(self, capsys):
+        assert main(["estimate", "--network", "alexnet", "--batch", "32",
+                     "--pass", "training", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["passes"] == "training"
+        passes = {row["pass"] for row in payload["rows"]}
+        assert passes == {"forward", "dgrad", "wgrad"}
+
+    def test_estimate_single_backward_pass(self, capsys):
+        assert main(["estimate", "--network", "alexnet", "--batch", "32",
+                     "--unique", "--pass", "dgrad"]) == 0
+        assert "dgrad pass" in capsys.readouterr().out
+
+    def test_sweep_accepts_pass(self, capsys):
+        assert main(["sweep", "--networks", "alexnet", "--gpus", "titanxp",
+                     "--batches", "32", "--pass", "training"]) == 0
+        assert "training" in capsys.readouterr().out
+
+    def test_invalid_pass_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--network", "alexnet",
+                                       "--pass", "sideways"])
+
+    def test_training_experiment_via_cli(self, capsys):
+        assert main(["experiment", "training", "--batch", "32",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report_id"] == "training"
+        assert payload["rows"]

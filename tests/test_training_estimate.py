@@ -1,0 +1,156 @@
+"""Tests for training-step aggregation, pass-aware requests and dtype flow."""
+
+import json
+
+import pytest
+
+from repro import TITAN_XP, DeltaModel
+from repro.api import EstimateRequest, Report, Session, SweepRequest
+from repro.core.training import estimate_training_step
+from repro.core.tiling import active_ctas_per_sm, build_grid
+from repro.core.workload import TRAINING_PASSES, lower_forward
+from repro.networks import alexnet
+
+
+class TestTrainingStepEstimate:
+    def test_per_pass_totals_sum_to_step_total(self):
+        model = DeltaModel(TITAN_XP)
+        step = model.estimate_training_step(alexnet(batch=32))
+        assert step.passes == TRAINING_PASSES
+        times = step.time_by_pass
+        assert step.total_time_seconds == pytest.approx(sum(times.values()))
+        for level in ("l1", "l2", "dram"):
+            assert step.total_traffic_bytes(level) == pytest.approx(
+                sum(step.traffic_by_pass(level).values()))
+
+    def test_records_cover_every_layer_and_pass(self):
+        network = alexnet(batch=32)
+        step = DeltaModel(TITAN_XP).estimate_training_step(network)
+        assert len(step.records) == len(network.conv_layers()) * 3
+        assert {record.pass_kind for record in step.records} == set(TRAINING_PASSES)
+        assert step.network == network.name
+        assert step.batch == 32
+
+    def test_step_macs_triple_forward(self):
+        network = alexnet(batch=32)
+        step = DeltaModel(TITAN_XP).estimate_training_step(network)
+        assert step.total_macs == 3 * network.total_macs
+
+    def test_backward_passes_add_time(self):
+        model = DeltaModel(TITAN_XP)
+        network = alexnet(batch=32)
+        forward_only = estimate_training_step(model, network,
+                                              passes=("forward",))
+        full = model.estimate_training_step(network)
+        assert full.total_time_seconds > forward_only.total_time_seconds
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_training_step(DeltaModel(TITAN_XP), [])
+
+
+class TestTrainingRequests:
+    def test_estimate_request_training_report_round_trips(self):
+        with Session() as session:
+            report = session.run(EstimateRequest("alexnet", batch=32,
+                                                 passes="training"))
+        assert report.meta["passes"] == "training"
+        assert "training step" in report.title
+        assert {row["pass"] for row in report.rows} == set(TRAINING_PASSES)
+        assert report.summary["total step time (ms)"] == pytest.approx(
+            sum(row["time_ms"] for row in report.rows))
+        restored = Report.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
+
+    def test_single_backward_pass_request(self):
+        with Session() as session:
+            report = session.run(EstimateRequest("alexnet", batch=32,
+                                                 passes="wgrad"))
+        assert "wgrad pass" in report.title
+        assert all(row["pass"] == "wgrad" for row in report.rows)
+
+    def test_forward_request_rows_unchanged(self):
+        """Default requests keep the seed row schema (no pass column)."""
+        with Session() as session:
+            report = session.run(EstimateRequest("alexnet", batch=32))
+        assert all("pass" not in row for row in report.rows)
+        assert report.meta["passes"] == "forward"
+
+    def test_invalid_passes_rejected(self):
+        with pytest.raises(ValueError):
+            EstimateRequest("alexnet", passes="sideways")
+        with pytest.raises(ValueError):
+            SweepRequest(passes="sideways")
+
+    def test_sweep_with_training_passes(self):
+        request = SweepRequest(networks=("alexnet",), gpus=("titanxp",),
+                               batches=(32,), passes="training")
+        with Session() as session:
+            training = session.run(request)
+            forward = session.run(SweepRequest(networks=("alexnet",),
+                                               gpus=("titanxp",),
+                                               batches=(32,)))
+        assert training.rows[0]["passes"] == "training"
+        assert (training.rows[0]["total_time_ms"]
+                > forward.rows[0]["total_time_ms"])
+        restored = Report.from_json(training.to_json())
+        assert restored.to_dict() == training.to_dict()
+
+    def test_training_experiment_runs_fast(self):
+        from repro.api import ExperimentRequest
+        with Session() as session:
+            report = session.run(ExperimentRequest("training",
+                                                   gpus=("titanxp",),
+                                                   batch=32))
+        assert report.report_id == "training"
+        row = report.rows[0]
+        assert row["step_ms"] == pytest.approx(
+            row["forward_ms"] + row["dgrad_ms"] + row["wgrad_ms"])
+        json.loads(report.to_json())
+
+
+class TestDtypePlumbing:
+    """Satellite: dtype_bytes flows through every byte computation."""
+
+    def test_fp16_traffic_scales(self, small_conv_layer):
+        model = DeltaModel(TITAN_XP)
+        fp32 = model.traffic(small_conv_layer)
+        fp16 = model.traffic(small_conv_layer.with_dtype(2))
+        # DRAM and L2 traffic are footprint x dtype: exactly half.
+        assert fp16.dram_bytes == pytest.approx(fp32.dram_bytes / 2)
+        assert fp16.l2_bytes == pytest.approx(fp32.l2_bytes / 2)
+        # L1 traffic halves per element but the MLI factors change with the
+        # warp footprint; it must still shrink meaningfully.
+        assert fp16.l1_bytes < fp32.l1_bytes
+
+    def test_fp16_time_improves(self):
+        model = DeltaModel(TITAN_XP)
+        network = alexnet(batch=32)
+        for layer in network.unique_layers():
+            fp32 = model.estimate(layer)
+            fp16 = model.estimate(layer.with_dtype(2))
+            assert fp16.time_seconds < fp32.time_seconds, layer.name
+
+    def test_fp16_occupancy_not_worse(self, reference_conv_layer):
+        tile = build_grid(reference_conv_layer).tile
+        assert (active_ctas_per_sm(tile, TITAN_XP, dtype_bytes=2)
+                >= active_ctas_per_sm(tile, TITAN_XP, dtype_bytes=4))
+
+    def test_workload_carries_layer_dtype(self, small_conv_layer):
+        fp16_layer = small_conv_layer.with_dtype(2)
+        workload = lower_forward(fp16_layer)
+        assert workload.dtype_bytes == 2
+        estimate = DeltaModel(TITAN_XP).estimate(workload)
+        assert estimate.workload.dtype_bytes == 2
+
+    def test_fp16_training_step_scales(self):
+        model = DeltaModel(TITAN_XP)
+        fp32_net = alexnet(batch=32)
+        fp16_net = fp32_net.__class__(
+            name=fp32_net.name,
+            layers=tuple(layer.with_dtype(2) for layer in fp32_net.layers))
+        fp32 = model.estimate_training_step(fp32_net)
+        fp16 = model.estimate_training_step(fp16_net)
+        assert fp16.total_traffic_bytes("dram") == pytest.approx(
+            fp32.total_traffic_bytes("dram") / 2)
+        assert fp16.total_time_seconds < fp32.total_time_seconds

@@ -1,0 +1,153 @@
+"""Tests for the pass-aware GEMM workload IR and its lowering algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layer import ConvLayerConfig
+from repro.core.workload import (
+    PASS_KINDS,
+    TRAINING_PASSES,
+    GemmWorkload,
+    Im2colPattern,
+    as_workload,
+    expand_passes,
+    lower_dgrad,
+    lower_forward,
+    lower_pass,
+    lower_wgrad,
+    normalize_passes,
+    training_workloads,
+)
+from repro.networks.registry import PAPER_NETWORK_ORDER, get_network
+
+
+def conv_layers():
+    """Hypothesis strategy generating valid conv layer configurations."""
+    return st.builds(
+        lambda b, ci, size, co, f, s, p: ConvLayerConfig.square(
+            "gen", b, in_channels=ci, in_size=max(size, f + 2 * 0),
+            out_channels=co, filter_size=min(f, size), stride=s, padding=p),
+        st.integers(1, 8), st.integers(1, 64), st.integers(3, 32),
+        st.integers(1, 128), st.integers(1, 7), st.integers(1, 3),
+        st.integers(0, 3))
+
+
+class TestLowering:
+    def test_forward_reproduces_layer_geometry(self, small_conv_layer):
+        workload = lower_forward(small_conv_layer)
+        assert workload.gemm == small_conv_layer.gemm_shape()
+        assert workload.pass_kind == "forward"
+        assert workload.a.role == "ifmap"
+        assert workload.b.role == "filter"
+        assert workload.out_elements == small_conv_layer.ofmap_elements
+        assert workload.dtype_bytes == small_conv_layer.dtype_bytes
+        assert workload.macs == small_conv_layer.macs
+
+    def test_dgrad_swaps_n_and_k(self, small_conv_layer):
+        forward = small_conv_layer.gemm_shape()
+        dgrad = lower_dgrad(small_conv_layer).gemm
+        assert (dgrad.m, dgrad.n, dgrad.k) == (forward.m, forward.k, forward.n)
+
+    def test_wgrad_swaps_m_and_k(self, small_conv_layer):
+        forward = small_conv_layer.gemm_shape()
+        wgrad = lower_wgrad(small_conv_layer).gemm
+        assert (wgrad.m, wgrad.n, wgrad.k) == (forward.n, forward.k, forward.m)
+
+    def test_operand_bindings_per_pass(self, small_conv_layer):
+        forward, dgrad, wgrad = training_workloads(small_conv_layer)
+        # forward: im2col IFmap on M, gathered filter on N.
+        assert (forward.a.l1_pattern, forward.b.l1_pattern) == ("im2col", "gather")
+        # dgrad: dense dO on M, transposed filter on N; output is dI.
+        assert dgrad.a.role == "ofmap_grad"
+        assert dgrad.a.l1_pattern == "contiguous"
+        assert dgrad.out_role == "ifmap_grad"
+        assert dgrad.out_elements == small_conv_layer.ifmap_elements
+        # wgrad: dO^T on M, im2col IFmap on N; output is dW.
+        assert wgrad.b.role == "ifmap"
+        assert wgrad.b.l2_reuse == "sliding"
+        assert wgrad.out_role == "filter_grad"
+        assert wgrad.out_elements == small_conv_layer.filter_elements
+
+    def test_gradient_tensors_share_the_ofmap_footprint(self, small_conv_layer):
+        _, dgrad, wgrad = training_workloads(small_conv_layer)
+        assert dgrad.a.tensor_elements == small_conv_layer.ofmap_elements
+        assert wgrad.a.tensor_elements == small_conv_layer.ofmap_elements
+
+    def test_pass_names_are_distinguishable(self, small_conv_layer):
+        names = {w.name for w in training_workloads(small_conv_layer)}
+        assert names == {"small3x3", "small3x3:dgrad", "small3x3:wgrad"}
+
+    def test_lower_pass_rejects_unknown(self, small_conv_layer):
+        with pytest.raises(ValueError):
+            lower_pass(small_conv_layer, "backward")
+
+    def test_as_workload_passthrough_and_coercion(self, small_conv_layer):
+        workload = lower_wgrad(small_conv_layer)
+        assert as_workload(workload) is workload
+        assert as_workload(small_conv_layer).pass_kind == "forward"
+        with pytest.raises(TypeError):
+            as_workload("conv1")
+
+    def test_structural_key_includes_pass(self, small_conv_layer):
+        keys = {w.structural_key() for w in training_workloads(small_conv_layer)}
+        assert len(keys) == 3
+        renamed = small_conv_layer.with_name("other")
+        assert (lower_forward(renamed).structural_key()
+                == lower_forward(small_conv_layer).structural_key())
+
+
+class TestPassAlgebra:
+    """Property tests: the three passes are swaps of one GEMM."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(conv_layers())
+    def test_macs_conserved_per_pass(self, layer):
+        forward_macs = layer.macs
+        for workload in training_workloads(layer):
+            assert workload.macs == forward_macs
+
+    @settings(max_examples=60, deadline=None)
+    @given(conv_layers())
+    def test_shapes_are_axis_swaps(self, layer):
+        forward = layer.gemm_shape()
+        dgrad = lower_dgrad(layer).gemm
+        wgrad = lower_wgrad(layer).gemm
+        assert {dgrad.m, dgrad.n, dgrad.k} == {forward.m, forward.n, forward.k}
+        assert (wgrad.m, wgrad.n, wgrad.k) == (forward.n, forward.k, forward.m)
+
+    @settings(max_examples=30, deadline=None)
+    @given(conv_layers())
+    def test_forward_pattern_matches_layer(self, layer):
+        pattern = Im2colPattern.of_layer(layer)
+        assert pattern.padded_width == layer.padded_width
+        assert pattern.out_height == layer.out_height
+        assert pattern.is_pointwise == layer.is_pointwise
+        assert pattern.filter_pixels == layer.filter_pixels
+
+    def test_training_step_macs_for_registered_networks(self):
+        """A training step costs exactly 3x the forward MACs, per network."""
+        for name in PAPER_NETWORK_ORDER:
+            network = get_network(name, batch=16)
+            for layer in network.unique_layers():
+                step_macs = sum(w.macs for w in training_workloads(layer))
+                assert step_macs == 3 * layer.macs, (name, layer.name)
+
+
+class TestPassOptions:
+    def test_normalize_and_expand(self):
+        assert normalize_passes(None) == "forward"
+        assert normalize_passes(" Training ") == "training"
+        assert expand_passes("training") == TRAINING_PASSES
+        assert expand_passes("wgrad") == ("wgrad",)
+        with pytest.raises(ValueError):
+            normalize_passes("backward")
+
+    def test_pass_kind_validation(self, small_conv_layer):
+        workload = lower_forward(small_conv_layer)
+        with pytest.raises(ValueError):
+            GemmWorkload(
+                name="bad", pass_kind="sideways", gemm=workload.gemm,
+                a=workload.a, b=workload.b, out_role="ofmap",
+                out_elements=1, dtype_bytes=4, layer=small_conv_layer)
+        assert set(PASS_KINDS) == {"forward", "dgrad", "wgrad"}
