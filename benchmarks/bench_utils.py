@@ -9,7 +9,17 @@ time; see EXPERIMENTS.md for how to rerun at larger scale.
 
 from __future__ import annotations
 
+import json
+import os
+from typing import Dict
+
 from repro.analysis.validation import ValidationConfig
+
+#: where the machine-readable benchmark summaries land (committed, so the
+#: perf trajectory across PRs lives in git history; override with the
+#: BENCH_OUT_DIR environment variable).
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
 
 #: reduced-scale configuration used by all simulation-backed benchmarks.
 #: The vectorized engine reclaimed enough budget to double the mini-batch
@@ -22,3 +32,19 @@ def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def write_bench_summary(name: str, payload: Dict[str, object]) -> str:
+    """Write a machine-readable BENCH_<name>.json perf summary.
+
+    Every perf-regression benchmark emits one of these so the trajectory
+    (points/s, wall-clock, speedups) is diffable across PRs instead of
+    living only in transient pytest output.  Returns the written path.
+    """
+    out_dir = os.environ.get("BENCH_OUT_DIR", RESULTS_DIR)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

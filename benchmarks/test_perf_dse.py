@@ -1,0 +1,78 @@
+"""Perf-regression benchmark for the design-space exploration subsystem.
+
+Sweeps a >=1000-point GPU x workload grid with the analytic model through
+the full DSE pipeline (space enumeration, content keys, JSONL store, Pareto
+frontier) and asserts it completes inside the CI smoke budget with a valid
+non-empty frontier, then reruns the identical sweep against the warm store
+and asserts *zero* re-evaluations.  Emits ``BENCH_dse.json`` so the sweep's
+points/second trajectory is tracked across PRs.
+"""
+
+import time
+
+from repro.dse import ExhaustiveDriver, ResultStore, explore, grid
+
+from bench_utils import run_once, write_bench_summary
+
+#: wall-clock budget for the cold 1600-point sweep.  Evaluation is pure
+#: analytic model (~0.5 ms/point); the budget leaves ~40x headroom for slow
+#: CI hosts.
+COLD_BUDGET_SECONDS = 45.0
+
+
+def _space():
+    return grid({
+        "num_sm": (1, 1.5, 2, 3, 4),
+        "mac_bw": (1, 2, 4, 6, 8),
+        "l1_bw": (1, 2),
+        "l2_bw": (1, 1.5, 2, 3),
+        "dram_bw": (1, 1.5, 2, 3),
+        "cta_tile": (128, 256),
+    }, network="alexnet", batch=32)
+
+
+def test_dse_thousand_point_sweep(benchmark, tmp_path):
+    space = _space()
+    assert len(space) == 1600
+    store_path = str(tmp_path / "sweep.jsonl")
+
+    def cold_sweep():
+        with ResultStore(store_path) as store:
+            return explore(space, driver=ExhaustiveDriver(), store=store)
+
+    start = time.perf_counter()
+    exploration = run_once(benchmark, cold_sweep)
+    cold_elapsed = time.perf_counter() - start
+
+    assert exploration.stats.evaluated == len(space)
+    assert len(exploration.results) == len(space)
+    # a valid, non-empty frontier: non-dominated points with sane metrics.
+    assert 0 < len(exploration.frontier) < len(space)
+    for result in exploration.frontier_results():
+        assert float(result.metrics["time_s"]) > 0
+        assert float(result.metrics["resource_cost"]) >= 1.0
+
+    # resumed sweep: the store answers every point, nothing re-evaluates.
+    start = time.perf_counter()
+    with ResultStore(store_path) as store:
+        resumed = explore(space, driver=ExhaustiveDriver(), store=store)
+    warm_elapsed = time.perf_counter() - start
+    assert resumed.stats.evaluated == 0
+    assert resumed.stats.store_hits == len(space)
+    assert resumed.frontier == exploration.frontier
+
+    write_bench_summary("dse", {
+        "points": len(space),
+        "cold_elapsed_s": cold_elapsed,
+        "cold_points_per_s": len(space) / cold_elapsed,
+        "warm_elapsed_s": warm_elapsed,
+        "budget_s": COLD_BUDGET_SECONDS,
+        "frontier_size": len(exploration.frontier),
+        "network": "alexnet",
+        "batch": 32,
+    })
+
+    assert cold_elapsed <= COLD_BUDGET_SECONDS, (
+        f"DSE sweep regression: {cold_elapsed:.2f}s for {len(space)} points; "
+        f"budget is {COLD_BUDGET_SECONDS:.0f}s")
+    assert warm_elapsed < cold_elapsed

@@ -14,7 +14,7 @@ from repro.gpu import TITAN_XP
 from repro.networks.registry import get_network
 from repro.sim.engine import ConvLayerSimulator, SimulatorConfig
 
-from bench_utils import run_once
+from bench_utils import run_once, write_bench_summary
 
 #: seed-engine wall-clock on the profiled case; the vectorized engine must
 #: beat it by >= 10x even on slow CI hosts.
@@ -44,6 +44,14 @@ def test_engine_single_layer(benchmark):
     assert result.traffic.dram_filter_bytes == 1228800.0
     assert result.traffic.l1_requests == 3199818.266666667
     assert result.simulated_ctas == 60
+
+    write_bench_summary("engine", {
+        "case": "alexnet conv2, batch 8, 60 CTAs, TITAN Xp",
+        "elapsed_s": elapsed,
+        "budget_s": SEED_SECONDS / 10,
+        "seed_engine_s": SEED_SECONDS,
+        "speedup_vs_seed": SEED_SECONDS / elapsed if elapsed > 0 else None,
+    })
 
     assert elapsed <= SEED_SECONDS / 10, (
         f"engine regression: {elapsed:.2f}s on the profiled case; "

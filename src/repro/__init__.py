@@ -16,6 +16,8 @@ Public API highlights
   ResNet152) expressed as convolution layer configurations.
 * :mod:`repro.sim` — a trace-driven GPU memory-hierarchy simulator used as
   the "measured" reference in place of hardware profiling.
+* :mod:`repro.dse` — design-space exploration: searchable GPU x workload
+  spaces, search drivers, Pareto frontiers, and a resumable result store.
 * :mod:`repro.experiments` — one module per paper table/figure.
 """
 
@@ -48,6 +50,7 @@ from .networks import (
     vgg16,
 )
 from .api import (
+    DseRequest,
     EstimateRequest,
     ExperimentRequest,
     Report,
@@ -56,6 +59,19 @@ from .api import (
     ValidateRequest,
     current_session,
     use_session,
+)
+from .dse import (
+    DesignPoint,
+    ExhaustiveDriver,
+    RandomDriver,
+    ResultStore,
+    SearchSpace,
+    SuccessiveHalvingDriver,
+    explore,
+    grid,
+    pareto_frontier,
+    union,
+    zip_axes,
 )
 
 __version__ = "1.1.0"
@@ -97,6 +113,18 @@ __all__ = [
     "SweepRequest",
     "ValidateRequest",
     "ExperimentRequest",
+    "DseRequest",
     "current_session",
     "use_session",
+    "DesignPoint",
+    "SearchSpace",
+    "grid",
+    "zip_axes",
+    "union",
+    "ExhaustiveDriver",
+    "RandomDriver",
+    "SuccessiveHalvingDriver",
+    "ResultStore",
+    "explore",
+    "pareto_frontier",
 ]

@@ -1,0 +1,202 @@
+"""Objectives, Pareto frontiers and scaling recommendations for DSE sweeps.
+
+The design-space exploration (:mod:`repro.dse`) evaluates every design point
+into a flat metrics dict; this module turns those metrics into decisions:
+
+* :data:`OBJECTIVES` — the named objectives a sweep can optimize
+  (throughput, time, DRAM bytes per step, and a resource-cost proxy);
+* :func:`pareto_frontier` — d-dimensional non-dominated filtering over any
+  combination of objectives;
+* :func:`design_cost` — the area/board-cost proxy of a
+  :class:`~repro.gpu.design_options.DesignOption` (baseline = 1.0);
+* :func:`scale_next_rows` — the ranked "what resource should the next design
+  scale" report, derived from time-weighted bottleneck shares the same way
+  Fig. 16c attributes per-option bottlenecks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..gpu.design_options import DesignOption
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimization target over the per-point metrics dict."""
+
+    name: str
+    #: key into the metrics dict produced by the point evaluation.
+    metric: str
+    #: "max" (bigger is better) or "min".
+    direction: str
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("min", "max"):
+            raise ValueError(
+                f"objective direction must be 'min' or 'max', "
+                f"got {self.direction!r}")
+
+    def oriented(self, value: float) -> float:
+        """The value mapped so that *larger is always better*."""
+        return value if self.direction == "max" else -value
+
+
+#: named objectives accepted by requests/CLI (``--objectives``).
+OBJECTIVES: Dict[str, Objective] = {
+    "throughput": Objective("throughput", "throughput_tflops", "max",
+                            "achieved TFLOP/s"),
+    "time": Objective("time", "time_s", "min", "total step time (s)"),
+    "dram": Objective("dram", "dram_gb", "min", "DRAM GB per step"),
+    "cost": Objective("cost", "resource_cost", "min",
+                      "resource cost (x baseline)"),
+}
+
+DEFAULT_OBJECTIVE_NAMES: Tuple[str, ...] = ("throughput", "dram", "cost")
+
+
+def resolve_objectives(names: Sequence[str]) -> Tuple[Objective, ...]:
+    """Map objective names to :class:`Objective` records (order-preserving)."""
+    resolved = []
+    for name in names:
+        key = str(name).strip().lower()
+        if key not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {name!r}; expected one of "
+                f"{sorted(OBJECTIVES)}")
+        resolved.append(OBJECTIVES[key])
+    if not resolved:
+        raise ValueError("at least one objective is required")
+    return tuple(resolved)
+
+
+def dominates(a: Mapping[str, float], b: Mapping[str, float],
+              objectives: Sequence[Objective]) -> bool:
+    """True if metrics ``a`` Pareto-dominates ``b``: no worse on every
+    objective and strictly better on at least one."""
+    strictly_better = False
+    for objective in objectives:
+        va = objective.oriented(float(a[objective.metric]))
+        vb = objective.oriented(float(b[objective.metric]))
+        if va < vb:
+            return False
+        if va > vb:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(metric_rows: Sequence[Mapping[str, float]],
+                    objectives: Sequence[Objective]) -> List[int]:
+    """Indices of the non-dominated rows, in their original order.
+
+    Duplicated metric vectors are all kept (they dominate nothing and are
+    dominated by nothing), so equal-merit designs stay visible side by side.
+    """
+    oriented = [
+        tuple(objective.oriented(float(row[objective.metric]))
+              for objective in objectives)
+        for row in metric_rows
+    ]
+    frontier: List[int] = []
+    for i, candidate in enumerate(oriented):
+        dominated = False
+        for j, other in enumerate(oriented):
+            if i == j:
+                continue
+            if all(o >= c for o, c in zip(other, candidate)) and \
+                    any(o > c for o, c in zip(other, candidate)):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(i)
+    return frontier
+
+
+# ----------------------------------------------------------------------
+# Resource-cost proxy
+# ----------------------------------------------------------------------
+
+#: marginal cost of scaling each per-SM resource, relative to one whole
+#: baseline SM (= 1.0).  MAC datapaths dominate SM area; register file and
+#: shared memory are SRAM; bandwidths cost wires/banking.
+_PER_SM_COST_WEIGHTS: Dict[str, float] = {
+    "mac_bw": 0.35,
+    "regs": 0.10,
+    "smem_size": 0.08,
+    "smem_bw": 0.07,
+    "l1_bw": 0.05,
+}
+#: chip-level costs: L2 slices/crossbar and the DRAM interface (pins/PHY),
+#: relative to the whole baseline device (= 1.0).
+_CHIP_COST_WEIGHTS: Dict[str, float] = {
+    "l2_bw": 0.18,
+    "dram_bw": 0.22,
+}
+
+
+def design_cost(option: DesignOption) -> float:
+    """Area/board-cost proxy of a design option; the baseline costs 1.0.
+
+    The per-SM term scales with the SM count multiplier (more SMs replicate
+    every per-SM resource), the chip-level term with the L2/DRAM bandwidth
+    multipliers alone.  The CTA tile is a software choice and is free.  This
+    is a deliberately simple, monotone proxy — good enough to rank "balanced
+    vs brute-force" designs the way Section VII-C discusses them, not a
+    silicon-area model.
+    """
+    per_sm = 1.0 + sum(weight * (getattr(option, key) - 1.0)
+                       for key, weight in _PER_SM_COST_WEIGHTS.items())
+    chip = sum(weight * (getattr(option, key) - 1.0)
+               for key, weight in _CHIP_COST_WEIGHTS.items())
+    return option.num_sm * per_sm + chip
+
+
+# ----------------------------------------------------------------------
+# "What to scale next" report
+# ----------------------------------------------------------------------
+
+#: the hardware resource whose scaling relieves each bottleneck category.
+BOTTLENECK_RESOURCE: Dict[str, str] = {
+    "MAC_BW": "mac_bw",
+    "SMEM_BW": "smem_bw",
+    "L1_BW": "l1_bw",
+    "L2_BW": "l2_bw",
+    "DRAM_BW": "dram_bw",
+    "DRAM_LAT": "regs/smem_size (more resident CTAs) or cta_tile",
+}
+
+
+def scale_next_rows(results: Sequence[Mapping[str, object]],
+                    top: int = 6) -> List[Dict[str, object]]:
+    """Rank resources by how much execution time still waits on them.
+
+    ``results`` are per-point metric dicts carrying a ``bottlenecks`` mapping
+    (bottleneck name -> fraction of the point's time, as in Fig. 16c) and a
+    ``time_s`` total.  Shares are aggregated weighted by each point's total
+    time, so slow designs — the ones a next design step should fix — speak
+    loudest.
+    """
+    weighted: Dict[str, float] = {}
+    total_time = 0.0
+    for metrics in results:
+        time_s = float(metrics.get("time_s", 0.0))
+        shares = metrics.get("bottlenecks", {})
+        if not isinstance(shares, Mapping) or time_s <= 0:
+            continue
+        total_time += time_s
+        for name, share in shares.items():
+            weighted[name] = weighted.get(name, 0.0) + float(share) * time_s
+    rows: List[Dict[str, object]] = []
+    if total_time <= 0:
+        return rows
+    ranked = sorted(weighted.items(), key=lambda item: (-item[1], item[0]))
+    for rank, (name, share_time) in enumerate(ranked[:top], start=1):
+        rows.append({
+            "rank": rank,
+            "bottleneck": name,
+            "time_share": share_time / total_time,
+            "scale_next": BOTTLENECK_RESOURCE.get(name, "unknown"),
+        })
+    return rows

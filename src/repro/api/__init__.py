@@ -45,6 +45,7 @@ from ..networks.registry import (
 )
 from .report import SCHEMA_VERSION, Report
 from .requests import (
+    DseRequest,
     EstimateRequest,
     ExperimentRequest,
     Request,
@@ -76,6 +77,7 @@ __all__ = [
     "SweepRequest",
     "ValidateRequest",
     "ExperimentRequest",
+    "DseRequest",
     "register_network",
     "unregister_network",
     "available_networks",

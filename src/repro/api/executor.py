@@ -29,8 +29,8 @@ from ..experiments.registry import ExperimentSpec, get_experiment_spec
 from ..gpu.devices import get_device
 from ..networks.registry import get_network
 from .report import Report
-from .requests import (EstimateRequest, ExperimentRequest, Request,
-                       SweepRequest, ValidateRequest)
+from .requests import (DseRequest, EstimateRequest, ExperimentRequest,
+                       Request, SweepRequest, ValidateRequest)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .session import Session, SimUnit
@@ -50,6 +50,8 @@ def execute(session: "Session", request: Request) -> Report:
         report = _run_validate(session, request)
     elif isinstance(request, ExperimentRequest):
         report = _run_experiment(session, request)
+    elif isinstance(request, DseRequest):
+        report = _run_dse(session, request)
     else:
         raise TypeError(f"unsupported request type {type(request).__name__}")
     session.stats.requests_run += 1
@@ -239,6 +241,86 @@ def _run_validate(session: "Session", request: ValidateRequest) -> Report:
              f"{len(validation.records)} layers)")
     return Report(kind="validation", title=title,
                   rows=tuple(validation.rows()), summary=summary, meta=meta)
+
+
+# ----------------------------------------------------------------------
+# Design-space exploration
+# ----------------------------------------------------------------------
+
+def _run_dse(session: "Session", request: DseRequest) -> Report:
+    from ..analysis.frontier import resolve_objectives, scale_next_rows
+    from ..dse.drivers import build_driver
+    from ..dse.runner import confirm_frontier, explore
+    from ..dse.store import ResultStore
+
+    base_gpu = get_device(request.gpu)
+    driver = build_driver(request.driver, budget=request.budget,
+                          seed=request.seed)
+    objectives = resolve_objectives(request.objectives)
+    store = ResultStore(request.store_path) if request.store_path else None
+    try:
+        exploration = explore(request.space, driver=driver, base_gpu=base_gpu,
+                              objectives=objectives, store=store,
+                              session=session, unique=request.unique)
+    finally:
+        if store is not None:
+            store.close()
+    if request.confirm_top:
+        exploration = confirm_frontier(exploration, session,
+                                       top=request.confirm_top)
+
+    rows = exploration.frontier_rows()
+    stats = exploration.stats
+    summary: Dict[str, object] = {
+        "points planned": stats.planned,
+        "points evaluated": stats.evaluated,
+        "memo hits": stats.memo_hits,
+        "store hits": stats.store_hits,
+        "frontier size": len(exploration.frontier),
+    }
+    if stats.proxy_evaluations:
+        summary["proxy evaluations"] = stats.proxy_evaluations
+    for objective in objectives:
+        best = None
+        for result in exploration.frontier_results():
+            value = float(result.metrics[objective.metric])
+            if best is None or objective.oriented(value) > objective.oriented(best[1]):
+                best = (result.point.name, value)
+        if best is not None:
+            summary[f"best {objective.name}"] = f"{best[0]} ({best[1]:.4g})"
+    series = {
+        "frontier: cost vs speedup": [
+            (row["cost"], row["speedup"]) for row in rows if "speedup" in row
+        ],
+    }
+    recommendations = scale_next_rows(
+        [result.metrics for result in exploration.frontier_results()])
+    children = ()
+    if recommendations:
+        children = (Report(kind="dse-recommendations",
+                           title="what to scale next (time-weighted "
+                                 "bottleneck shares across the frontier)",
+                           rows=tuple(recommendations)),)
+    meta = _base_meta(session, request)
+    meta.update({
+        "gpu": base_gpu.name,
+        "driver": request.driver,
+        "budget": request.budget,
+        "seed": request.seed,
+        "objectives": list(request.objectives),
+        "unique": request.unique,
+        "space_size": len(request.space),
+    })
+    if request.store_path:
+        meta["store_path"] = str(request.store_path)
+    title = (f"design-space exploration on {base_gpu.name}: "
+             f"{stats.planned} points ({request.driver} driver), "
+             f"{len(exploration.frontier)}-point Pareto frontier over "
+             f"{'/'.join(request.objectives)}")
+    return Report(kind="dse", title=title, rows=tuple(rows),
+                  series={name: tuple(pairs) for name, pairs in series.items()
+                          if pairs},
+                  summary=summary, meta=meta, children=children)
 
 
 # ----------------------------------------------------------------------

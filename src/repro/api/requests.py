@@ -10,9 +10,12 @@ options hold arbitrary keyword arguments.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.workload import PassKind, expand_passes, normalize_passes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..dse.space import SearchSpace
 
 Names = Union[str, Sequence[str]]
 
@@ -131,4 +134,60 @@ class ExperimentRequest:
             raise ValueError("batch must be positive")
 
 
-Request = Union[EstimateRequest, SweepRequest, ValidateRequest, ExperimentRequest]
+@dataclass(frozen=True)
+class DseRequest:
+    """Design-space exploration over a searchable GPU x workload space.
+
+    ``space`` is a :class:`repro.dse.SearchSpace` (grid / zip / union /
+    explicit); the driver decides which of its points are evaluated, the
+    optional JSONL ``store_path`` makes the sweep resumable, and
+    ``objectives`` select the Pareto frontier the report is built around.
+    Analytic-model evaluation fans out over the session's process pool;
+    ``confirm_top`` > 0 additionally cross-checks the best frontier points
+    against the trace-driven simulator.
+    """
+
+    space: "SearchSpace"
+    gpu: str = "titanxp"
+    #: search strategy: "grid" (exhaustive), "random" or "halving".
+    driver: str = "grid"
+    #: evaluation budget (required for random/halving; caps grid).
+    budget: Optional[int] = None
+    seed: int = 0
+    objectives: Tuple[str, ...] = ("throughput", "dram", "cost")
+    #: JSONL result store; interrupted or repeated sweeps skip evaluated points.
+    store_path: Optional[str] = None
+    #: evaluate each network's unique layer configurations only.
+    unique: bool = True
+    #: simulator-confirm this many top frontier points (0 = model only).
+    confirm_top: int = 0
+
+    def __post_init__(self) -> None:
+        from ..analysis.frontier import resolve_objectives
+        from ..dse.drivers import driver_names
+        from ..dse.space import SearchSpace
+        if not isinstance(self.space, SearchSpace):
+            raise TypeError(
+                f"space must be a repro.dse.SearchSpace, "
+                f"got {type(self.space).__name__}")
+        object.__setattr__(self, "gpu", self.gpu.strip().lower())
+        driver = self.driver.strip().lower()
+        if driver not in driver_names():
+            raise ValueError(
+                f"unknown driver {self.driver!r}; expected one of "
+                f"{list(driver_names())}")
+        object.__setattr__(self, "driver", driver)
+        objectives = tuple(str(name).strip().lower()
+                           for name in self.objectives)
+        resolve_objectives(objectives)  # validates the names
+        object.__setattr__(self, "objectives", objectives)
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if driver in ("random", "halving") and self.budget is None:
+            raise ValueError(f"the {driver} driver requires a budget")
+        if self.confirm_top < 0:
+            raise ValueError("confirm_top must be non-negative")
+
+
+Request = Union[EstimateRequest, SweepRequest, ValidateRequest,
+                ExperimentRequest, DseRequest]

@@ -88,6 +88,10 @@ class SessionStats:
     pool_launches: int = 0
     #: requests executed through Session.run / Session.run_many.
     requests_run: int = 0
+    #: design-space points evaluated (after memo/store dedupe).
+    dse_points: int = 0
+    #: design-space points answered from the session's in-memory memo.
+    dse_memo_hits: int = 0
 
 
 class Session:
@@ -109,6 +113,10 @@ class Session:
         self._sim_results: Dict[Tuple, SimResult] = {}
         self._validation_memo: Dict[Tuple[GpuSpec, ValidationConfig],
                                     ValidationReport] = {}
+        #: design-space evaluation memo keyed by the DSE store key (the
+        #: in-memory half of the resumable result store: cross-request
+        #: dedupe within one session, no disk required).
+        self._dse_memo: Dict[str, Dict[str, object]] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
         #: pools replaced by a grow; shut down at close() so in-flight work
@@ -200,6 +208,36 @@ class Session:
                 self._sim_results[key] = result
             self.stats.sim_tasks += len(tasks)
             return [self._sim_results[key] for key in keys]
+
+    def map_tasks(self, func, tasks: Sequence, jobs: Optional[int] = None) -> List:
+        """Map a picklable function over tasks on the session's process pool.
+
+        The generic fan-out primitive the design-space exploration uses for
+        per-point model evaluations; falls back to a serial loop when the
+        effective job count (or the task count) is 1.
+        """
+        tasks = list(tasks)
+        workers = jobs if jobs is not None else self.jobs
+        if workers <= 1 or len(tasks) <= 1:
+            return [func(task) for task in tasks]
+        chunksize = max(1, len(tasks) // (workers * 4))
+        return list(self._ensure_pool(workers).map(func, tasks,
+                                                   chunksize=chunksize))
+
+    # -- design-space memo ----------------------------------------------
+
+    def dse_lookup(self, key: str) -> Optional[Dict[str, object]]:
+        """Memoized design-point metrics for a DSE store key, if any."""
+        with self._lock:
+            record = self._dse_memo.get(key)
+            if record is not None:
+                self.stats.dse_memo_hits += 1
+            return record
+
+    def dse_record(self, key: str, metrics: Dict[str, object]) -> None:
+        """Memoize one design-point evaluation (first writer wins)."""
+        with self._lock:
+            self._dse_memo.setdefault(key, metrics)
 
     def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
         """The shared pool, grown (never shrunk) to at least ``workers``.

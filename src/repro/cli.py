@@ -47,6 +47,7 @@ import sys
 from typing import Optional, Sequence
 
 from .api import (
+    DseRequest,
     EstimateRequest,
     ExperimentRequest,
     Report,
@@ -54,6 +55,8 @@ from .api import (
     SweepRequest,
     ValidateRequest,
 )
+from .dse.drivers import driver_names
+from .dse.space import Axis, default_space, grid, parse_axis
 from .experiments.registry import all_experiment_specs, available_experiments
 from .gpu.devices import all_devices, device_aliases
 from .networks.registry import available_networks, paper_subset_networks
@@ -147,6 +150,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         unique=not args.all_layers,
         paper_subset=args.paper_subset,
         passes=args.passes,
+    )
+    with _session_from_args(args) as session:
+        report = session.run(request)
+    return _emit(report, args)
+
+
+def _dse_space_from_args(args: argparse.Namespace):
+    networks = tuple(name.strip().lower() for name in args.networks)
+    batches = tuple(args.batches)
+    if args.axes:
+        axes = [parse_axis(text) for text in args.axes]
+        keys = {ax.key for ax in axes}
+        if len(networks) > 1 and "network" not in keys:
+            axes.append(Axis("network", networks))
+        if len(batches) > 1 and "batch" not in keys:
+            axes.append(Axis("batch", batches))
+        return grid(axes, network=networks[0], batch=batches[0],
+                    passes=args.passes)
+    return default_space(networks=networks, batches=batches,
+                         passes=args.passes)
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    request = DseRequest(
+        space=_dse_space_from_args(args),
+        gpu=args.gpu,
+        driver=args.driver,
+        budget=args.budget,
+        seed=args.seed,
+        objectives=tuple(args.objectives),
+        store_path=args.store,
+        unique=not args.all_layers,
+        confirm_top=args.confirm_top,
     )
     with _session_from_args(args) as session:
         report = session.run(request)
@@ -255,6 +291,50 @@ def build_parser() -> argparse.ArgumentParser:
     add_pass_flag(sweep_parser)
     add_format_flag(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    dse_parser = subparsers.add_parser(
+        "dse",
+        help="design-space exploration: search GPU designs x workloads and "
+             "report the Pareto frontier")
+    dse_parser.add_argument("--gpu", default="titanxp",
+                            help="baseline GPU the design multipliers scale")
+    dse_parser.add_argument("--networks", nargs="+", default=["resnet152"],
+                            metavar="NET")
+    dse_parser.add_argument("--batches", nargs="+", type=int, default=[256],
+                            metavar="B")
+    dse_parser.add_argument("--axis", dest="axes", action="append",
+                            default=None, metavar="KEY=V1,V2,...",
+                            help="add a search axis (repeatable), e.g. "
+                                 "--axis num_sm=1,2,4 --axis cta_tile=128,256; "
+                                 "without axes the stock 162-point grid runs")
+    dse_parser.add_argument("--driver", choices=driver_names(),
+                            default="grid",
+                            help="search strategy: exhaustive grid, seeded "
+                                 "random sampling, or cheap-first successive "
+                                 "halving")
+    dse_parser.add_argument("--budget", type=int, default=None,
+                            help="evaluation budget (required for "
+                                 "random/halving; caps grid)")
+    dse_parser.add_argument("--seed", type=int, default=0,
+                            help="seed for the random/halving drivers")
+    dse_parser.add_argument("--objectives", nargs="+",
+                            default=["throughput", "dram", "cost"],
+                            metavar="OBJ",
+                            help="Pareto objectives: throughput, time, dram, "
+                                 "cost")
+    dse_parser.add_argument("--store", default=None, metavar="JSONL",
+                            help="resumable result store; rerunning skips "
+                                 "already-evaluated points")
+    dse_parser.add_argument("--all-layers", action="store_true",
+                            help="evaluate every conv layer, not just unique "
+                                 "configurations")
+    dse_parser.add_argument("--confirm-top", type=int, default=0, metavar="N",
+                            help="simulator-confirm the N best frontier "
+                                 "points (0 = analytic model only)")
+    add_pass_flag(dse_parser)
+    add_simulation_flags(dse_parser)
+    add_format_flag(dse_parser)
+    dse_parser.set_defaults(func=_cmd_dse)
     return parser
 
 

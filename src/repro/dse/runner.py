@@ -1,0 +1,411 @@
+"""The DSE orchestrator: space -> driver -> evaluation -> store -> frontier.
+
+:func:`explore` is the one entry point: it asks the driver which design
+points to evaluate, answers as many as possible from the session memo and the
+resumable :class:`~repro.dse.store.ResultStore`, fans the rest out over the
+session's shared process pool, and finishes with the Pareto frontier over the
+requested objectives.
+
+Every point is lowered through :meth:`DesignOption.apply` onto the baseline
+GPU and evaluated with the analytic :class:`~repro.core.model.DeltaModel` —
+the exact computation the Fig. 16 scaling study performs, which is why the
+reimplemented ``fig16`` experiment reproduces the legacy study bit for bit.
+Frontier points can optionally be *confirmed* against the trace-driven
+simulator (:func:`confirm_frontier`), keeping the expensive engine off the
+sweep's hot path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.frontier import (DEFAULT_OBJECTIVE_NAMES, Objective,
+                                 design_cost, pareto_frontier,
+                                 resolve_objectives)
+from ..core.model import DeltaModel
+from ..core.workload import expand_passes
+from ..gpu.devices import TITAN_XP
+from ..gpu.spec import FP32_BYTES, GpuSpec
+from ..networks.registry import get_network
+from .drivers import ExhaustiveDriver, SuccessiveHalvingDriver
+from .space import DesignPoint, SearchSpace
+from .store import ResultStore
+
+#: bump when the evaluation's metric semantics change (invalidates stores).
+EVALUATION_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Point evaluation (analytic model; picklable for process pools)
+# ----------------------------------------------------------------------
+
+@lru_cache(maxsize=256)
+def _workload_layers(network: str, batch: int, dtype_bytes: int,
+                     unique: bool) -> Tuple:
+    """The evaluated conv layers of one workload (memoized per process)."""
+    net = get_network(network, batch=batch)
+    layers = net.unique_layers() if unique else net.conv_layers()
+    if dtype_bytes != FP32_BYTES:
+        layers = [layer.with_dtype(dtype_bytes) for layer in layers]
+    return tuple(layers)
+
+
+def workload_fingerprint(point: DesignPoint, unique: bool) -> str:
+    """Content hash of the evaluated layers' structural keys + pass kinds.
+
+    Built on :meth:`ConvLayerConfig.structural_key` — the same identity the
+    session's simulation dedupe uses — so a change to a network definition
+    changes the key and stale store entries are never reused.
+    """
+    layers = _workload_layers(point.network, point.batch, point.dtype_bytes,
+                              unique)
+    payload = {
+        "layers": [layer.structural_key() for layer in layers],
+        "passes": list(expand_passes(point.passes)),
+        "unique": unique,
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+def _gpu_fingerprint(gpu: GpuSpec) -> Dict[str, object]:
+    payload = dataclasses.asdict(gpu)
+    payload.pop("name", None)  # content identity, not label
+    return payload
+
+
+def store_key(base_gpu: GpuSpec, point: DesignPoint, unique: bool) -> str:
+    """Content key of one evaluation: baseline GPU x design point x workload."""
+    payload = {
+        "schema": EVALUATION_SCHEMA,
+        "gpu": _gpu_fingerprint(base_gpu),
+        "point": point.descriptor(),
+        "workload": workload_fingerprint(point, unique),
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+def evaluate_point(base_gpu: GpuSpec, point: DesignPoint, *,
+                   unique: bool = True,
+                   layer_stride: int = 1) -> Dict[str, object]:
+    """Evaluate one design point with the analytic model.
+
+    Returns a flat metrics dict (plus the Fig. 16c-style ``bottlenecks`` time
+    shares).  ``layer_stride`` > 1 subsamples the workload's layers — the
+    cheap proxy the successive-halving driver ranks candidates with.
+
+    The accumulation order (layers outer, passes inner, running float sums)
+    deliberately mirrors :class:`repro.core.scaling.ScalingStudy` so the
+    DSE-backed ``fig16`` experiment stays bit-identical to the legacy study.
+    """
+    gpu = point.option.apply(base_gpu)
+    model = DeltaModel(gpu, cta_tile_hw=point.option.cta_tile_hw)
+    layers = _workload_layers(point.network, point.batch, point.dtype_bytes,
+                              unique)
+    if layer_stride > 1:
+        layers = layers[::layer_stride] or layers[:1]
+    pass_kinds = expand_passes(point.passes)
+    estimates = []
+    for layer in layers:
+        if pass_kinds == ("forward",):
+            estimates.append(model.estimate(layer))
+        else:
+            for pass_kind in pass_kinds:
+                estimates.append(model.estimate_pass(layer, pass_kind))
+    total = sum(est.time_seconds for est in estimates)
+    shares: Counter = Counter()
+    for est in estimates:
+        shares[est.bottleneck] += est.time_seconds
+    bottlenecks = ({key.value: value / total for key, value in shares.items()}
+                   if total > 0 else {})
+    flops = sum(est.workload.flops for est in estimates)
+    dram_bytes = sum(est.traffic.dram_bytes for est in estimates)
+    l2_bytes = sum(est.traffic.l2_bytes for est in estimates)
+    return {
+        "time_s": total,
+        "throughput_tflops": (flops / total / 1e12) if total > 0 else 0.0,
+        "dram_gb": dram_bytes / 1e9,
+        "l2_gb": l2_bytes / 1e9,
+        "resource_cost": design_cost(point.option),
+        "layers": len(layers),
+        "gemms": len(estimates),
+        "bottlenecks": bottlenecks,
+    }
+
+
+def _evaluate_task(task: Tuple[GpuSpec, DesignPoint, bool]) -> Dict[str, object]:
+    """Process-pool worker: evaluate one (base gpu, point, unique) task."""
+    base_gpu, point, unique = task
+    return evaluate_point(base_gpu, point, unique=unique)
+
+
+def _proxy_task(task: Tuple[GpuSpec, DesignPoint, bool]) -> Dict[str, object]:
+    """Process-pool worker: the layer-subsampled proxy evaluation."""
+    base_gpu, point, unique = task
+    return evaluate_point(base_gpu, point, unique=unique, layer_stride=4)
+
+
+# ----------------------------------------------------------------------
+# Exploration result
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PointResult:
+    """One evaluated design point with its metrics and provenance."""
+
+    point: DesignPoint
+    key: str
+    metrics: Dict[str, object]
+    #: answered from the session memo or the result store (not re-evaluated).
+    cached: bool = False
+    #: simulator confirmation record (see :func:`confirm_frontier`).
+    confirmation: Optional[Dict[str, float]] = None
+
+
+@dataclass
+class ExplorationStats:
+    """What one :func:`explore` call actually did."""
+
+    planned: int = 0
+    evaluated: int = 0
+    memo_hits: int = 0
+    store_hits: int = 0
+    proxy_evaluations: int = 0
+
+
+@dataclass(frozen=True)
+class Exploration:
+    """Outcome of one design-space exploration."""
+
+    base_gpu: GpuSpec
+    objectives: Tuple[Objective, ...]
+    results: Tuple[PointResult, ...]
+    #: identity-design reference per workload signature (speedup = 1.0).
+    baselines: Dict[Tuple[str, int, str, int], PointResult] = field(
+        default_factory=dict)
+    #: indices into ``results`` forming the Pareto frontier.
+    frontier: Tuple[int, ...] = ()
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+
+    def speedup(self, result: PointResult) -> Optional[float]:
+        """Speedup of one result over its workload's identity baseline."""
+        baseline = self.baselines.get(result.point.workload_signature())
+        if baseline is None:
+            return None
+        total = float(result.metrics["time_s"])
+        if total <= 0:
+            return float("inf")
+        return float(baseline.metrics["time_s"]) / total
+
+    def frontier_results(self) -> List[PointResult]:
+        return [self.results[index] for index in self.frontier]
+
+    def frontier_rows(self) -> List[Dict[str, object]]:
+        """Frontier points as flat table rows, ranked by the first objective."""
+        primary = self.objectives[0]
+        ranked = sorted(
+            self.frontier,
+            key=lambda index: -primary.oriented(
+                float(self.results[index].metrics[primary.metric])))
+        rows = []
+        for rank, index in enumerate(ranked, start=1):
+            result = self.results[index]
+            metrics = result.metrics
+            shares = metrics.get("bottlenecks", {})
+            dominant = max(shares, key=shares.get) if shares else "n/a"
+            row: Dict[str, object] = {
+                "rank": rank,
+                "design": result.point.name,
+                "network": result.point.network,
+                "batch": result.point.batch,
+                "passes": result.point.passes,
+                "time_ms": float(metrics["time_s"]) * 1e3,
+                "TFLOP/s": metrics["throughput_tflops"],
+                "DRAM_GB": metrics["dram_gb"],
+                "cost": metrics["resource_cost"],
+                "bottleneck": dominant,
+            }
+            speedup = self.speedup(result)
+            if speedup is not None:
+                row["speedup"] = speedup
+            if result.confirmation is not None:
+                row["sim_time_ratio"] = result.confirmation["sim_model_ratio"]
+            rows.append(row)
+        return rows
+
+
+# ----------------------------------------------------------------------
+# The orchestrator
+# ----------------------------------------------------------------------
+
+def _map_evaluations(session, jobs: Optional[int],
+                     tasks: List[Tuple[GpuSpec, DesignPoint, bool]]
+                     ) -> List[Dict[str, object]]:
+    if session is not None:
+        return session.map_tasks(_evaluate_task, tasks, jobs=jobs)
+    return [_evaluate_task(task) for task in tasks]
+
+
+def explore(space: SearchSpace, *, driver=None, base_gpu: GpuSpec = TITAN_XP,
+            objectives: Sequence[object] = DEFAULT_OBJECTIVE_NAMES,
+            store: Optional[ResultStore] = None, session=None,
+            jobs: Optional[int] = None, unique: bool = True,
+            include_baseline: bool = True) -> Exploration:
+    """Run one design-space exploration end to end.
+
+    ``session`` supplies process-pool parallelism and the cross-request
+    in-memory memo; ``store`` adds on-disk resumability.  Either (or both)
+    may be omitted for a serial, stateless sweep.
+    """
+    if driver is None:
+        driver = ExhaustiveDriver()
+    resolved = (objectives if objectives and
+                isinstance(objectives[0], Objective)
+                else resolve_objectives(objectives))
+    stats = ExplorationStats()
+
+    points = driver.plan(space)
+    stats.planned = len(points)
+    if isinstance(driver, SuccessiveHalvingDriver):
+        primary = resolved[0]
+        proxy_memo: Dict[str, Dict[str, object]] = {}
+
+        def score_points(candidates: Sequence[DesignPoint]) -> List[float]:
+            """Proxy scores for one rung: memoized (survivors re-scored by a
+            later rung cost nothing) and fanned out over the session pool."""
+            missing = [point for point in candidates
+                       if point.point_hash() not in proxy_memo]
+            if missing:
+                tasks = [(base_gpu, point, unique) for point in missing]
+                fresh = (session.map_tasks(_proxy_task, tasks, jobs=jobs)
+                         if session is not None
+                         else [_proxy_task(task) for task in tasks])
+                stats.proxy_evaluations += len(missing)
+                for point, metrics in zip(missing, fresh):
+                    proxy_memo[point.point_hash()] = metrics
+            # lower is better for the refine() sort.
+            return [-primary.oriented(float(
+                proxy_memo[point.point_hash()][primary.metric]))
+                for point in candidates]
+
+        points = driver.refine(points, score_points)
+
+    baseline_points: Dict[Tuple[str, int, str, int], DesignPoint] = {}
+    if include_baseline:
+        for point in points:
+            signature = point.workload_signature()
+            if signature not in baseline_points:
+                baseline_points[signature] = point.baseline_point()
+
+    all_points = list(points) + list(baseline_points.values())
+    keys = [store_key(base_gpu, point, unique) for point in all_points]
+
+    records: Dict[str, Dict[str, object]] = {}
+    cached_keys = set()
+    pending: List[Tuple[str, DesignPoint]] = []
+    pending_keys = set()
+    for point, key in zip(all_points, keys):
+        if key in records or key in pending_keys:
+            continue
+        memoized = session.dse_lookup(key) if session is not None else None
+        if memoized is not None:
+            records[key] = memoized
+            cached_keys.add(key)
+            stats.memo_hits += 1
+            continue
+        stored = store.get(key) if store is not None else None
+        if stored is not None:
+            records[key] = stored
+            cached_keys.add(key)
+            stats.store_hits += 1
+            if session is not None:
+                session.dse_record(key, stored)
+            continue
+        pending.append((key, point))
+        pending_keys.add(key)
+
+    if pending:
+        tasks = [(base_gpu, point, unique) for _, point in pending]
+        fresh = _map_evaluations(session, jobs, tasks)
+        stats.evaluated = len(fresh)
+        for (key, point), metrics in zip(pending, fresh):
+            records[key] = metrics
+            if store is not None:
+                store.put(key, metrics, descriptor=point.descriptor())
+            if session is not None:
+                session.dse_record(key, metrics)
+    if session is not None:
+        session.stats.dse_points += stats.evaluated
+
+    results = tuple(
+        PointResult(point=point, key=key, metrics=records[key],
+                    cached=key in cached_keys)
+        for point, key in zip(points, keys[: len(points)]))
+    baselines = {
+        signature: PointResult(point=point,
+                               key=keys[len(points) + index],
+                               metrics=records[keys[len(points) + index]],
+                               cached=keys[len(points) + index] in cached_keys)
+        for index, (signature, point) in enumerate(baseline_points.items())
+    }
+    frontier = tuple(pareto_frontier([result.metrics for result in results],
+                                     resolved)) if results else ()
+    return Exploration(base_gpu=base_gpu, objectives=tuple(resolved),
+                       results=results, baselines=baselines,
+                       frontier=frontier, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Optional simulator confirmation of frontier points
+# ----------------------------------------------------------------------
+
+def confirm_frontier(exploration: Exploration, session, *, top: int = 3,
+                     max_ctas: int = 30) -> Exploration:
+    """Cross-check the top frontier points against the trace-driven simulator.
+
+    Simulates the largest-MAC unique layer of each confirmed point's network
+    on the point's scaled GPU (capped at ``max_ctas`` exact CTAs) and attaches
+    the simulator/model time ratio to the result — a cheap sanity check that
+    the analytic ranking is not an artifact, without dragging the simulator
+    through the full sweep.
+    """
+    if top <= 0 or not exploration.frontier:
+        return exploration
+    primary = exploration.objectives[0]
+    ranked = sorted(
+        exploration.frontier,
+        key=lambda index: -primary.oriented(
+            float(exploration.results[index].metrics[primary.metric])))
+    confirmed: Dict[int, Dict[str, float]] = {}
+    for index in ranked[:top]:
+        result = exploration.results[index]
+        point = result.point
+        layers = _workload_layers(point.network, point.batch,
+                                  point.dtype_bytes, unique=True)
+        layer = max(layers, key=lambda l: l.macs)
+        pass_kind = expand_passes(point.passes)[0]
+        gpu = point.option.apply(exploration.base_gpu)
+        config = session.simulator_config(
+            max_ctas=max_ctas, cta_tile_hw=point.option.cta_tile_hw)
+        sim = session.simulate(gpu, layer, config, pass_kind=pass_kind)
+        model = DeltaModel(gpu, cta_tile_hw=point.option.cta_tile_hw)
+        est = model.estimate_pass(layer, pass_kind)
+        confirmed[index] = {
+            "layer": layer.name,
+            "sim_time_s": sim.time_seconds,
+            "model_time_s": est.time_seconds,
+            "sim_model_ratio": (sim.time_seconds / est.time_seconds
+                                if est.time_seconds > 0 else float("inf")),
+        }
+    results = tuple(
+        dataclasses.replace(result, confirmation=confirmed.get(index))
+        if index in confirmed else result
+        for index, result in enumerate(exploration.results))
+    return dataclasses.replace(exploration, results=results)

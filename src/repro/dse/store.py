@@ -1,0 +1,128 @@
+"""Resumable, content-keyed result store for design-space sweeps.
+
+The store is an append-only JSONL file: one line per evaluated design point,
+``{"key": <sha1>, "point": <descriptor>, "metrics": {...}}``.  Keys are
+content hashes over the baseline GPU, the design-point descriptor and the
+workload's layer :meth:`~repro.core.layer.ConvLayerConfig.structural_key`
+fingerprint (see :func:`repro.dse.runner.store_key`), so a sweep that is
+interrupted and rerun — or a different sweep that happens to revisit the same
+point — skips every evaluation already on disk.
+
+Durability model: every :meth:`put` appends and flushes one line, so a killed
+process loses at most the record being written; :meth:`ResultStore` tolerates
+a truncated (or otherwise corrupt) trailing line on load and the next ``put``
+starts a fresh line.  JSON float serialization round-trips exactly, which
+keeps resumed sweeps bit-identical to uninterrupted ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class ResultStore:
+    """Keyed record store with optional JSONL persistence.
+
+    With ``path=None`` the store is a plain in-memory dict (useful as the
+    per-session dedupe memo); with a path it loads every valid line on open
+    and appends eagerly on every :meth:`put`.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = os.path.expanduser(path) if path else None
+        self._records: Dict[str, Dict[str, object]] = {}
+        self._descriptors: Dict[str, Dict[str, object]] = {}
+        self._file = None
+        #: records answered from disk/memory since open (reporting only).
+        self.hits = 0
+        #: lines dropped on load because they did not parse (truncated tail).
+        self.corrupt_lines = 0
+        if self.path and os.path.exists(self.path):
+            self._load()
+
+    # -- persistence ----------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    key = payload["key"]
+                    metrics = payload["metrics"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                self._records[key] = metrics
+                self._descriptors[key] = payload.get("point", {})
+
+    def _append(self, key: str, metrics: Dict[str, object],
+                descriptor: Optional[Dict[str, object]]) -> None:
+        if self.path is None:
+            return
+        if self._file is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+            # a kill mid-append can leave a torn line without a newline;
+            # start clean so the next record does not fuse with the debris.
+            if self._file.tell() > 0:
+                with open(self.path, "rb") as tail:
+                    tail.seek(-1, os.SEEK_END)
+                    if tail.read(1) != b"\n":
+                        self._file.write("\n")
+        line = json.dumps({"key": key, "point": descriptor or {},
+                           "metrics": metrics}, sort_keys=True)
+        self._file.write(line + "\n")
+        self._file.flush()
+
+    # -- mapping interface ----------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        record = self._records.get(key)
+        if record is not None:
+            self.hits += 1
+        return record
+
+    def put(self, key: str, metrics: Dict[str, object],
+            descriptor: Optional[Dict[str, object]] = None) -> None:
+        if key in self._records:
+            return
+        self._records[key] = metrics
+        if descriptor is not None:
+            self._descriptors[key] = descriptor
+        self._append(key, metrics, descriptor)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, object]]]:
+        return iter(self._records.items())
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ResultStore(path={self.path!r}, records={len(self)}, "
+                f"hits={self.hits})")

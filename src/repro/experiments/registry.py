@@ -98,6 +98,7 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
 
 # Importing the experiment modules applies their @register_experiment
 # decorators; the imports sit at the bottom so the decorator exists first.
+from . import dse_explore          # noqa: E402,F401
 from . import fig04_miss_rates     # noqa: E402,F401
 from . import fig06_cta_tile       # noqa: E402,F401
 from . import fig11_traffic_accuracy  # noqa: E402,F401

@@ -158,3 +158,56 @@ class TestPassFlag:
         payload = json.loads(capsys.readouterr().out)
         assert payload["report_id"] == "training"
         assert payload["rows"]
+
+
+class TestDseCommand:
+    def test_dse_with_explicit_axes(self, capsys):
+        assert main(["dse", "--networks", "alexnet", "--batches", "16",
+                     "--axis", "num_sm=1,2", "--axis", "dram_bw=1,1.5"]) == 0
+        output = capsys.readouterr().out
+        assert "design-space exploration on TITAN Xp" in output
+        assert "what to scale next" in output
+
+    def test_dse_format_json(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.jsonl")
+        assert main(["dse", "--networks", "alexnet", "--batches", "16",
+                     "--axis", "num_sm=1,2", "--axis", "mac_bw=1,4",
+                     "--store", store, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "dse"
+        assert payload["summary"]["frontier size"] >= 1
+        assert payload["meta"]["store_path"] == store
+        assert payload["rows"]
+        for row in payload["rows"]:
+            assert {"design", "speedup", "cost"} <= set(row)
+
+    def test_dse_random_driver_with_budget(self, capsys):
+        assert main(["dse", "--networks", "alexnet", "--batches", "16",
+                     "--driver", "random", "--budget", "6", "--seed", "3",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["points planned"] == 6
+        assert payload["meta"]["driver"] == "random"
+        assert payload["meta"]["seed"] == 3
+
+    def test_dse_store_resume_via_cli(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.jsonl")
+        args = ["dse", "--networks", "alexnet", "--batches", "16",
+                "--axis", "num_sm=1,2,4", "--store", store,
+                "--format", "json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["summary"]["points evaluated"] > 0
+        assert second["summary"]["points evaluated"] == 0
+        assert second["rows"] == first["rows"]
+
+    def test_dse_rejects_unknown_objective(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            main(["dse", "--networks", "alexnet", "--batches", "16",
+                  "--axis", "num_sm=1,2", "--objectives", "speed"])
+
+    def test_dse_rejects_malformed_axis(self):
+        with pytest.raises(ValueError, match="malformed axis"):
+            main(["dse", "--networks", "alexnet", "--axis", "num_sm"])

@@ -1,5 +1,7 @@
 """Tests for repro.gpu.design_options (Fig. 16a)."""
 
+import dataclasses
+
 import pytest
 
 from repro.gpu import PAPER_DESIGN_OPTIONS, TITAN_XP, DesignOption, get_design_option
@@ -53,3 +55,76 @@ class TestDesignOptionApply:
         scaled = option.apply(TITAN_XP)
         assert scaled.num_sm == TITAN_XP.num_sm
         assert scaled.fp32_flops == TITAN_XP.fp32_flops
+
+
+class TestApplyInvariants:
+    """Invariants of the DesignOption.apply / GpuSpec.scaled lowering path
+    every DSE design point flows through."""
+
+    #: (option field, GpuSpec fields it is allowed to change).
+    SCALED_FIELDS = {
+        "num_sm": ("num_sm", "fp32_flops"),
+        "mac_bw": ("fp32_flops",),
+        "regs": ("register_file_bytes",),
+        "smem_size": ("smem_bytes",),
+        "smem_bw": ("smem_st_bytes_per_cycle", "smem_ld_bytes_per_cycle"),
+        "l1_bw": ("l1_bw_per_sm",),
+        "l2_bw": ("l2_bw",),
+        "dram_bw": ("dram_bw",),
+    }
+
+    def test_each_multiplier_only_touches_its_own_fields(self):
+        for key, touched in self.SCALED_FIELDS.items():
+            option = DesignOption(name=f"only-{key}", **{key: 2.0})
+            scaled = option.apply(TITAN_XP)
+            for field in dataclasses.fields(TITAN_XP):
+                if field.name == "name" or field.name in touched:
+                    continue
+                assert getattr(scaled, field.name) == \
+                    getattr(TITAN_XP, field.name), (key, field.name)
+
+    def test_unscaled_fields_preserved_by_paper_options(self):
+        untouchable = ("core_clock_hz", "l2_size", "l1_size",
+                       "l1_request_bytes", "sector_bytes", "line_bytes",
+                       "lat_l1_cycles", "lat_l2_cycles", "lat_dram_cycles",
+                       "lat_smem_cycles", "max_ctas_per_sm")
+        for option in PAPER_DESIGN_OPTIONS:
+            scaled = option.apply(TITAN_XP)
+            for name in untouchable:
+                assert getattr(scaled, name) == getattr(TITAN_XP, name), \
+                    (option.name, name)
+
+    def test_name_suffixed_with_option_name(self):
+        for option in PAPER_DESIGN_OPTIONS:
+            scaled = option.apply(TITAN_XP)
+            assert scaled.name == f"{TITAN_XP.name} [{option.name}]"
+
+    def test_apply_is_deterministic(self):
+        for option in PAPER_DESIGN_OPTIONS:
+            assert option.apply(TITAN_XP) == option.apply(TITAN_XP)
+
+    def test_identity_apply_changes_nothing_but_the_name(self):
+        identity = DesignOption(name="id")
+        scaled = identity.apply(TITAN_XP)
+        assert scaled.with_name(TITAN_XP.name) == TITAN_XP
+        # re-applying the identity is idempotent up to the name suffix.
+        again = identity.apply(scaled)
+        assert again.with_name(TITAN_XP.name) == TITAN_XP
+
+    def test_scaled_with_no_multipliers_is_identity(self):
+        assert TITAN_XP.scaled() == TITAN_XP
+
+    def test_scaled_with_unit_multipliers_is_identity(self):
+        unit = TITAN_XP.scaled(num_sm=1.0, mac_bw=1.0, regs=1.0,
+                               smem_size=1.0, smem_bw=1.0, l1_bw=1.0,
+                               l2_bw=1.0, dram_bw=1.0, l2_size=1.0)
+        assert unit == TITAN_XP
+
+    def test_scaled_composes_multiplicatively(self):
+        once = TITAN_XP.scaled(dram_bw=4.0)
+        twice = TITAN_XP.scaled(dram_bw=2.0).scaled(dram_bw=2.0)
+        assert twice.dram_bw == pytest.approx(once.dram_bw)
+
+    def test_scaled_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown scaling keys"):
+            TITAN_XP.scaled(tensor_cores=2.0)

@@ -1,0 +1,155 @@
+"""Tests for the resumable DSE result store: content keys, JSONL durability,
+and the interrupted-sweep -> rerun -> zero re-evaluations contract."""
+
+import json
+
+import pytest
+
+from repro.dse import (
+    ExhaustiveDriver,
+    ResultStore,
+    explore,
+    grid,
+    store_key,
+    workload_fingerprint,
+)
+from repro.dse.space import DesignPoint
+from repro.gpu import TITAN_XP, DesignOption, get_device
+
+
+@pytest.fixture()
+def space():
+    return grid({"num_sm": (1, 2), "mac_bw": (1, 2), "dram_bw": (1, 1.5)},
+                network="alexnet", batch=16)
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "sweep.jsonl"))
+        store.put("k1", {"time_s": 0.1234567890123456789, "layers": 5})
+        assert store.get("k1") == {"time_s": 0.1234567890123456789, "layers": 5}
+        assert "k1" in store
+        assert len(store) == 1
+        store.close()
+
+    def test_floats_roundtrip_exactly_through_disk(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        value = 0.1 + 0.2  # a float with an awkward shortest repr
+        with ResultStore(path) as store:
+            store.put("k", {"time_s": value,
+                            "bottlenecks": {"DRAM_BW": 1.0 / 3.0}})
+        reloaded = ResultStore(path)
+        record = reloaded.get("k")
+        assert record["time_s"] == value
+        assert record["bottlenecks"]["DRAM_BW"] == 1.0 / 3.0
+
+    def test_in_memory_store_without_path(self):
+        store = ResultStore()
+        store.put("k", {"x": 1})
+        assert store.get("k") == {"x": 1}
+        assert store.path is None
+
+    def test_duplicate_put_is_ignored(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with ResultStore(path) as store:
+            store.put("k", {"x": 1})
+            store.put("k", {"x": 2})
+        assert ResultStore(path).get("k") == {"x": 1}
+        with open(path) as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        """A process killed mid-append leaves a partial line; the store must
+        load every complete record and keep accepting new ones."""
+        path = tmp_path / "sweep.jsonl"
+        with ResultStore(str(path)) as store:
+            store.put("k1", {"x": 1})
+            store.put("k2", {"x": 2})
+        text = path.read_text()
+        path.write_text(text + '{"key": "k3", "metr')  # torn write
+        reloaded = ResultStore(str(path))
+        assert len(reloaded) == 2
+        assert reloaded.corrupt_lines == 1
+        reloaded.put("k3", {"x": 3})
+        reloaded.close()
+        final = ResultStore(str(path))
+        assert final.get("k3") == {"x": 3}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "sweep.jsonl"
+        with ResultStore(str(path)) as store:
+            store.put("k", {"x": 1})
+        assert path.exists()
+
+
+class TestStoreKey:
+    def test_key_ignores_names_but_not_content(self):
+        a = DesignPoint(option=DesignOption("a", num_sm=2.0), network="alexnet",
+                        batch=16)
+        b = DesignPoint(option=DesignOption("b", num_sm=2.0), network="alexnet",
+                        batch=16)
+        assert store_key(TITAN_XP, a, True) == store_key(TITAN_XP, b, True)
+        c = DesignPoint(option=DesignOption("a", num_sm=4.0), network="alexnet",
+                        batch=16)
+        assert store_key(TITAN_XP, a, True) != store_key(TITAN_XP, c, True)
+
+    def test_key_depends_on_baseline_gpu_and_layer_selection(self):
+        point = DesignPoint(option=DesignOption("a", num_sm=2.0),
+                            network="alexnet", batch=16)
+        assert store_key(TITAN_XP, point, True) != store_key(
+            get_device("v100"), point, True)
+        assert store_key(TITAN_XP, point, True) != store_key(
+            TITAN_XP, point, False)
+
+    def test_workload_fingerprint_tracks_structure(self):
+        a = DesignPoint(option=DesignOption("a"), network="alexnet", batch=16)
+        b = DesignPoint(option=DesignOption("a"), network="alexnet", batch=32)
+        assert workload_fingerprint(a, True) != workload_fingerprint(b, True)
+        c = DesignPoint(option=DesignOption("a"), network="alexnet", batch=16,
+                        passes="training")
+        assert workload_fingerprint(a, True) != workload_fingerprint(c, True)
+
+
+class TestResumableSweep:
+    def test_interrupted_sweep_resumes_with_zero_reevaluations(self, tmp_path,
+                                                               space):
+        """Kill mid-sweep (simulated by a capped first run), rerun the full
+        sweep: the store answers everything already evaluated and only the
+        remainder runs; a third run re-evaluates nothing at all."""
+        path = str(tmp_path / "sweep.jsonl")
+
+        # "killed" first run: only 3 of the 8 points get evaluated (the
+        # identity point leads the enumeration, so the implicit speedup
+        # baseline dedupes against it and costs nothing extra).
+        with ResultStore(path) as store:
+            partial = explore(space, driver=ExhaustiveDriver(limit=3),
+                              store=store)
+        assert partial.stats.evaluated == 3
+
+        with ResultStore(path) as store:
+            full = explore(space, driver=ExhaustiveDriver(), store=store)
+        assert full.stats.store_hits == 3
+        assert full.stats.evaluated == len(space) - 3
+
+        with ResultStore(path) as store:
+            rerun = explore(space, driver=ExhaustiveDriver(), store=store)
+        assert rerun.stats.evaluated == 0
+        assert rerun.stats.store_hits == len(space)
+        assert all(result.cached for result in rerun.results)
+
+        for a, b in zip(full.results, rerun.results):
+            assert a.metrics == b.metrics
+        assert full.frontier == rerun.frontier
+
+    def test_store_lines_carry_point_descriptors(self, tmp_path, space):
+        path = str(tmp_path / "sweep.jsonl")
+        with ResultStore(path) as store:
+            explore(space, driver=ExhaustiveDriver(limit=2), store=store,
+                    include_baseline=False)
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert len(lines) == 2
+        for line in lines:
+            assert set(line) == {"key", "point", "metrics"}
+            assert line["point"]["network"] == "alexnet"
+            assert "time_s" in line["metrics"]
