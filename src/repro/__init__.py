@@ -23,6 +23,7 @@ Public API highlights
 
 from .core import (
     TRAINING_PASSES,
+    BatchedGemmLayerConfig,
     Bottleneck,
     ConvLayerConfig,
     CtaTile,
@@ -31,6 +32,7 @@ from .core import (
     FixedMissRateModel,
     GemmShape,
     GemmWorkload,
+    LinearLayerConfig,
     PerformanceModel,
     ScalingStudy,
     TrafficEstimate,
@@ -42,9 +44,12 @@ from .core import (
 from .gpu import TESLA_P100, TESLA_V100, TITAN_XP, GpuSpec, all_devices, get_device
 from .networks import (
     ConvNetwork,
+    Network,
     alexnet,
+    bert_base,
     get_network,
     googlenet,
+    mlp,
     paper_benchmark_suite,
     resnet152,
     vgg16,
@@ -80,6 +85,8 @@ __all__ = [
     "__version__",
     "Bottleneck",
     "ConvLayerConfig",
+    "LinearLayerConfig",
+    "BatchedGemmLayerConfig",
     "CtaTile",
     "DeltaModel",
     "ExecutionEstimate",
@@ -101,10 +108,13 @@ __all__ = [
     "all_devices",
     "get_device",
     "ConvNetwork",
+    "Network",
     "alexnet",
     "vgg16",
     "googlenet",
     "resnet152",
+    "mlp",
+    "bert_base",
     "get_network",
     "paper_benchmark_suite",
     "Session",

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.bottleneck import Bottleneck
-from ..core.layer import ConvLayerConfig
+from ..core.layer import LayerConfig
 from ..core.model import DeltaModel
 from ..core.tiling import build_grid
 from ..core.workload import PassKind, lower_pass
@@ -122,7 +122,7 @@ class LayerValidation:
     """Model-vs-measured record for one layer on one GPU."""
 
     network: str
-    layer: ConvLayerConfig
+    layer: LayerConfig
     gpu: GpuSpec
     model_traffic: Dict[str, float]
     measured_traffic: Dict[str, float]
@@ -195,13 +195,13 @@ class ValidationReport:
 
 
 def select_layers(config: ValidationConfig = QUICK_VALIDATION
-                  ) -> List[Tuple[str, ConvLayerConfig]]:
+                  ) -> List[Tuple[str, LayerConfig]]:
     """The (network, layer) population used for a validation run."""
     suite = paper_benchmark_suite(batch=config.batch, unique=True,
                                   networks=config.networks)
     if config.layers_per_network is None:
         return suite
-    selected: List[Tuple[str, ConvLayerConfig]] = []
+    selected: List[Tuple[str, LayerConfig]] = []
     counts: Dict[str, int] = {}
     for network, layer in suite:
         taken = counts.get(network, 0)
@@ -217,7 +217,7 @@ def select_layers(config: ValidationConfig = QUICK_VALIDATION
 _SIM_CACHE_VERSION = 2
 
 
-def _sim_cache_key(gpu: GpuSpec, layer: ConvLayerConfig,
+def _sim_cache_key(gpu: GpuSpec, layer: LayerConfig,
                    config: SimulatorConfig,
                    pass_kind: PassKind = "forward") -> str:
     """Stable digest of everything that determines a simulation result."""
@@ -229,7 +229,7 @@ def _sim_cache_path(cache_dir: str, key: str) -> str:
     return os.path.join(cache_dir, f"delta-sim-{key}.json")
 
 
-def simulate_layer(gpu: GpuSpec, layer: ConvLayerConfig,
+def simulate_layer(gpu: GpuSpec, layer: LayerConfig,
                    config: SimulatorConfig,
                    cache_dir: Optional[str] = None,
                    pass_kind: PassKind = "forward") -> SimResult:
@@ -291,7 +291,7 @@ def _simulate_task(task: Tuple) -> SimResult:
 
 
 def simulate_population(gpu: GpuSpec,
-                        layers: Sequence[ConvLayerConfig],
+                        layers: Sequence[LayerConfig],
                         config: SimulatorConfig,
                         jobs: int = 1,
                         cache_dir: Optional[str] = None) -> List[SimResult]:
@@ -304,7 +304,7 @@ def simulate_population(gpu: GpuSpec,
         return list(pool.map(_simulate_task, tasks))
 
 
-def validate_layer(network: str, layer: ConvLayerConfig, gpu: GpuSpec,
+def validate_layer(network: str, layer: LayerConfig, gpu: GpuSpec,
                    simulator_config: Optional[SimulatorConfig] = None,
                    model: Optional[DeltaModel] = None,
                    sim_result: Optional[SimResult] = None) -> LayerValidation:
@@ -330,7 +330,7 @@ def validate_layer(network: str, layer: ConvLayerConfig, gpu: GpuSpec,
 
 def validate_gpu(gpu: GpuSpec,
                  config: ValidationConfig = QUICK_VALIDATION,
-                 layers: Optional[Sequence[Tuple[str, ConvLayerConfig]]] = None
+                 layers: Optional[Sequence[Tuple[str, LayerConfig]]] = None
                  ) -> ValidationReport:
     """Validate DeLTA against the simulator for one GPU.
 

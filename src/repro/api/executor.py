@@ -116,7 +116,7 @@ def _run_estimate(session: "Session", request: EstimateRequest) -> Report:
     network = get_network(request.network, batch=request.batch,
                           paper_subset=request.paper_subset)
     layers = (network.unique_layers() if request.unique
-              else network.conv_layers())
+              else network.gemm_layers())
     model = DeltaModel(gpu)
     pass_kinds = request.pass_kinds
     if request.passes == "training":
@@ -166,7 +166,7 @@ def _run_sweep(session: "Session", request: SweepRequest) -> Report:
                 network = get_network(network_name, batch=batch,
                                       paper_subset=request.paper_subset)
                 layers = (network.unique_layers() if request.unique
-                          else network.conv_layers())
+                          else network.gemm_layers())
                 layer_rows = _estimate_rows(model, layers, pass_kinds)
                 total_ms = sum(row["time_ms"] for row in layer_rows)
                 bottlenecks = Counter(row["bottleneck"] for row in layer_rows)

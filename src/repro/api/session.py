@@ -36,7 +36,7 @@ from ..analysis.validation import (
     select_layers,
     validate_layer,
 )
-from ..core.layer import ConvLayerConfig
+from ..core.layer import LayerConfig
 from ..core.model import DeltaModel
 from ..core.workload import PassKind
 from ..gpu.spec import GpuSpec
@@ -45,10 +45,10 @@ from ..sim.engine import SimResult, SimulatorConfig
 #: one simulation work unit: everything that determines a SimResult.
 #: ``(gpu, layer, config)`` simulates the forward pass; a trailing pass kind
 #: selects a backward-pass GEMM: ``(gpu, layer, config, "wgrad")``.
-SimUnit = Tuple[GpuSpec, ConvLayerConfig, SimulatorConfig]
+SimUnit = Tuple[GpuSpec, LayerConfig, SimulatorConfig]
 
 
-def _normalize_unit(unit) -> Tuple[GpuSpec, ConvLayerConfig,
+def _normalize_unit(unit) -> Tuple[GpuSpec, LayerConfig,
                                    SimulatorConfig, PassKind]:
     """Pad a 3-element unit with the forward pass kind."""
     if len(unit) == 3:
@@ -164,7 +164,7 @@ class Session:
 
     # -- simulation with dedup + shared pool ----------------------------
 
-    def simulate(self, gpu: GpuSpec, layer: ConvLayerConfig,
+    def simulate(self, gpu: GpuSpec, layer: LayerConfig,
                  config: Optional[SimulatorConfig] = None,
                  pass_kind: PassKind = "forward") -> SimResult:
         """Simulate one layer's pass, consulting the session memo and cache."""

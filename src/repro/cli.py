@@ -31,7 +31,8 @@ Estimate one network on one GPU, or sweep networks x GPUs x batches.
 
     delta-repro estimate --network resnet152 --gpu v100 --batch 256
     delta-repro estimate --network alexnet --pass training
-    delta-repro sweep --networks alexnet vgg16 --gpus titanxp v100 \\
+    delta-repro estimate --network bert-base --pass training
+    delta-repro sweep --networks alexnet vgg16 mlp --gpus titanxp v100 \\
         --batches 64 256 --pass training
 
 List everything that is available (also as JSON)::

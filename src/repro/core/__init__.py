@@ -9,7 +9,8 @@ from .baselines import (
 from .dram import DramModelOptions, DramTraffic, estimate_dram_traffic
 from .l1 import L1Traffic, estimate_l1_traffic, filter_mli, ifmap_mli
 from .l2 import L2ModelOptions, L2Traffic, estimate_l2_traffic
-from .layer import ConvLayerConfig, GemmShape
+from .layer import (BatchedGemmLayerConfig, ConvLayerConfig, GemmShape,
+                    LayerConfig, LinearLayerConfig)
 from .model import DeltaModel
 from .performance import ExecutionEstimate, PerformanceModel
 from .scaling import ScalingResult, ScalingStudy
@@ -32,6 +33,7 @@ from .tiling import (
 from .traffic import TrafficEstimate, TrafficModel
 from .workload import (
     PASS_CHOICES,
+    lower_dense,
     PASS_KINDS,
     TRAINING_PASSES,
     GemmWorkload,
@@ -60,6 +62,7 @@ __all__ = [
     "lower_dgrad",
     "lower_wgrad",
     "lower_pass",
+    "lower_dense",
     "normalize_passes",
     "training_workloads",
     "LayerPassEstimate",
@@ -67,6 +70,9 @@ __all__ = [
     "estimate_training_step",
     "Bottleneck",
     "ConvLayerConfig",
+    "LinearLayerConfig",
+    "BatchedGemmLayerConfig",
+    "LayerConfig",
     "GemmShape",
     "CtaTile",
     "GemmGrid",

@@ -182,14 +182,15 @@ def estimate_l1_traffic(source: Union[ConvLayerConfig, GemmWorkload],
         a_passes = grid.ctas_n
         b_passes = grid.ctas_m
         # Partial edge tiles still issue full-width tile loads; account for
-        # the rounded-up tile coverage of each matrix.
-        a_elements = grid.ctas_m * tile.blk_m * gemm.k
-        b_elements = grid.ctas_n * tile.blk_n * gemm.k
+        # the rounded-up tile coverage of each matrix.  Batched workloads
+        # stream every instance's matrices (grid.groups of them).
+        a_elements = grid.groups * grid.ctas_m * tile.blk_m * gemm.k
+        b_elements = grid.groups * grid.ctas_n * tile.blk_n * gemm.k
     elif replication == "paper":
         a_passes = 1
         b_passes = 1
-        a_elements = gemm.ifmap_matrix_elements
-        b_elements = gemm.filter_matrix_elements
+        a_elements = grid.groups * gemm.ifmap_matrix_elements
+        b_elements = grid.groups * gemm.filter_matrix_elements
     else:
         raise ValueError(f"unknown replication mode {replication!r}")
 

@@ -1,4 +1,4 @@
-"""Convolution layer configuration and im2col GEMM geometry.
+"""Layer configurations and their GEMM geometry.
 
 A convolution layer (Section II-B of the paper) is described by the mini-batch
 size ``B``, the input feature map dimensions ``Ci x Hi x Wi``, the filter
@@ -7,14 +7,24 @@ algorithm (Section II-C) lowers the convolution to a single GEMM of shape
 
     M x N x K  with  M = B*Ho*Wo,  N = Co,  K = Ci*Hf*Wf.
 
-Fully-connected layers are represented as 1x1 convolutions over a 1x1 feature
-map, which is exactly how cuDNN executes them with the implicit GEMM kernel.
+The module also carries the GEMM-native layer families that need no im2col
+detour at all:
+
+* :class:`LinearLayerConfig` — a fully-connected layer ``Y = X . W^T`` with
+  dense row-major operands, lowered to one dense GEMM per training pass;
+* :class:`BatchedGemmLayerConfig` — ``groups`` independent dense GEMMs of one
+  shape (the attention score ``Q . K^T`` and context ``P . V`` products,
+  one instance per (sample, head)).
+
+(The seed represented FC layers as 1x1 convolutions over a 1x1 feature map;
+that spelling still works, but the dense lowering models the actual row-major
+activation layout instead of the BCHW detour.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Tuple, Union
 
 from ..gpu.spec import FP32_BYTES
 
@@ -276,3 +286,204 @@ class GemmShape:
     def aspect_ratio(self) -> float:
         """M / N; im2col GEMMs are tall and skinny (>> 1)."""
         return self.m / self.n
+
+
+@dataclass(frozen=True)
+class LinearLayerConfig:
+    """A fully-connected layer as one dense GEMM: ``Y[M,N] = X[M,K] . W[N,K]^T``.
+
+    ``M = batch * rows_per_sample`` (``rows_per_sample`` covers token
+    dimensions: a transformer projection contributes one GEMM row per
+    sequence position of every sample), ``K = in_features`` and
+    ``N = out_features``.  ``X`` and the gradients are row-major activation
+    matrices; ``W`` is stored row-major ``[out_features, in_features]`` (the
+    KCRS-like layout GEMM libraries use), so every operand of every training
+    pass is contiguous along its K axis or its own axis — no im2col
+    replication anywhere.
+    """
+
+    name: str
+    #: mini-batch size (samples).
+    batch: int
+    #: input features per GEMM row (K).
+    in_features: int
+    #: output features per GEMM row (N).
+    out_features: int
+    #: GEMM rows contributed per sample (e.g. the sequence length).
+    rows_per_sample: int = 1
+    #: bytes per tensor element.
+    dtype_bytes: int = FP32_BYTES
+
+    def __post_init__(self) -> None:
+        positive = {
+            "batch": self.batch,
+            "in_features": self.in_features,
+            "out_features": self.out_features,
+            "rows_per_sample": self.rows_per_sample,
+            "dtype_bytes": self.dtype_bytes,
+        }
+        for attr, value in positive.items():
+            if value <= 0:
+                raise ValueError(f"{attr} must be positive, got {value}")
+
+    # ------------------------------------------------------------------
+    # Copy-with helpers (shared vocabulary with ConvLayerConfig)
+    # ------------------------------------------------------------------
+    def with_batch(self, batch: int) -> "LinearLayerConfig":
+        return replace(self, batch=batch)
+
+    def with_name(self, name: str) -> "LinearLayerConfig":
+        return replace(self, name=name)
+
+    def with_dtype(self, dtype_bytes: int) -> "LinearLayerConfig":
+        return replace(self, dtype_bytes=dtype_bytes)
+
+    def structural_key(self) -> Tuple:
+        """Configuration identity, ignoring the name.
+
+        The leading type tag keeps linear keys disjoint from the all-integer
+        convolution keys, so mixed-network dedupe can never alias layers of
+        different families.
+        """
+        return ("linear", self.batch, self.rows_per_sample, self.in_features,
+                self.out_features, self.dtype_bytes)
+
+    # ------------------------------------------------------------------
+    # Geometry and sizes
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """GEMM rows M: batch * rows_per_sample."""
+        return self.batch * self.rows_per_sample
+
+    @property
+    def input_elements(self) -> int:
+        """Activation footprint in elements: M * K."""
+        return self.rows * self.in_features
+
+    @property
+    def weight_elements(self) -> int:
+        """Weight footprint in elements: N * K."""
+        return self.out_features * self.in_features
+
+    @property
+    def output_elements(self) -> int:
+        """Output footprint in elements: M * N."""
+        return self.rows * self.out_features
+
+    def gemm_shape(self) -> GemmShape:
+        return GemmShape(m=self.rows, n=self.out_features, k=self.in_features)
+
+    @property
+    def macs(self) -> int:
+        return self.rows * self.out_features * self.in_features
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    def describe(self) -> str:
+        rows = (f"B={self.batch}" if self.rows_per_sample == 1
+                else f"B={self.batch}x{self.rows_per_sample}")
+        return (f"{self.name}: linear {rows} "
+                f"{self.in_features} -> {self.out_features}")
+
+
+@dataclass(frozen=True)
+class BatchedGemmLayerConfig:
+    """``groups`` independent dense GEMMs of one shape (batched GEMM).
+
+    The attention score product ``S = Q . K^T`` runs one ``(seq x seq x
+    head_dim)`` GEMM per (sample, head) pair, and the context product
+    ``C = P . V`` one ``(seq x head_dim x seq)`` GEMM; both are batched GEMMs
+    with ``groups = batch * groups_per_sample`` instances.  Every operand is a
+    dense row-major matrix ``[groups, rows, K]``; instance ``g``'s tensors sit
+    at offset ``g * rows * K`` inside the operand's address range.
+    """
+
+    name: str
+    #: mini-batch size (samples).
+    batch: int
+    #: GEMM instances per sample (e.g. attention heads).
+    groups_per_sample: int
+    #: per-instance GEMM shape.
+    m: int
+    n: int
+    k: int
+    #: bytes per tensor element.
+    dtype_bytes: int = FP32_BYTES
+
+    def __post_init__(self) -> None:
+        positive = {
+            "batch": self.batch,
+            "groups_per_sample": self.groups_per_sample,
+            "m": self.m,
+            "n": self.n,
+            "k": self.k,
+            "dtype_bytes": self.dtype_bytes,
+        }
+        for attr, value in positive.items():
+            if value <= 0:
+                raise ValueError(f"{attr} must be positive, got {value}")
+
+    # ------------------------------------------------------------------
+    # Copy-with helpers
+    # ------------------------------------------------------------------
+    def with_batch(self, batch: int) -> "BatchedGemmLayerConfig":
+        return replace(self, batch=batch)
+
+    def with_name(self, name: str) -> "BatchedGemmLayerConfig":
+        return replace(self, name=name)
+
+    def with_dtype(self, dtype_bytes: int) -> "BatchedGemmLayerConfig":
+        return replace(self, dtype_bytes=dtype_bytes)
+
+    def structural_key(self) -> Tuple:
+        return ("batched_gemm", self.batch, self.groups_per_sample,
+                self.m, self.n, self.k, self.dtype_bytes)
+
+    # ------------------------------------------------------------------
+    # Geometry and sizes
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> int:
+        """Independent GEMM instances: batch * groups_per_sample."""
+        return self.batch * self.groups_per_sample
+
+    @property
+    def input_elements(self) -> int:
+        """A-operand footprint across all instances: groups * M * K."""
+        return self.groups * self.m * self.k
+
+    @property
+    def weight_elements(self) -> int:
+        """B-operand footprint across all instances: groups * N * K."""
+        return self.groups * self.n * self.k
+
+    @property
+    def output_elements(self) -> int:
+        """Output footprint across all instances: groups * M * N."""
+        return self.groups * self.m * self.n
+
+    def gemm_shape(self) -> GemmShape:
+        """The per-instance GEMM shape (totals scale by :attr:`groups`)."""
+        return GemmShape(m=self.m, n=self.n, k=self.k)
+
+    @property
+    def macs(self) -> int:
+        return self.groups * self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    def describe(self) -> str:
+        return (f"{self.name}: batched GEMM {self.groups}x "
+                f"(M={self.m} N={self.n} K={self.k})")
+
+
+#: any layer family the model stack accepts (all lower to GemmWorkloads).
+LayerConfig = Union[ConvLayerConfig, LinearLayerConfig, BatchedGemmLayerConfig]
+
+#: the GEMM-native (dense, conv-free) layer families.
+DENSE_LAYER_TYPES = (LinearLayerConfig, BatchedGemmLayerConfig)

@@ -28,14 +28,14 @@ from ..gpu.spec import GpuSpec
 from .dram import DramModelOptions
 from .l1 import ReplicationMode
 from .l2 import L2ModelOptions
-from .layer import ConvLayerConfig
+from .layer import LayerConfig
 from .performance import ExecutionEstimate, PerformanceModel
 from .traffic import TrafficEstimate, TrafficModel
 from .training import TrainingStepEstimate, estimate_training_step
 from .workload import (TRAINING_PASSES, GemmWorkload, PassKind, lower_pass,
                        training_workloads)
 
-Source = Union[ConvLayerConfig, GemmWorkload]
+Source = Union[LayerConfig, GemmWorkload]
 
 
 @dataclass(frozen=True)
@@ -76,12 +76,12 @@ class DeltaModel:
         """Estimate execution time and bottleneck for one workload."""
         return self.performance_model.estimate(source)
 
-    def estimate_pass(self, layer: ConvLayerConfig,
+    def estimate_pass(self, layer: LayerConfig,
                       pass_kind: PassKind) -> ExecutionEstimate:
         """Estimate one training pass (forward, dgrad or wgrad) of a layer."""
         return self.estimate(lower_pass(layer, pass_kind))
 
-    def estimate_layer_training(self, layer: ConvLayerConfig
+    def estimate_layer_training(self, layer: LayerConfig
                                 ) -> List[ExecutionEstimate]:
         """All three training-pass estimates of one layer, in pass order."""
         return [self.estimate(workload)

@@ -30,7 +30,7 @@ from typing import Dict, Optional, Union
 
 from ..gpu.spec import GpuSpec
 from .bottleneck import Bottleneck
-from .layer import ConvLayerConfig
+from .layer import ConvLayerConfig, LayerConfig
 from .streams import StreamTimes, compute_stream_times
 from .tiling import active_ctas_per_sm
 from .traffic import TrafficEstimate, TrafficModel
@@ -57,8 +57,8 @@ class ExecutionEstimate:
     ctas_per_sm: int
 
     @property
-    def layer(self) -> ConvLayerConfig:
-        """The convolution layer the workload was lowered from."""
+    def layer(self) -> LayerConfig:
+        """The layer the workload was lowered from."""
         return self.workload.layer
 
     @property
@@ -124,7 +124,7 @@ class PerformanceModel:
     # ------------------------------------------------------------------
     # Main estimate
     # ------------------------------------------------------------------
-    def estimate(self, source: Union[ConvLayerConfig, GemmWorkload],
+    def estimate(self, source: Union[LayerConfig, GemmWorkload],
                  traffic: Optional[TrafficEstimate] = None) -> ExecutionEstimate:
         """Predict execution time and bottleneck for one workload."""
         gpu = self.gpu

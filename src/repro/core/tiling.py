@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Union
 
 from ..gpu.spec import FP32_BYTES, WARP_SIZE, GpuSpec
-from .layer import ConvLayerConfig, GemmShape
+from .layer import GemmShape, LayerConfig
 from .workload import GemmWorkload, as_workload
 
 
@@ -114,24 +114,31 @@ def select_cta_tile(gemm: GemmShape, tile_hw: int = 128) -> CtaTile:
 
 @dataclass(frozen=True)
 class GemmGrid:
-    """The CTA tile array covering the whole GEMM (Section IV-C, Fig. 8)."""
+    """The CTA tile array covering the whole GEMM (Section IV-C, Fig. 8).
+
+    ``ctas_m``/``ctas_n`` describe one GEMM instance; a batched workload runs
+    ``groups`` such grids back to back, so every whole-workload total
+    (``num_ctas``, ``total_main_loops``) scales by ``groups``.
+    """
 
     gemm: GemmShape
     tile: CtaTile
+    #: independent GEMM instances covered by this grid (batched GEMM).
+    groups: int = 1
 
     @property
     def ctas_m(self) -> int:
-        """Number of CTA rows (along M)."""
+        """Number of CTA rows (along M) of one GEMM instance."""
         return math.ceil(self.gemm.m / self.tile.blk_m)
 
     @property
     def ctas_n(self) -> int:
-        """Number of CTA columns (along N)."""
+        """Number of CTA columns (along N) of one GEMM instance."""
         return math.ceil(self.gemm.n / self.tile.blk_n)
 
     @property
     def num_ctas(self) -> int:
-        return self.ctas_m * self.ctas_n
+        return self.groups * self.ctas_m * self.ctas_n
 
     @property
     def main_loops_per_cta(self) -> int:
@@ -148,11 +155,13 @@ class GemmGrid:
         return self.ctas_m / self.ctas_n
 
 
-def build_grid(source: Union[ConvLayerConfig, GemmWorkload],
+def build_grid(source: Union[LayerConfig, GemmWorkload],
                tile_hw: int = 128) -> GemmGrid:
-    """GEMM grid for a workload (or a conv layer's forward-pass workload)."""
-    gemm = as_workload(source).gemm
-    return GemmGrid(gemm=gemm, tile=select_cta_tile(gemm, tile_hw=tile_hw))
+    """GEMM grid for a workload (or a layer's forward-pass workload)."""
+    workload = as_workload(source)
+    gemm = workload.gemm
+    return GemmGrid(gemm=gemm, tile=select_cta_tile(gemm, tile_hw=tile_hw),
+                    groups=workload.groups)
 
 
 def active_ctas_per_sm(tile: CtaTile, gpu: GpuSpec,

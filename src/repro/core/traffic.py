@@ -17,7 +17,7 @@ from ..gpu.spec import GpuSpec
 from .dram import DramModelOptions, DramTraffic, estimate_dram_traffic
 from .l1 import L1Traffic, ReplicationMode, estimate_l1_traffic
 from .l2 import L2ModelOptions, L2Traffic, estimate_l2_traffic
-from .layer import ConvLayerConfig
+from .layer import ConvLayerConfig, LayerConfig
 from .tiling import GemmGrid, build_grid
 from .workload import GemmWorkload, as_workload
 
@@ -34,8 +34,8 @@ class TrafficEstimate:
     dram: DramTraffic
 
     @property
-    def layer(self) -> ConvLayerConfig:
-        """The convolution layer the workload was lowered from."""
+    def layer(self) -> LayerConfig:
+        """The layer the workload was lowered from."""
         return self.workload.layer
 
     @property
@@ -114,7 +114,7 @@ class TrafficModel:
     #: CTA tile height/width family used by the GEMM kernel (128 or 256).
     cta_tile_hw: int = 128
 
-    def estimate(self, source: Union[ConvLayerConfig, GemmWorkload],
+    def estimate(self, source: Union[LayerConfig, GemmWorkload],
                  grid: Optional[GemmGrid] = None) -> TrafficEstimate:
         """Estimate L1, L2 and DRAM traffic for one workload."""
         workload = as_workload(source)

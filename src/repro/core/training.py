@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
 
-from .layer import ConvLayerConfig
+from .layer import LayerConfig
 from .performance import ExecutionEstimate
 from .workload import TRAINING_PASSES, PassKind, lower_pass
 
@@ -118,7 +118,7 @@ class TrainingStepEstimate:
 
 def estimate_training_step(model: "DeltaModel",
                            network: Union["ConvNetwork",
-                                          Iterable[ConvLayerConfig]],
+                                          Iterable[LayerConfig]],
                            batch: int = 0,
                            passes: Tuple[PassKind, ...] = TRAINING_PASSES,
                            name: Optional[str] = None

@@ -38,6 +38,13 @@ Operand bindings per pass:
   im2col IFmap matrix entered on the N side: its tile rows now run along the
   K axis (output positions) and its columns along N (filter offsets), which
   is why the L2 sliding-window equations take explicit (rows, cols) extents.
+
+GEMM-native layers (:class:`~repro.core.layer.LinearLayerConfig` and the
+batched :class:`~repro.core.layer.BatchedGemmLayerConfig`) skip the im2col
+story entirely: :func:`lower_dense` binds every pass's operands as dense
+row-major matrices (the same N<->K / M<->K swaps, all-unique L2 reuse, and
+``groups`` independent GEMM instances for batched layers).  See the
+"GEMM-native layers" section of DESIGN.md.
 """
 
 from __future__ import annotations
@@ -45,7 +52,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Optional, Tuple, Union
 
-from .layer import ConvLayerConfig, GemmShape
+from .layer import (DENSE_LAYER_TYPES, BatchedGemmLayerConfig, ConvLayerConfig,
+                    GemmShape, LayerConfig, LinearLayerConfig)
 
 #: the three per-layer GEMMs of one training step, in execution order.
 PassKind = Literal["forward", "dgrad", "wgrad"]
@@ -60,6 +68,11 @@ PASS_CHOICES: Tuple[str, ...] = ("forward", "dgrad", "wgrad", "training")
 #: collects 32/blkK distant blkK-element segments per warp (the filter-matrix
 #: pattern), "contiguous" streams dense rows (ideal coalescing).
 L1Pattern = Literal["im2col", "gather", "contiguous"]
+
+#: how GEMM coordinates map to tensor addresses: "conv" workloads address
+#: BCHW/KCRS convolution tensors (implicit im2col), "dense" workloads address
+#: row-major activation/weight matrices (linear and batched-GEMM layers).
+WorkloadLayoutKind = Literal["conv", "dense"]
 
 #: intra-tile reuse captured by the private L1: "sliding" tiles have the
 #: im2col duplication (unique footprint from Eq. 5-8), "unique" tiles have no
@@ -212,12 +225,16 @@ class OperandSpec:
 
 @dataclass(frozen=True)
 class GemmWorkload:
-    """One im2col GEMM of a convolution layer's training step.
+    """One GEMM of a layer's training step.
 
     The IR the whole model stack consumes: ``a`` is the M-side input operand,
     ``b`` the N-side input operand, ``out`` describes the tensor the epilogue
-    writes.  ``layer`` records the convolution the workload was lowered from
-    (the simulator derives exact tensor addresses from it).
+    writes.  ``layer`` records the layer the workload was lowered from (the
+    simulator derives exact tensor addresses from it, dispatching on
+    ``layout``).  ``gemm`` is the per-instance shape and ``groups`` the number
+    of independent instances (1 for convolutions and linear layers; a batched
+    GEMM runs ``groups`` copies over per-instance tensor slices, so every
+    total — MACs, traffic, CTAs — scales by it).
     """
 
     name: str
@@ -225,14 +242,19 @@ class GemmWorkload:
     gemm: GemmShape
     a: OperandSpec
     b: OperandSpec
-    #: tensor the epilogue produces: "ofmap", "ifmap_grad" or "filter_grad".
+    #: tensor the epilogue produces: "ofmap", "ifmap_grad" or "filter_grad"
+    #: (conv) / "output", "input_grad" or "weight_grad" (dense).
     out_role: str
-    #: footprint of the output tensor, in elements.
+    #: footprint of the output tensor, in elements (across all groups).
     out_elements: int
     #: bytes per tensor element; flows through every byte computation.
     dtype_bytes: int
-    #: the convolution layer this workload was lowered from.
-    layer: ConvLayerConfig
+    #: the layer this workload was lowered from.
+    layer: LayerConfig
+    #: independent GEMM instances of shape ``gemm`` (batched GEMM).
+    groups: int = 1
+    #: GEMM-coordinate -> tensor-address mapping family.
+    layout: WorkloadLayoutKind = "conv"
 
     def __post_init__(self) -> None:
         if self.pass_kind not in PASS_KINDS:
@@ -241,11 +263,15 @@ class GemmWorkload:
             raise ValueError("out_elements must be positive")
         if self.dtype_bytes <= 0:
             raise ValueError("dtype_bytes must be positive")
+        if self.groups <= 0:
+            raise ValueError("groups must be positive")
+        if self.layout not in ("conv", "dense"):
+            raise ValueError(f"unknown workload layout {self.layout!r}")
 
     @property
     def macs(self) -> int:
-        """Multiply-accumulate operations: M*N*K."""
-        return self.gemm.macs
+        """Multiply-accumulate operations: groups * M*N*K."""
+        return self.groups * self.gemm.macs
 
     @property
     def flops(self) -> int:
@@ -271,8 +297,10 @@ def _pass_name(layer: ConvLayerConfig, pass_kind: PassKind) -> str:
     return layer.name if pass_kind == "forward" else f"{layer.name}:{pass_kind}"
 
 
-def lower_forward(layer: ConvLayerConfig) -> GemmWorkload:
+def lower_forward(layer: LayerConfig) -> GemmWorkload:
     """Forward pass: O = col(I) . W — exactly the seed model's geometry."""
+    if isinstance(layer, DENSE_LAYER_TYPES):
+        return lower_dense(layer, "forward")
     return GemmWorkload(
         name=_pass_name(layer, "forward"),
         pass_kind="forward",
@@ -299,8 +327,10 @@ def lower_forward(layer: ConvLayerConfig) -> GemmWorkload:
     )
 
 
-def lower_dgrad(layer: ConvLayerConfig) -> GemmWorkload:
+def lower_dgrad(layer: LayerConfig) -> GemmWorkload:
     """Data-gradient pass: dI = col2im(dO . W^T) — N and K swapped."""
+    if isinstance(layer, DENSE_LAYER_TYPES):
+        return lower_dense(layer, "dgrad")
     forward = layer.gemm_shape()
     return GemmWorkload(
         name=_pass_name(layer, "dgrad"),
@@ -327,8 +357,10 @@ def lower_dgrad(layer: ConvLayerConfig) -> GemmWorkload:
     )
 
 
-def lower_wgrad(layer: ConvLayerConfig) -> GemmWorkload:
+def lower_wgrad(layer: LayerConfig) -> GemmWorkload:
     """Weight-gradient pass: dW = dO^T . col(I) — M and K swapped."""
+    if isinstance(layer, DENSE_LAYER_TYPES):
+        return lower_dense(layer, "wgrad")
     forward = layer.gemm_shape()
     return GemmWorkload(
         name=_pass_name(layer, "wgrad"),
@@ -365,8 +397,99 @@ _LOWERINGS = {
 }
 
 
-def lower_pass(layer: ConvLayerConfig, pass_kind: PassKind) -> GemmWorkload:
-    """Lower one convolution layer onto one training-pass GEMM workload."""
+# ----------------------------------------------------------------------
+# Dense lowering: Linear / BatchedGemm layers -> per-pass GemmWorkload
+# ----------------------------------------------------------------------
+#
+# A dense layer's three training passes are pure operand swaps of row-major
+# matrices (writing A for the forward input X / score operand and dY for the
+# output gradient):
+#
+#     forward  Y  = A . B^T       (M, N, K)
+#     dgrad    dA = dY . B        (M, K, N)   N and K swapped
+#     wgrad    dB = dY^T . A      (N, K, M)   M and K swapped
+#
+# In GEMM-local terms every pass's a-operand backs a [groups, m, k] tensor and
+# every b-operand a [groups, n, k] tensor, which is what makes one address
+# decomposition serve all three passes in the simulator.  Per-pass operand
+# bindings (contiguity in the backing row-major tensor):
+#
+# * forward — a = A (contiguous along K: blkK-segment "gather" loads, like
+#   the conv filter matrix), b = B (same).
+# * dgrad — a = dY (contiguous along its K axis: "gather"), b = B entered
+#   transposed (strided along K, modelled "gather" like the conv dgrad
+#   filter).
+# * wgrad — a = dY^T (contiguous along its *own* axis: fully coalesced
+#   column loads, "contiguous"), b = A entered on the N side ("gather").
+#   Like the conv wgrad, the few-CTA grid streams the K (row) axis in
+#   lockstep waves, so neither operand is re-read per CTA column.
+
+_DENSE_L1_PATTERNS = {
+    "forward": ("gather", "gather"),
+    "dgrad": ("gather", "gather"),
+    "wgrad": ("contiguous", "gather"),
+}
+
+_DENSE_ROLES = {
+    "forward": ("input", "weight", "output"),
+    "dgrad": ("output_grad", "weight", "input_grad"),
+    "wgrad": ("output_grad", "input", "weight_grad"),
+}
+
+
+def lower_dense(layer: Union[LinearLayerConfig, BatchedGemmLayerConfig],
+                pass_kind: PassKind) -> GemmWorkload:
+    """Lower one dense (linear or batched-GEMM) layer onto one pass's GEMM."""
+    if pass_kind not in PASS_KINDS:
+        raise ValueError(
+            f"unknown pass kind {pass_kind!r}; expected one of "
+            f"{list(PASS_KINDS)}")
+    forward = layer.gemm_shape()
+    if pass_kind == "forward":
+        gemm = forward
+    elif pass_kind == "dgrad":
+        gemm = GemmShape(m=forward.m, n=forward.k, k=forward.n)
+    else:  # wgrad
+        gemm = GemmShape(m=forward.n, n=forward.k, k=forward.m)
+    groups = getattr(layer, "groups", 1)
+    a_pattern, b_pattern = _DENSE_L1_PATTERNS[pass_kind]
+    a_role, b_role, out_role = _DENSE_ROLES[pass_kind]
+    replicated = pass_kind != "wgrad"
+    a_elements = groups * gemm.m * gemm.k
+    b_elements = groups * gemm.n * gemm.k
+    return GemmWorkload(
+        name=_pass_name(layer, pass_kind),
+        pass_kind=pass_kind,
+        gemm=gemm,
+        a=OperandSpec(
+            role=a_role,
+            l1_pattern=a_pattern,
+            l2_reuse="unique",
+            tensor_elements=a_elements,
+            dram_elements=float(a_elements),
+            dram_replicated=replicated,
+        ),
+        b=OperandSpec(
+            role=b_role,
+            l1_pattern=b_pattern,
+            l2_reuse="unique",
+            tensor_elements=b_elements,
+            dram_elements=float(b_elements),
+            dram_replicated=replicated,
+        ),
+        out_role=out_role,
+        out_elements=groups * gemm.m * gemm.n,
+        dtype_bytes=layer.dtype_bytes,
+        layer=layer,
+        groups=groups,
+        layout="dense",
+    )
+
+
+def lower_pass(layer: LayerConfig, pass_kind: PassKind) -> GemmWorkload:
+    """Lower one layer (conv, linear or batched GEMM) onto one pass's GEMM."""
+    if isinstance(layer, DENSE_LAYER_TYPES):
+        return lower_dense(layer, pass_kind)
     try:
         lowering = _LOWERINGS[pass_kind]
     except KeyError:
@@ -376,12 +499,12 @@ def lower_pass(layer: ConvLayerConfig, pass_kind: PassKind) -> GemmWorkload:
     return lowering(layer)
 
 
-def training_workloads(layer: ConvLayerConfig) -> Tuple[GemmWorkload, ...]:
+def training_workloads(layer: LayerConfig) -> Tuple[GemmWorkload, ...]:
     """All three per-layer GEMMs of one training step, in execution order."""
     return tuple(lower_pass(layer, pass_kind) for pass_kind in TRAINING_PASSES)
 
 
-def as_workload(source: Union[ConvLayerConfig, GemmWorkload],
+def as_workload(source: Union[LayerConfig, GemmWorkload],
                 pass_kind: PassKind = "forward") -> GemmWorkload:
     """Coerce a layer (lowered to ``pass_kind``) or pass a workload through.
 
@@ -390,7 +513,7 @@ def as_workload(source: Union[ConvLayerConfig, GemmWorkload],
     """
     if isinstance(source, GemmWorkload):
         return source
-    if isinstance(source, ConvLayerConfig):
+    if isinstance(source, (ConvLayerConfig, *DENSE_LAYER_TYPES)):
         return lower_pass(source, pass_kind)
     raise TypeError(
-        f"expected ConvLayerConfig or GemmWorkload, got {type(source).__name__}")
+        f"expected a layer config or GemmWorkload, got {type(source).__name__}")

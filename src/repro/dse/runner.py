@@ -48,9 +48,9 @@ EVALUATION_SCHEMA = 1
 @lru_cache(maxsize=256)
 def _workload_layers(network: str, batch: int, dtype_bytes: int,
                      unique: bool) -> Tuple:
-    """The evaluated conv layers of one workload (memoized per process)."""
+    """The evaluated GEMM layers of one workload (memoized per process)."""
     net = get_network(network, batch=batch)
-    layers = net.unique_layers() if unique else net.conv_layers()
+    layers = net.unique_layers() if unique else net.gemm_layers()
     if dtype_bytes != FP32_BYTES:
         layers = [layer.with_dtype(dtype_bytes) for layer in layers]
     return tuple(layers)
@@ -59,7 +59,7 @@ def _workload_layers(network: str, batch: int, dtype_bytes: int,
 def workload_fingerprint(point: DesignPoint, unique: bool) -> str:
     """Content hash of the evaluated layers' structural keys + pass kinds.
 
-    Built on :meth:`ConvLayerConfig.structural_key` — the same identity the
+    Built on the layers' ``structural_key`` — the same identity the
     session's simulation dedupe uses — so a change to a network definition
     changes the key and stale store entries are never reused.
     """

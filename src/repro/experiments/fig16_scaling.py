@@ -1,8 +1,10 @@
 """Fig. 16: GPU resource scaling study on ResNet152.
 
 Panel (a) lists the nine design options (multipliers over the TITAN Xp
-baseline), panel (b) their speedup on the full set of ResNet152 convolution
-layers, and panel (c) the distribution of performance bottlenecks per option.
+baseline), panel (b) their speedup on the full ResNet152 layer list — since
+the FC-tail fix that includes the tiny ``fc`` classifier GEMM (~0.07% of the
+network's MACs) alongside the 155 convolutions — and panel (c) the
+distribution of performance bottlenecks per option.
 The paper's headline observations:
 
 * conventional scaling (2x/4x SMs, options 1-2) yields ~1.9x / ~3.4x;
@@ -32,7 +34,7 @@ from .base import ExperimentResult, make_result
 from .registry import register_experiment
 
 EXPERIMENT_ID = "fig16"
-TITLE = "Fig. 16: GPU resource scaling study (ResNet152 conv layers)"
+TITLE = "Fig. 16: GPU resource scaling study (ResNet152, all layers)"
 
 
 @register_experiment(EXPERIMENT_ID, title=TITLE, fast=True)

@@ -113,6 +113,7 @@ from . import fig19_cycles         # noqa: E402,F401
 from . import fig20_traffic_absolute  # noqa: E402,F401
 from . import tab01_specs          # noqa: E402,F401
 from . import training_step        # noqa: E402,F401
+from . import transformer_step     # noqa: E402,F401
 
 #: experiments that need no simulation and therefore run in well under a second.
 FAST_EXPERIMENTS: Tuple[str, ...] = tuple(

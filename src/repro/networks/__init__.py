@@ -1,8 +1,13 @@
-"""Benchmark CNNs used in the paper's evaluation."""
+"""Benchmark networks used in the paper's evaluation and beyond.
 
-from .alexnet import alexnet
-from .base import ConvNetwork
+The four CNNs of the paper (now including their FC classifier tails) plus
+GEMM-native workloads: an MLP and a BERT-base-style transformer encoder.
+"""
+
+from .alexnet import alexnet, alexnet_paper_subset
+from .base import ConvNetwork, Network
 from .googlenet import googlenet, googlenet_paper_subset
+from .mlp import make_mlp, mlp
 from .registry import (
     PAPER_NETWORK_ORDER,
     available_networks,
@@ -13,16 +18,24 @@ from .registry import (
     unregister_network,
 )
 from .resnet import resnet152, resnet152_paper_subset
-from .vgg import vgg16
+from .transformer import bert_base, make_transformer_encoder
+from .vgg import vgg16, vgg16_paper_subset
 
 __all__ = [
     "ConvNetwork",
+    "Network",
     "alexnet",
+    "alexnet_paper_subset",
     "vgg16",
+    "vgg16_paper_subset",
     "googlenet",
     "googlenet_paper_subset",
     "resnet152",
     "resnet152_paper_subset",
+    "mlp",
+    "make_mlp",
+    "bert_base",
+    "make_transformer_encoder",
     "get_network",
     "available_networks",
     "paper_subset_networks",

@@ -1,24 +1,25 @@
-"""AlexNet convolution layers (Krizhevsky et al., single-tower variant).
+"""AlexNet layers (Krizhevsky et al., single-tower variant).
 
 Feature map sizes follow the standard ImageNet configuration with a 224x224
 input: conv1 runs at stride 4 and the two max-pooling layers reduce the
-feature map to 27x27 and 13x13 before conv2 and conv3 respectively.
+feature map to 27x27 and 13x13 before conv2 and conv3 respectively.  The
+classifier tail (fc6-fc8) is included as GEMM-native linear layers so
+training-step totals cover the whole network; the paper-subset variant keeps
+the conv-only population the paper's per-layer figures evaluate.
 """
 
 from __future__ import annotations
 
-from ..core.layer import ConvLayerConfig
+from ..core.layer import ConvLayerConfig, LinearLayerConfig
 from .base import ConvNetwork
 from .registry import register_network
 
 DEFAULT_BATCH = 256
 
 
-@register_network("alexnet")
-def alexnet(batch: int = DEFAULT_BATCH) -> ConvNetwork:
-    """The five AlexNet convolution layers at the given mini-batch size."""
+def _conv_layers(batch: int):
     sq = ConvLayerConfig.square
-    layers = (
+    return (
         sq("conv1", batch, in_channels=3, in_size=224, out_channels=64,
            filter_size=11, stride=4, padding=2),
         sq("conv2", batch, in_channels=64, in_size=27, out_channels=192,
@@ -30,4 +31,22 @@ def alexnet(batch: int = DEFAULT_BATCH) -> ConvNetwork:
         sq("conv5", batch, in_channels=256, in_size=13, out_channels=256,
            filter_size=3, stride=1, padding=1),
     )
+
+
+@register_network("alexnet")
+def alexnet(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """The five AlexNet convolutions plus the fc6-fc8 classifier tail."""
+    # The final 13x13 maps are max-pooled to 6x6 before the classifier.
+    layers = _conv_layers(batch) + (
+        LinearLayerConfig("fc6", batch, in_features=256 * 6 * 6,
+                          out_features=4096),
+        LinearLayerConfig("fc7", batch, in_features=4096, out_features=4096),
+        LinearLayerConfig("fc8", batch, in_features=4096, out_features=1000),
+    )
     return ConvNetwork(name="AlexNet", layers=layers)
+
+
+@register_network("alexnet", paper_subset=True)
+def alexnet_paper_subset(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """The conv-only population the paper's per-layer figures evaluate."""
+    return ConvNetwork(name="AlexNet", layers=_conv_layers(batch))

@@ -1,11 +1,21 @@
-"""Network container: an ordered collection of convolution layer configs.
+"""Network container: an ordered collection of GEMM-lowerable layer configs.
 
 The paper evaluates DeLTA on the convolution layers of AlexNet, VGG16,
 GoogLeNet and ResNet152.  Because many layers in these networks share the
 exact same configuration, results are reported on the *unique* subset
 (Section VI); :meth:`ConvNetwork.unique_layers` reproduces that subset while
-:meth:`ConvNetwork.conv_layers` returns the full list (used, e.g., for the
-ResNet152 scaling study which sums over all 152 conv layers).
+:meth:`ConvNetwork.gemm_layers` returns the full list (used, e.g., for the
+ResNet152 scaling study which sums over all layers).
+
+Since the GEMM-native layer families landed, a network may mix convolution
+layers with :class:`~repro.core.layer.LinearLayerConfig` (the CNNs' FC tails,
+MLPs, transformer projections) and :class:`~repro.core.layer.
+BatchedGemmLayerConfig` (attention score/context products); every entry
+lowers to per-pass :class:`~repro.core.workload.GemmWorkload` s through the
+same :func:`~repro.core.workload.lower_pass` dispatch.
+:meth:`ConvNetwork.conv_layers` keeps its historical meaning — the
+convolution subset only — which is what the paper's conv-centric figures
+consume.
 """
 
 from __future__ import annotations
@@ -13,44 +23,49 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence, Tuple
 
-from ..core.layer import ConvLayerConfig
+from ..core.layer import ConvLayerConfig, LayerConfig
 
 
 @dataclass(frozen=True)
 class ConvNetwork:
-    """A CNN reduced to its convolution layers, in forward order."""
+    """A network reduced to its GEMM-lowerable layers, in forward order."""
 
     name: str
-    layers: Tuple[ConvLayerConfig, ...]
+    layers: Tuple[LayerConfig, ...]
 
     def __post_init__(self) -> None:
         if not self.layers:
             raise ValueError(f"network {self.name!r} has no layers")
 
-    def __iter__(self) -> Iterator[ConvLayerConfig]:
+    def __iter__(self) -> Iterator[LayerConfig]:
         return iter(self.layers)
 
     def __len__(self) -> int:
         return len(self.layers)
 
-    def conv_layers(self) -> List[ConvLayerConfig]:
-        """All convolution layers, in forward order."""
+    def gemm_layers(self) -> List[LayerConfig]:
+        """All GEMM-lowerable layers (conv, linear, batched), in forward order."""
         return list(self.layers)
 
-    def unique_layers(self) -> List[ConvLayerConfig]:
+    def conv_layers(self) -> List[ConvLayerConfig]:
+        """The convolution layers only, in forward order."""
+        return [layer for layer in self.layers
+                if isinstance(layer, ConvLayerConfig)]
+
+    def unique_layers(self) -> List[LayerConfig]:
         """The unique-configuration subset, preserving first occurrence order.
 
-        Identity is :meth:`ConvLayerConfig.structural_key` — the same key the
+        Identity is the layer's ``structural_key`` — the same key the
         session's simulation work-unit dedupe uses, so the two cannot drift.
         """
-        seen: Dict[Tuple, ConvLayerConfig] = {}
+        seen: Dict[Tuple, LayerConfig] = {}
         for layer in self.layers:
             key = layer.structural_key()
             if key not in seen:
                 seen[key] = layer
         return list(seen.values())
 
-    def layer(self, name: str) -> ConvLayerConfig:
+    def layer(self, name: str) -> LayerConfig:
         """Look up a layer by name."""
         for candidate in self.layers:
             if candidate.name == name:
@@ -66,7 +81,7 @@ class ConvNetwork:
 
     @property
     def total_macs(self) -> int:
-        """Total multiply-accumulate operations of all conv layers."""
+        """Total multiply-accumulate operations of all layers."""
         return sum(layer.macs for layer in self.layers)
 
     @property
@@ -74,13 +89,18 @@ class ConvNetwork:
         return 2 * self.total_macs
 
     def describe(self) -> str:
-        lines = [f"{self.name}: {len(self.layers)} conv layers, "
+        lines = [f"{self.name}: {len(self.layers)} layers, "
                  f"{self.total_flops / 1e9:.1f} GFLOPs per batch"]
         lines.extend("  " + layer.describe() for layer in self.layers)
         return "\n".join(lines)
 
 
-def prefixed(network_name: str, layers: Sequence[ConvLayerConfig]) -> Tuple[ConvLayerConfig, ...]:
+#: the container holds any GEMM-lowerable layer family, not just convolutions;
+#: ``Network`` is the forward-looking name, ``ConvNetwork`` the historical one.
+Network = ConvNetwork
+
+
+def prefixed(network_name: str, layers: Sequence[LayerConfig]) -> Tuple[LayerConfig, ...]:
     """Prefix layer names with the network name for unambiguous reporting."""
     return tuple(layer.with_name(f"{network_name}/{layer.name}")
                  if not layer.name.startswith(f"{network_name}/") else layer

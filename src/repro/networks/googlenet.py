@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from ..core.layer import ConvLayerConfig
+from ..core.layer import ConvLayerConfig, LinearLayerConfig
 from .base import ConvNetwork
 from .registry import register_network
 
@@ -68,6 +68,10 @@ def googlenet(batch: int = DEFAULT_BATCH) -> ConvNetwork:
     for name, (size, cin, n1, n3r, n3, n5r, n5, proj) in _INCEPTION_TABLE:
         layers.extend(_inception_layers(batch, name, size, cin, n1, n3r, n3,
                                         n5r, n5, proj))
+    # Global average pooling reduces 5b's 7x7x1024 output to 1024 features
+    # before the single classifier layer.
+    layers.append(LinearLayerConfig("fc", batch, in_features=1024,
+                                    out_features=1000))
     return ConvNetwork(name="GoogLeNet", layers=tuple(layers))
 
 

@@ -1,0 +1,43 @@
+"""A multi-layer perceptron as a pure sequence of dense GEMMs.
+
+The canonical GEMM-native workload: every layer is a
+:class:`~repro.core.layer.LinearLayerConfig`, so the network exercises the
+conv-free lowering path end to end (forward, dgrad and wgrad are all dense
+row-major GEMMs, no im2col anywhere).  The default geometry is the classic
+ImageNet-MLP shape — a 784-feature input, three 4096-wide hidden layers and a
+1000-way classifier — which keeps per-layer GEMMs big enough to fill a GPU at
+the paper's batch sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.layer import LinearLayerConfig
+from .base import ConvNetwork
+from .registry import register_network
+
+DEFAULT_BATCH = 256
+
+#: feature widths from input to output; layer i maps width[i] -> width[i+1].
+DEFAULT_WIDTHS: Tuple[int, ...] = (784, 4096, 4096, 4096, 1000)
+
+
+def make_mlp(batch: int, widths: Sequence[int] = DEFAULT_WIDTHS,
+             name: str = "MLP") -> ConvNetwork:
+    """An MLP with one linear layer per consecutive width pair."""
+    widths = tuple(int(width) for width in widths)
+    if len(widths) < 2:
+        raise ValueError("an MLP needs at least two widths (input, output)")
+    layers = tuple(
+        LinearLayerConfig(f"fc{index + 1}", batch, in_features=w_in,
+                          out_features=w_out)
+        for index, (w_in, w_out) in enumerate(zip(widths, widths[1:]))
+    )
+    return ConvNetwork(name=name, layers=layers)
+
+
+@register_network("mlp")
+def mlp(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """The default 784-4096-4096-4096-1000 MLP at the given batch size."""
+    return make_mlp(batch)

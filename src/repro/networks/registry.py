@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.layer import ConvLayerConfig
+from ..core.layer import LayerConfig
 from .base import ConvNetwork
 
 NetworkFactory = Callable[[int], ConvNetwork]
@@ -80,7 +80,7 @@ def get_network(name: str, batch: int = 256, paper_subset: bool = False) -> Conv
 
 def paper_benchmark_suite(batch: int = 256, unique: bool = True,
                           networks: Optional[Sequence[str]] = None
-                          ) -> List[Tuple[str, ConvLayerConfig]]:
+                          ) -> List[Tuple[str, LayerConfig]]:
     """(network name, layer) pairs for the paper's evaluation population.
 
     With ``unique=True`` (the default) each network contributes only its
@@ -98,10 +98,10 @@ def paper_benchmark_suite(batch: int = 256, unique: bool = True,
                            f"available: {available_networks()}")
         names = ([name for name in PAPER_NETWORK_ORDER if name in wanted]
                  + sorted(wanted - set(PAPER_NETWORK_ORDER)))
-    suite: List[Tuple[str, ConvLayerConfig]] = []
+    suite: List[Tuple[str, LayerConfig]] = []
     for name in names:
         network = get_network(name, batch=batch, paper_subset=True)
-        layers = network.unique_layers() if unique else network.conv_layers()
+        layers = network.unique_layers() if unique else network.gemm_layers()
         suite.extend((network.name, layer) for layer in layers)
     return suite
 
@@ -110,5 +110,7 @@ def paper_benchmark_suite(batch: int = 256, unique: bool = True,
 # The imports sit at the bottom so the decorator exists when they run.
 from . import alexnet as _alexnet    # noqa: E402,F401
 from . import googlenet as _googlenet  # noqa: E402,F401
+from . import mlp as _mlp            # noqa: E402,F401
 from . import resnet as _resnet      # noqa: E402,F401
+from . import transformer as _transformer  # noqa: E402,F401
 from . import vgg as _vgg            # noqa: E402,F401

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from ..core.layer import ConvLayerConfig
+from ..core.layer import ConvLayerConfig, LinearLayerConfig
 from .base import ConvNetwork
 from .registry import register_network
 
@@ -53,7 +53,7 @@ def _bottleneck(batch: int, stage: str, block: int, in_channels: int,
 
 @register_network("resnet152")
 def resnet152(batch: int = DEFAULT_BATCH) -> ConvNetwork:
-    """All ResNet-152 convolution layers at the given mini-batch size."""
+    """All ResNet-152 layers (155 convolutions + classifier fc)."""
     sq = ConvLayerConfig.square
     layers: List[ConvLayerConfig] = [
         sq("conv1", batch, in_channels=3, in_size=224, out_channels=64,
@@ -68,7 +68,12 @@ def resnet152(batch: int = DEFAULT_BATCH) -> ConvNetwork:
             layers.extend(_bottleneck(batch, stage, block, in_channels, width,
                                       out_size, stride))
             in_channels = 4 * width
-    return ConvNetwork(name="ResNet152", layers=tuple(layers))
+    # Global average pooling reduces conv5's 7x7x2048 output to 2048 features
+    # before the single classifier layer.
+    all_layers: List = list(layers)
+    all_layers.append(LinearLayerConfig("fc", batch, in_features=2048,
+                                        out_features=1000))
+    return ConvNetwork(name="ResNet152", layers=tuple(all_layers))
 
 
 #: layer names shown in the paper's per-layer evaluation figures.

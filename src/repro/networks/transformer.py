@@ -1,0 +1,70 @@
+"""A BERT-base-style transformer encoder as a sequence of GEMMs.
+
+Each encoder layer contributes eight GEMMs per training pass:
+
+* the Q/K/V input projections and the attention output projection — four
+  ``(B*S, hidden, hidden)`` dense GEMMs
+  (:class:`~repro.core.layer.LinearLayerConfig` with ``rows_per_sample = S``);
+* the attention score product ``S = Q . K^T`` and the context product
+  ``C = P . V`` — two batched GEMMs with one ``(S x S x d)`` /
+  ``(S x d x S)`` instance per (sample, head)
+  (:class:`~repro.core.layer.BatchedGemmLayerConfig`);
+* the two feed-forward projections — ``(B*S, hidden, ffn)`` and
+  ``(B*S, ffn, hidden)`` dense GEMMs.
+
+Softmax, layer norm, residual adds and the embedding lookup move negligible
+FLOPs compared to the GEMMs and are outside the paper's GEMM-centric model,
+so they are not represented.  All twelve encoder layers are structurally
+identical and the q/k/v/out projections share one configuration, so the
+unique-layer dedupe collapses the stack to five GEMM configurations per
+pass.
+"""
+
+from __future__ import annotations
+
+from ..core.layer import BatchedGemmLayerConfig, LinearLayerConfig
+from .base import ConvNetwork
+from .registry import register_network
+
+#: transformers train at far smaller sample counts than CNNs (each sample is
+#: ``seq_len`` tokens); 16 sequences x 512 tokens is a common BERT-base step.
+DEFAULT_BATCH = 16
+
+
+def make_transformer_encoder(batch: int, *, name: str = "BERT-base",
+                             num_layers: int = 12, hidden: int = 768,
+                             heads: int = 12, ffn: int = 3072,
+                             seq_len: int = 512) -> ConvNetwork:
+    """A BERT-style encoder stack as GEMM layer configs."""
+    if hidden % heads:
+        raise ValueError(f"heads ({heads}) must divide hidden ({hidden})")
+    head_dim = hidden // heads
+    layers = []
+    for index in range(1, num_layers + 1):
+        prefix = f"enc{index}"
+        for proj in ("q_proj", "k_proj", "v_proj"):
+            layers.append(LinearLayerConfig(
+                f"{prefix}_{proj}", batch, in_features=hidden,
+                out_features=hidden, rows_per_sample=seq_len))
+        layers.append(BatchedGemmLayerConfig(
+            f"{prefix}_attn_scores", batch, groups_per_sample=heads,
+            m=seq_len, n=seq_len, k=head_dim))
+        layers.append(BatchedGemmLayerConfig(
+            f"{prefix}_attn_context", batch, groups_per_sample=heads,
+            m=seq_len, n=head_dim, k=seq_len))
+        layers.append(LinearLayerConfig(
+            f"{prefix}_out_proj", batch, in_features=hidden,
+            out_features=hidden, rows_per_sample=seq_len))
+        layers.append(LinearLayerConfig(
+            f"{prefix}_ffn1", batch, in_features=hidden, out_features=ffn,
+            rows_per_sample=seq_len))
+        layers.append(LinearLayerConfig(
+            f"{prefix}_ffn2", batch, in_features=ffn, out_features=hidden,
+            rows_per_sample=seq_len))
+    return ConvNetwork(name=name, layers=tuple(layers))
+
+
+@register_network("bert-base")
+def bert_base(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """BERT-base: 12 encoder layers, hidden 768, 12 heads, sequence 512."""
+    return make_transformer_encoder(batch)

@@ -8,7 +8,7 @@ unique-configuration subset (conv1-conv6, conv8, conv11), which
 
 from __future__ import annotations
 
-from ..core.layer import ConvLayerConfig
+from ..core.layer import ConvLayerConfig, LinearLayerConfig
 from .base import ConvNetwork
 from .registry import register_network
 
@@ -32,14 +32,30 @@ _VGG16_CONFIG = (
 )
 
 
-@register_network("vgg16")
-def vgg16(batch: int = DEFAULT_BATCH) -> ConvNetwork:
-    """The thirteen VGG16 convolution layers at the given mini-batch size."""
-    layers = tuple(
+def _conv_layers(batch: int):
+    return tuple(
         ConvLayerConfig.square(
             name, batch, in_channels=ci, in_size=size, out_channels=co,
             filter_size=3, stride=1, padding=1,
         )
         for name, ci, size, co in _VGG16_CONFIG
     )
+
+
+@register_network("vgg16")
+def vgg16(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """The thirteen VGG16 convolutions plus the fc14-fc16 classifier tail."""
+    # The last 14x14 maps are max-pooled to 7x7 before the classifier.
+    layers = _conv_layers(batch) + (
+        LinearLayerConfig("fc14", batch, in_features=512 * 7 * 7,
+                          out_features=4096),
+        LinearLayerConfig("fc15", batch, in_features=4096, out_features=4096),
+        LinearLayerConfig("fc16", batch, in_features=4096, out_features=1000),
+    )
     return ConvNetwork(name="VGG16", layers=layers)
+
+
+@register_network("vgg16", paper_subset=True)
+def vgg16_paper_subset(batch: int = DEFAULT_BATCH) -> ConvNetwork:
+    """The conv-only population the paper's per-layer figures evaluate."""
+    return ConvNetwork(name="VGG16", layers=_conv_layers(batch))

@@ -1,4 +1,4 @@
-"""Trace-driven convolution-layer simulator (the "measured" substrate).
+"""Trace-driven GEMM-layer simulator (the "measured" substrate).
 
 The paper validates DeLTA against hardware profiling of cuDNN kernels.  In
 this reproduction the measured reference is produced by this simulator, which
@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..core.layer import ConvLayerConfig
+from ..core.layer import LayerConfig
 from ..core.tiling import GemmGrid, build_grid
 from ..core.workload import GemmWorkload, PassKind, as_workload
 from ..gpu.spec import GpuSpec
@@ -139,7 +139,7 @@ class SimTraffic:
 class SimResult:
     """Complete simulation outcome for one workload on one GPU."""
 
-    layer: ConvLayerConfig
+    layer: LayerConfig
     gpu: GpuSpec
     grid: GemmGrid
     traffic: SimTraffic
@@ -157,7 +157,7 @@ class SimResult:
 
 
 class ConvLayerSimulator:
-    """Simulate one im2col GEMM workload of a convolution layer on a GPU."""
+    """Simulate one GEMM workload (conv, linear or batched) on a GPU."""
 
     def __init__(self, gpu: GpuSpec,
                  config: SimulatorConfig = SimulatorConfig()) -> None:
@@ -167,7 +167,7 @@ class ConvLayerSimulator:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, source: Union[ConvLayerConfig, GemmWorkload]) -> SimResult:
+    def run(self, source: Union[LayerConfig, GemmWorkload]) -> SimResult:
         """Simulate one workload (or a layer's forward pass) and return
         traffic and execution time."""
         workload = as_workload(source)

@@ -41,7 +41,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.layer import ConvLayerConfig
+from ..core.layer import ConvLayerConfig, LayerConfig
 from ..core.tiling import CtaTile
 from ..core.workload import GemmWorkload, as_workload
 from ..gpu.spec import GpuSpec, WARP_SIZE
@@ -133,7 +133,7 @@ class GemmTraceGenerator:
         return self._layout
 
     @property
-    def layer(self) -> ConvLayerConfig:
+    def layer(self) -> LayerConfig:
         return self.workload.layer
 
     # ------------------------------------------------------------------
@@ -230,9 +230,78 @@ class GemmTraceGenerator:
                 * self.layer.dtype_bytes).astype(dtype)
         return base, None, None, ok
 
+    # ------------------------------------------------------------------
+    # Dense (linear / batched-GEMM) decomposition
+    # ------------------------------------------------------------------
+    def _grouped_matrix_parts(self, values: np.ndarray, rows: int, pitch: int,
+                              padded_rows: int,
+                              group_elements: int) -> AxisParts:
+        """Row axis of a [groups, rows, pitch-major] dense operand tensor.
+
+        Own-axis coordinates of a batched workload run over a per-instance
+        padded extent of ``padded_rows`` (= CTAs per instance x block size),
+        so instance ``g`` owns values ``[g * padded_rows, (g+1) *
+        padded_rows)``; rows past the instance's real extent are
+        predicated off.
+        """
+        dtype = self._coord_dtype()
+        if self.workload.groups > 1 and group_elements:
+            group = values // padded_rows
+            row = values % padded_rows
+            ok = row < rows
+            base = ((group * group_elements + np.minimum(row, rows - 1) * pitch)
+                    * self.workload.dtype_bytes).astype(dtype)
+            return base, None, None, ok
+        ok = values < rows
+        base = (np.minimum(values, rows - 1) * pitch
+                * self.workload.dtype_bytes).astype(dtype)
+        return base, None, None, ok
+
+    def _dense_parts(self, operand: str, axis: str,
+                     values: np.ndarray) -> AxisParts:
+        """Address parts of a dense workload's operand along one axis.
+
+        Every pass's A operand backs a row-major ``[groups, m, k]`` tensor and
+        every B operand a ``[groups, n, k]`` tensor (see the dense lowering in
+        :mod:`repro.core.workload`); only the (pitch, contiguity) binding of
+        the GEMM axes differs per pass:
+
+        * **forward** — a: addr = m*K + k; b: addr = n*K + k.
+        * **dgrad** — a = dY: addr = m*K + k (K is the forward N); b = W
+          entered transposed: addr = k*N + n.
+        * **wgrad** — a = dY^T: addr = k*M + m; b = X on the N side:
+          addr = k*N + n.
+        """
+        gemm = self.workload.gemm
+        pass_kind = self.workload.pass_kind
+        if axis == "k":
+            # Per-instance reduction axis: never carries the instance index.
+            pitch = {"forward": {"a": 1, "b": 1},
+                     "dgrad": {"a": 1, "b": gemm.n},
+                     "wgrad": {"a": gemm.m, "b": gemm.n}}[pass_kind][operand]
+            return self._grouped_matrix_parts(values, gemm.k, pitch,
+                                              padded_rows=gemm.k,
+                                              group_elements=0)
+        tile = self.tile
+        if operand == "a":
+            own_pitch = {"forward": gemm.k, "dgrad": gemm.k,
+                         "wgrad": 1}[pass_kind]
+            rows, blk = gemm.m, tile.blk_m
+            group_elements = gemm.m * gemm.k
+        else:
+            own_pitch = gemm.k if pass_kind == "forward" else 1
+            rows, blk = gemm.n, tile.blk_n
+            group_elements = gemm.n * gemm.k
+        padded = -(-rows // blk) * blk
+        return self._grouped_matrix_parts(values, rows, own_pitch,
+                                          padded_rows=padded,
+                                          group_elements=group_elements)
+
     def _operand_parts(self, operand: str, axis: str,
                        values: np.ndarray) -> AxisParts:
         """Address parts of one operand along ``axis`` ("own" or "k")."""
+        if self.workload.layout == "dense":
+            return self._dense_parts(operand, axis, values)
         layer = self.layer
         gemm = self.workload.gemm
         pass_kind = self.workload.pass_kind
@@ -327,16 +396,26 @@ class GemmTraceGenerator:
     def _a_group_ids(self) -> np.ndarray:
         """Warp map of the A tile, following the operand's contiguity axis.
 
-        Forward and dgrad A operands are contiguous along M, so each warp
+        Conv forward and dgrad A operands are contiguous along M, so each warp
         covers 32 rows of one column (the paper's column-major mapping).  The
-        wgrad A operand (dO^T) is contiguous along K: the kernel streams
+        conv wgrad A operand (dO^T) is contiguous along K: the kernel streams
         32/blkK row segments per warp and transposes through shared memory —
         the same lane mapping the B-tile loads use — which is the load
         stream the lowering's ``contiguous`` L1 pattern models.
+
+        Dense workloads follow the same rule by contiguity: the forward/dgrad
+        A matrices are row-major along K (blkK-segment loads, matching the
+        lowering's ``gather`` pattern) while the wgrad A matrix (dY^T) is
+        contiguous along its own axis (fully coalesced column loads,
+        ``contiguous``).
         """
         rows, cols = self.tile.blk_m, self.tile.blk_k
-        if self.workload.a.l1_pattern == "contiguous" \
-                and self.workload.pass_kind == "wgrad":
+        if self.workload.layout == "dense":
+            segment_major = self.workload.pass_kind != "wgrad"
+        else:
+            segment_major = (self.workload.a.l1_pattern == "contiguous"
+                             and self.workload.pass_kind == "wgrad")
+        if segment_major:
             return (np.arange(rows * cols) // WARP_SIZE).reshape(rows, cols)
         row_group = np.arange(rows) // WARP_SIZE
         col_ids = np.arange(cols)

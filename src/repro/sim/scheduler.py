@@ -26,12 +26,26 @@ ScheduledCta = Tuple[int, int, int]
 
 
 def cta_order(grid: GemmGrid, order: SchedulingOrder = "column") -> List[CtaCoord]:
-    """All CTA coordinates of the GEMM grid in scheduling order."""
+    """All CTA coordinates of the GEMM grid in scheduling order.
+
+    A batched workload (``grid.groups`` > 1) launches its instances back to
+    back; instance ``g``'s coordinates are offset by ``(g * ctas_m,
+    g * ctas_n)``, which is exactly how the trace generator folds the
+    instance index into the per-operand address decomposition.  Small
+    per-instance grids therefore still fill whole waves across instances.
+    """
     if order == "column":
-        return [(m, n) for n in range(grid.ctas_n) for m in range(grid.ctas_m)]
-    if order == "row":
-        return [(m, n) for m in range(grid.ctas_m) for n in range(grid.ctas_n)]
-    raise ValueError(f"unknown scheduling order {order!r}")
+        per_group = [(m, n) for n in range(grid.ctas_n)
+                     for m in range(grid.ctas_m)]
+    elif order == "row":
+        per_group = [(m, n) for m in range(grid.ctas_m)
+                     for n in range(grid.ctas_n)]
+    else:
+        raise ValueError(f"unknown scheduling order {order!r}")
+    if grid.groups == 1:
+        return per_group
+    return [(g * grid.ctas_m + m, g * grid.ctas_n + n)
+            for g in range(grid.groups) for m, n in per_group]
 
 
 @dataclass(frozen=True)

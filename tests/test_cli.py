@@ -81,7 +81,8 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert "alexnet" in payload["networks"]
         # the paper-subset variants are listed explicitly.
-        assert set(payload["paper_subset_variants"]) == {"googlenet",
+        assert set(payload["paper_subset_variants"]) == {"alexnet", "vgg16",
+                                                         "googlenet",
                                                          "resnet152"}
         gpu_names = {gpu["name"] for gpu in payload["gpus"]}
         assert gpu_names == {"TITAN Xp", "P100", "V100"}

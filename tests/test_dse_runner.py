@@ -31,7 +31,7 @@ class TestFig16Equivalence:
 
     @pytest.fixture(scope="class")
     def legacy(self):
-        layers = resnet152(batch=64).conv_layers()
+        layers = resnet152(batch=64).gemm_layers()
         return ScalingStudy(baseline=TITAN_XP).run(layers)
 
     @pytest.fixture(scope="class")
@@ -58,7 +58,7 @@ class TestFig16Equivalence:
         assert "speedup vs TITAN Xp" in dse_result.series
         assert len(dse_result.series["speedup vs TITAN Xp"]) == 9
         assert dse_result.summary["best_option"] == "9"
-        assert dse_result.summary["layers"] == 155
+        assert dse_result.summary["layers"] == 156
 
 
 class TestEvaluatePoint:
@@ -70,7 +70,7 @@ class TestEvaluatePoint:
         metrics = evaluate_point(TITAN_XP, point, unique=False)
         model = DeltaModel(TITAN_XP)
         expected = sum(model.estimate(layer).time_seconds
-                       for layer in alexnet(batch=16).conv_layers())
+                       for layer in alexnet(batch=16).gemm_layers())
         assert metrics["time_s"] == expected
 
     def test_training_pass_evaluates_three_gemms_per_layer(self):

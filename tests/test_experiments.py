@@ -32,7 +32,7 @@ class TestRegistry:
     def test_all_paper_items_registered(self):
         expected = {"tab01", "fig04", "fig06", "fig11", "fig12", "fig13",
                     "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-                    "fig20", "training", "dse"}
+                    "fig20", "training", "transformer", "dse"}
         assert set(available_experiments()) == expected
 
     def test_lookup_unknown_raises(self):

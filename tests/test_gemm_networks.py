@@ -1,0 +1,200 @@
+"""End-to-end coverage of the GEMM-native networks and the CNN FC-tail fix.
+
+Acceptance tests for the conv-free lowering path: ``mlp`` and ``bert-base``
+run through every public surface (estimate / sweep / validate / dse, via both
+the Session API and the CLI), the CNNs' training-step totals now include
+their FC classifier tails, and the corrected ``TrainingStepEstimate`` numbers
+are regression-pinned.
+"""
+
+import json
+
+import pytest
+
+from repro import DeltaModel, TITAN_XP
+from repro.api import (DseRequest, EstimateRequest, Session, SweepRequest,
+                       ValidateRequest)
+from repro.cli import main
+from repro.core.layer import (BatchedGemmLayerConfig, ConvLayerConfig,
+                              LinearLayerConfig)
+from repro.dse.space import grid
+from repro.networks import bert_base, get_network, mlp
+
+#: corrected training-step totals (TITAN Xp, batch 32) after the FC-tail fix:
+#: network -> (total step seconds, (layer, pass) record count).
+TRAINING_STEP_PINS = {
+    "alexnet": (0.031161313421754187, 24),
+    "vgg16": (0.7548292030434097, 48),
+    "googlenet": (0.1798723302433289, 174),
+    "resnet152": (0.5631946703092826, 468),
+    "mlp": (0.004585650826968928, 12),
+    "bert-base": (0.8436101858029812, 288),
+}
+
+
+class TestFcTailFix:
+    """Satellite: CNN training steps no longer drop their FC layers."""
+
+    @pytest.mark.parametrize("net_name,tail", [
+        ("alexnet", ("fc6", "fc7", "fc8")),
+        ("vgg16", ("fc14", "fc15", "fc16")),
+        ("googlenet", ("fc",)),
+        ("resnet152", ("fc",)),
+    ])
+    def test_cnns_carry_their_fc_tails(self, net_name, tail):
+        network = get_network(net_name, batch=8)
+        names = [layer.name for layer in network.gemm_layers()]
+        for fc_name in tail:
+            assert fc_name in names
+            assert isinstance(network.layer(fc_name), LinearLayerConfig)
+        # the conv subset stays what the paper evaluates.
+        assert all(isinstance(layer, ConvLayerConfig)
+                   for layer in network.conv_layers())
+
+    def test_paper_subsets_stay_conv_only(self):
+        for net_name in ("alexnet", "vgg16", "googlenet", "resnet152"):
+            subset = get_network(net_name, batch=8, paper_subset=True)
+            assert all(isinstance(layer, ConvLayerConfig)
+                       for layer in subset.gemm_layers()), net_name
+
+    @pytest.mark.parametrize("net_name", sorted(TRAINING_STEP_PINS))
+    def test_training_step_totals_pinned(self, net_name):
+        """Regression pin: corrected step totals including the FC tails."""
+        expected_seconds, expected_records = TRAINING_STEP_PINS[net_name]
+        network = get_network(net_name, batch=32)
+        step = DeltaModel(TITAN_XP).estimate_training_step(network)
+        assert len(step.records) == expected_records
+        assert step.total_time_seconds == expected_seconds
+
+    def test_fc_tail_time_is_counted(self):
+        """The step total strictly exceeds the conv-only total."""
+        model = DeltaModel(TITAN_XP)
+        network = get_network("alexnet", batch=32)
+        from repro.core.training import estimate_training_step
+        full = model.estimate_training_step(network)
+        conv_only = estimate_training_step(model, network.conv_layers(),
+                                           name=network.name)
+        assert full.total_time_seconds > conv_only.total_time_seconds
+
+
+class TestGemmNetworkDefinitions:
+    def test_mlp_is_pure_linear(self):
+        network = mlp(batch=16)
+        assert len(network.gemm_layers()) == 4
+        assert network.conv_layers() == []
+        assert all(isinstance(layer, LinearLayerConfig) for layer in network)
+
+    def test_bert_base_structure(self):
+        network = bert_base(batch=2)
+        assert len(network.gemm_layers()) == 12 * 8
+        kinds = {type(layer) for layer in network}
+        assert kinds == {LinearLayerConfig, BatchedGemmLayerConfig}
+        scores = network.layer("enc1_attn_scores")
+        assert scores.groups == 2 * 12
+        assert (scores.m, scores.n, scores.k) == (512, 512, 64)
+        # all twelve encoders are structurally identical, and the q/k/v/out
+        # projections share one configuration: 5 unique GEMMs.
+        assert len(network.unique_layers()) == 5
+
+    def test_bert_macs_match_closed_form(self):
+        batch, seq, hidden, ffn, heads = 2, 512, 768, 3072, 12
+        network = bert_base(batch=batch)
+        per_layer = (4 * seq * hidden * hidden    # q/k/v/out projections
+                     + 2 * seq * seq * hidden     # scores + context
+                     + 2 * seq * hidden * ffn)    # ffn1 + ffn2
+        assert network.total_macs == 12 * batch * per_layer
+
+
+class TestSessionSurfaces:
+    """mlp / bert-base through estimate, sweep, validate and dse requests."""
+
+    def test_estimate_request(self):
+        with Session() as session:
+            report = session.run(EstimateRequest("bert-base", batch=2,
+                                                 unique=True,
+                                                 passes="training"))
+        assert report.summary["total step time (ms)"] > 0
+        assert {row["pass"] for row in report.rows} == {"forward", "dgrad",
+                                                        "wgrad"}
+
+    def test_sweep_request(self):
+        with Session() as session:
+            report = session.run(SweepRequest(networks=("mlp", "bert-base"),
+                                              gpus=("titanxp",),
+                                              batches=(2,)))
+        networks = {row["network"] for row in report.rows}
+        assert networks == {"MLP", "BERT-base"}
+        assert all(row["total_time_ms"] > 0 for row in report.rows)
+
+    def test_validate_request_runs_simulator_on_dense_gemms(self):
+        """The trace-driven simulator backs mlp validation end to end."""
+        with Session() as session:
+            report = session.run(ValidateRequest(
+                gpu="titanxp", batch=2, max_ctas=24, layers_per_network=2,
+                networks=("mlp",)))
+        assert len(report.rows) == 2
+        for row in report.rows:
+            assert row["network"] == "MLP"
+            for level in ("l1", "l2", "dram"):
+                assert row[f"{level}_ratio"] > 0
+
+    def test_validate_request_covers_bert_attention(self):
+        """Batched attention GEMMs simulate through the validation path."""
+        with Session() as session:
+            report = session.run(ValidateRequest(
+                gpu="titanxp", batch=1, max_ctas=16, layers_per_network=6,
+                networks=("bert-base",)))
+        names = {row["layer"] for row in report.rows}
+        assert "enc1_attn_scores" in names
+        for row in report.rows:
+            assert row["time_ratio"] > 0
+
+    def test_dse_request(self):
+        space = grid({"num_sm": (1, 2)}, network="mlp", batch=4)
+        with Session() as session:
+            report = session.run(DseRequest(space=space, gpu="titanxp",
+                                            objectives=("throughput", "cost")))
+        assert report.summary["points evaluated"] >= 2
+        assert report.rows and all(row["network"] == "mlp"
+                                   for row in report.rows)
+
+
+class TestCliSurfaces:
+    def test_estimate_cli_json(self, capsys):
+        assert main(["estimate", "--network", "bert-base", "--batch", "2",
+                     "--unique", "--pass", "training", "--format",
+                     "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["network"] == "BERT-base"
+        assert payload["summary"]["total step time (ms)"] > 0
+
+    def test_sweep_cli_json(self, capsys):
+        assert main(["sweep", "--networks", "mlp", "--gpus", "titanxp",
+                     "--batches", "4", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["network"] == "MLP"
+
+    def test_validate_cli_json(self, capsys):
+        assert main(["validate", "--gpu", "titanxp", "--batch", "2",
+                     "--max-ctas", "16", "--layers-per-network", "1",
+                     "--networks", "mlp", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "validation"
+        assert payload["rows"]
+
+    def test_dse_cli_json(self, capsys):
+        assert main(["dse", "--networks", "mlp", "--batches", "4",
+                     "--axis", "num_sm=1,2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "dse"
+        assert payload["summary"]["frontier size"] >= 1
+
+    def test_transformer_experiment_cli_json(self, capsys):
+        assert main(["experiment", "transformer", "--batch", "2",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report_id"] == "transformer"
+        row = payload["rows"][0]
+        assert row["step_ms"] == pytest.approx(
+            row["forward_ms"] + row["dgrad_ms"] + row["wgrad_ms"])
+        assert 0 < row["attention_share"] < 1

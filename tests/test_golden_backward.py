@@ -1,0 +1,66 @@
+"""Golden regression: backward-pass (dgrad/wgrad) estimates are pinned.
+
+``golden_backward_estimates.json`` pins the dgrad and wgrad estimates of
+every registered network's unique layers at batch 32 on TITAN Xp and V100 —
+the conv cases lock the pass-aware lowering of PR 3, the GEMM-native cases
+(FC tails, ``mlp``, ``bert-base``) the dense lowering.  Any deviation means
+the backward-pass model changed, not just its plumbing.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.model import DeltaModel
+from repro.core.workload import lower_pass
+from repro.gpu.devices import get_device
+from repro.networks.registry import get_network
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
+                           "golden_backward_estimates.json")
+
+with open(GOLDEN_PATH, "r", encoding="utf-8") as _handle:
+    GOLDEN = json.load(_handle)
+
+BACKWARD_PASSES = ("dgrad", "wgrad")
+
+
+def _cases():
+    for gpu_name in ("titanxp", "v100"):
+        for net_name in ("alexnet", "vgg16", "googlenet", "resnet152",
+                         "mlp", "bert-base"):
+            yield gpu_name, net_name
+
+
+@pytest.mark.parametrize("gpu_name,net_name", list(_cases()))
+def test_backward_estimates_bit_identical(gpu_name, net_name):
+    gpu = get_device(gpu_name)
+    model = DeltaModel(gpu)
+    network = get_network(net_name, batch=32)
+    for layer in network.unique_layers():
+        for pass_kind in BACKWARD_PASSES:
+            key = (f"{gpu.name}|{net_name}/{layer.name}|b{layer.batch}"
+                   f"|{pass_kind}")
+            golden = GOLDEN[key]
+            estimate = model.estimate(lower_pass(layer, pass_kind))
+            assert estimate.time_seconds == golden["time_seconds"], key
+            assert estimate.bottleneck.value == golden["bottleneck"], key
+            assert estimate.traffic.l1_bytes == golden["l1_bytes"], key
+            assert estimate.traffic.l2_bytes == golden["l2_bytes"], key
+            assert estimate.traffic.dram_bytes == golden["dram_bytes"], key
+            assert estimate.active_ctas == golden["active_ctas"], key
+            assert estimate.ctas_per_sm == golden["ctas_per_sm"], key
+
+
+def test_golden_population_is_complete():
+    """Every golden entry is checked (no silently dropped layers/passes)."""
+    seen = set()
+    for gpu_name, net_name in _cases():
+        gpu = get_device(gpu_name)
+        network = get_network(net_name, batch=32)
+        for layer in network.unique_layers():
+            for pass_kind in BACKWARD_PASSES:
+                seen.add(f"{gpu.name}|{net_name}/{layer.name}"
+                         f"|b{layer.batch}|{pass_kind}")
+    assert seen == set(GOLDEN)

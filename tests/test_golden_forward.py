@@ -1,11 +1,13 @@
 """Golden regression: forward-pass estimates are bit-identical to the
 pre-refactor model.
 
-``golden_forward_estimates.json`` was generated by the seed (pre-workload-IR)
-``DeltaModel`` on every registered network's unique layers at batch 32 for
-TITAN Xp and V100.  The workload IR lowers the forward pass onto exactly the
-same geometry, so every number must match to the last bit — any deviation
-means the refactor changed the model, not just its plumbing.
+The convolution entries of ``golden_forward_estimates.json`` were generated
+by the seed (pre-workload-IR) ``DeltaModel`` on every registered CNN's unique
+layers at batch 32 for TITAN Xp and V100; the workload IR lowers the forward
+pass onto exactly the same geometry, so every number must match to the last
+bit — any deviation means a refactor changed the model, not just its
+plumbing.  The GEMM-native entries (the CNNs' FC tails, ``mlp`` and
+``bert-base``) pin the dense lowering the same way.
 """
 
 import json
@@ -27,7 +29,8 @@ with open(GOLDEN_PATH, "r", encoding="utf-8") as _handle:
 
 def _cases():
     for gpu_name in ("titanxp", "v100"):
-        for net_name in ("alexnet", "vgg16", "googlenet", "resnet152"):
+        for net_name in ("alexnet", "vgg16", "googlenet", "resnet152",
+                         "mlp", "bert-base"):
             yield gpu_name, net_name
 
 

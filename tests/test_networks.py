@@ -39,7 +39,7 @@ class TestVgg16:
         assert len(vgg16().conv_layers()) == 13
 
     def test_all_filters_are_3x3_stride_1(self):
-        for layer in vgg16():
+        for layer in vgg16().conv_layers():
             assert layer.filter_height == 3
             assert layer.stride == 1
             assert layer.padding == 1
@@ -47,8 +47,9 @@ class TestVgg16:
     def test_unique_subset_smaller_than_full(self):
         net = vgg16()
         unique = net.unique_layers()
-        assert len(unique) < len(net.conv_layers())
-        assert 8 <= len(unique) <= 10
+        assert len(unique) < len(net.gemm_layers())
+        # 9 unique convolutions plus the three classifier FC layers.
+        assert len(unique) == 12
 
     def test_total_flops_in_expected_range(self):
         # VGG16 convolutions are ~30.7 GFLOP for a single 224x224 image.
@@ -153,7 +154,7 @@ class TestNetworkContainer:
 class TestRegistry:
     def test_available_networks(self):
         assert set(available_networks()) == {"alexnet", "vgg16", "googlenet",
-                                             "resnet152"}
+                                             "resnet152", "mlp", "bert-base"}
 
     def test_get_network_case_insensitive(self):
         assert get_network("AlexNet").name == "AlexNet"

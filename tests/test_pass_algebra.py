@@ -1,0 +1,150 @@
+"""Property-based pass-algebra tests over conv and GEMM-native lowerings.
+
+The training-pass algebra must hold for *every* layer geometry, not just the
+registered networks: dgrad swaps N<->K, wgrad swaps M<->K, MACs are conserved
+across all three passes, and operand byte totals follow ``elements x
+dtype_bytes``.  Hypothesis drives randomized conv, linear and batched-GEMM
+geometries through the lowering and checks the algebra on each.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layer import (BatchedGemmLayerConfig, ConvLayerConfig,
+                              LinearLayerConfig)
+from repro.core.workload import (TRAINING_PASSES, lower_pass,
+                                 training_workloads)
+
+_SETTINGS = dict(max_examples=60, deadline=None)
+
+
+@st.composite
+def conv_layers(draw):
+    filter_size = draw(st.sampled_from((1, 3, 5, 7, 11)))
+    stride = draw(st.integers(1, 3))
+    padding = draw(st.integers(0, filter_size // 2))
+    # the padded input must be at least as large as the filter.
+    in_size = draw(st.integers(max(1, filter_size - 2 * padding), 64))
+    return ConvLayerConfig.square(
+        "prop_conv",
+        batch=draw(st.integers(1, 16)),
+        in_channels=draw(st.integers(1, 96)),
+        in_size=in_size,
+        out_channels=draw(st.integers(1, 128)),
+        filter_size=filter_size,
+        stride=stride,
+        padding=padding,
+    )
+
+
+@st.composite
+def linear_layers(draw):
+    return LinearLayerConfig(
+        "prop_linear",
+        batch=draw(st.integers(1, 64)),
+        in_features=draw(st.integers(1, 2048)),
+        out_features=draw(st.integers(1, 2048)),
+        rows_per_sample=draw(st.sampled_from((1, 1, 16, 128))),
+        dtype_bytes=draw(st.sampled_from((2, 4))),
+    )
+
+
+@st.composite
+def batched_layers(draw):
+    return BatchedGemmLayerConfig(
+        "prop_batched",
+        batch=draw(st.integers(1, 8)),
+        groups_per_sample=draw(st.integers(1, 16)),
+        m=draw(st.integers(1, 512)),
+        n=draw(st.integers(1, 512)),
+        k=draw(st.integers(1, 128)),
+        dtype_bytes=draw(st.sampled_from((2, 4))),
+    )
+
+
+def any_layer():
+    return st.one_of(conv_layers(), linear_layers(), batched_layers())
+
+
+class TestPassSwaps:
+    @given(layer=any_layer())
+    @settings(**_SETTINGS)
+    def test_dgrad_swaps_n_and_k(self, layer):
+        forward = lower_pass(layer, "forward").gemm
+        dgrad = lower_pass(layer, "dgrad").gemm
+        assert (dgrad.m, dgrad.n, dgrad.k) == (forward.m, forward.k, forward.n)
+
+    @given(layer=any_layer())
+    @settings(**_SETTINGS)
+    def test_wgrad_swaps_m_and_k(self, layer):
+        forward = lower_pass(layer, "forward").gemm
+        wgrad = lower_pass(layer, "wgrad").gemm
+        assert (wgrad.m, wgrad.n, wgrad.k) == (forward.n, forward.k, forward.m)
+
+    @given(layer=any_layer())
+    @settings(**_SETTINGS)
+    def test_macs_conserved_across_passes(self, layer):
+        workloads = training_workloads(layer)
+        assert [w.pass_kind for w in workloads] == list(TRAINING_PASSES)
+        assert {w.macs for w in workloads} == {layer.macs}
+        assert sum(w.macs for w in workloads) == 3 * layer.macs
+
+
+class TestOperandAccounting:
+    @given(layer=st.one_of(linear_layers(), batched_layers()))
+    @settings(**_SETTINGS)
+    def test_dense_operand_tensors_cover_their_matrices(self, layer):
+        """Dense operands back [groups, rows, K] tensors exactly."""
+        for workload in training_workloads(layer):
+            gemm = workload.gemm
+            assert workload.a.tensor_elements == workload.groups * gemm.m * gemm.k
+            assert workload.b.tensor_elements == workload.groups * gemm.n * gemm.k
+            assert workload.out_elements == workload.groups * gemm.m * gemm.n
+            assert workload.a.dram_elements == float(workload.a.tensor_elements)
+            assert workload.b.dram_elements == float(workload.b.tensor_elements)
+
+    @given(layer=any_layer())
+    @settings(**_SETTINGS)
+    def test_byte_totals_follow_dtype(self, layer):
+        """Operand byte footprints are elements x dtype_bytes at every width."""
+        for workload in training_workloads(layer):
+            dtype = workload.dtype_bytes
+            assert dtype == layer.dtype_bytes
+            a_bytes = workload.a.tensor_elements * dtype
+            b_bytes = workload.b.tensor_elements * dtype
+            out_bytes = workload.out_elements * dtype
+            assert a_bytes > 0 and b_bytes > 0 and out_bytes > 0
+            if hasattr(layer, "with_dtype") and dtype == 4:
+                half = training_workloads(layer.with_dtype(2))
+                for wide, narrow in zip(training_workloads(layer), half):
+                    assert (narrow.a.tensor_elements
+                            == wide.a.tensor_elements)
+                    assert narrow.dtype_bytes * 2 == wide.dtype_bytes
+
+    @given(layer=any_layer())
+    @settings(**_SETTINGS)
+    def test_io_tensors_swap_roles_across_passes(self, layer):
+        """The forward output's size equals each gradient pass's A operand."""
+        forward = lower_pass(layer, "forward")
+        dgrad = lower_pass(layer, "dgrad")
+        wgrad = lower_pass(layer, "wgrad")
+        # dgrad and wgrad both read the output gradient (same tensor size).
+        assert dgrad.a.tensor_elements == forward.out_elements
+        assert wgrad.a.tensor_elements == forward.out_elements
+        # dgrad produces the input gradient; wgrad the weight gradient.
+        assert dgrad.out_elements == forward.a.tensor_elements
+        assert wgrad.out_elements == forward.b.tensor_elements
+
+
+class TestNetworkAlgebra:
+    """The algebra holds for every registered network's unique layers."""
+
+    @pytest.mark.parametrize("net_name", ["alexnet", "vgg16", "googlenet",
+                                          "resnet152", "mlp", "bert-base"])
+    def test_step_macs_triple_forward(self, net_name):
+        from repro.networks import get_network
+        network = get_network(net_name, batch=4)
+        for layer in network.unique_layers():
+            workloads = training_workloads(layer)
+            assert {w.macs for w in workloads} == {layer.macs}, layer.name

@@ -26,7 +26,7 @@ class TestTrainingStepEstimate:
     def test_records_cover_every_layer_and_pass(self):
         network = alexnet(batch=32)
         step = DeltaModel(TITAN_XP).estimate_training_step(network)
-        assert len(step.records) == len(network.conv_layers()) * 3
+        assert len(step.records) == len(network.gemm_layers()) * 3
         assert {record.pass_kind for record in step.records} == set(TRAINING_PASSES)
         assert step.network == network.name
         assert step.batch == 32
