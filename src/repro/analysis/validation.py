@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..core.bottleneck import Bottleneck
 from ..core.layer import LayerConfig
 from ..core.model import DeltaModel
@@ -86,6 +87,12 @@ class ValidationConfig:
     sim_cache_dir: Optional[str] = None
     #: restrict the population to these networks (None = the full paper suite).
     networks: Optional[Tuple[str, ...]] = None
+    #: per-layer simulation wall-clock timeout in seconds
+    #: (None = the active session's timeout policy).
+    timeout: Optional[float] = None
+    #: retry budget per simulation after a crash or task error
+    #: (None = the active session's retries policy).
+    retries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.networks is not None:
@@ -216,6 +223,9 @@ def select_layers(config: ValidationConfig = QUICK_VALIDATION
 # ----------------------------------------------------------------------
 _SIM_CACHE_VERSION = 2
 
+#: corrupt cache entries are renamed aside with this suffix for post-mortem.
+QUARANTINE_SUFFIX = ".corrupt"
+
 
 def _sim_cache_key(gpu: GpuSpec, layer: LayerConfig,
                    config: SimulatorConfig,
@@ -227,6 +237,21 @@ def _sim_cache_key(gpu: GpuSpec, layer: LayerConfig,
 
 def _sim_cache_path(cache_dir: str, key: str) -> str:
     return os.path.join(cache_dir, f"delta-sim-{key}.json")
+
+
+def _quarantine_cache_entry(path: str) -> Optional[str]:
+    """Rename a corrupt cache entry aside so it is never read again.
+
+    The entry keeps its bytes under ``path + QUARANTINE_SUFFIX`` for
+    post-mortem inspection; the slot frees up for a clean re-simulation.
+    Returns the quarantine path, or None if another process already moved it.
+    """
+    quarantined = path + QUARANTINE_SUFFIX
+    try:
+        os.replace(path, quarantined)
+    except OSError:
+        return None  # already quarantined/removed by a concurrent reader
+    return quarantined
 
 
 def simulate_layer(gpu: GpuSpec, layer: LayerConfig,
@@ -250,8 +275,12 @@ def simulate_layer(gpu: GpuSpec, layer: LayerConfig,
                 scale_factor=stored["scale_factor"],
                 pass_kind=pass_kind,
             )
+        except FileNotFoundError:
+            pass  # plain cache miss
         except (OSError, ValueError, KeyError, TypeError):
-            pass  # unreadable or stale-shaped record: treat as a cache miss
+            # corrupt or stale-shaped entry: quarantine it (rename-aside)
+            # so the poisoned bytes are never read again, then re-simulate.
+            _quarantine_cache_entry(path)
     result = ConvLayerSimulator(gpu, config).run(workload)
     if cache_dir:
         os.makedirs(cache_dir, exist_ok=True)
@@ -286,6 +315,7 @@ def _simulate_task(task: Tuple) -> SimResult:
     """
     gpu, layer, config, cache_dir = task[:4]
     pass_kind = task[4] if len(task) > 4 else "forward"
+    faults.fire("sim", f"{gpu.name}/{layer.name}/{pass_kind}")
     return simulate_layer(gpu, layer, config, cache_dir=cache_dir,
                           pass_kind=pass_kind)
 

@@ -22,7 +22,9 @@ Quick start::
 * Every run returns a :class:`Report` with ``render()`` (text) and
   ``to_dict()``/``to_json()`` (machine-readable, round-trippable).
 * ``Session.run_many`` dedupes identical simulation work units across the
-  batch and fans them out over one shared process pool.
+  batch, fans them out over one shared process pool, and isolates failures:
+  a failing request yields a ``Report(kind="error")`` in its slot instead of
+  aborting the batch (see DESIGN.md, "Failure semantics").
 * ``register_network`` / ``register_gpu`` / ``register_experiment`` extend
   the catalogs the requests refer to by name.
 """
@@ -36,6 +38,12 @@ from ..experiments.registry import (
     unregister_experiment,
 )
 from ..gpu.devices import device_aliases, get_device, register_gpu, unregister_gpu
+from ..resilience import (
+    SessionClosedError,
+    SimulationError,
+    TaskError,
+    TaskFailure,
+)
 from ..networks.registry import (
     available_networks,
     get_network,
@@ -72,6 +80,10 @@ __all__ = [
     "reset_default_session",
     "Report",
     "SCHEMA_VERSION",
+    "TaskFailure",
+    "TaskError",
+    "SimulationError",
+    "SessionClosedError",
     "Request",
     "EstimateRequest",
     "SweepRequest",

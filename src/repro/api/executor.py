@@ -28,6 +28,7 @@ from ..core.training import estimate_training_step
 from ..experiments.registry import ExperimentSpec, get_experiment_spec
 from ..gpu.devices import get_device
 from ..networks.registry import get_network
+from ..resilience import SessionClosedError
 from .report import Report
 from .requests import (DseRequest, EstimateRequest, ExperimentRequest,
                        Request, SweepRequest, ValidateRequest)
@@ -65,12 +66,29 @@ def execute_many(session: "Session", requests: Sequence[Request]) -> List[Report
     unit, across the session's shared process pool — so a sweep over many
     experiments re-simulates nothing that any other request in the batch
     (or an earlier batch on the same session) already covers.
+
+    Failures are isolated per request: a request that raises — at planning,
+    simulation or execution time — yields a ``Report(kind="error")`` in its
+    slot while every other request's report is produced normally.  (Asking a
+    closed session still raises :class:`SessionClosedError`: that is caller
+    misuse, not a request failure.)
     """
     requests = list(requests)
     units = plan_simulation_units(session, requests)
     if units:
-        session.simulate_many(units)
-    return [execute(session, request) for request in requests]
+        # strict=False: every unit that can complete is memoized; a failing
+        # unit surfaces when (only) the request that needs it executes.
+        session.simulate_many(units, strict=False)
+    reports: List[Report] = []
+    for request in requests:
+        try:
+            reports.append(execute(session, request))
+        except SessionClosedError:
+            raise
+        except Exception as exc:
+            reports.append(Report.from_error(
+                exc, request=request, meta=_base_meta(session, request)))
+    return reports
 
 
 def _base_meta(session: "Session", request: Request) -> Dict[str, object]:
@@ -167,6 +185,12 @@ def _run_sweep(session: "Session", request: SweepRequest) -> Report:
                                       paper_subset=request.paper_subset)
                 layers = (network.unique_layers() if request.unique
                           else network.gemm_layers())
+                if not layers:
+                    raise ValueError(
+                        f"network {network.name!r} has no GEMM layers to "
+                        f"sweep at batch {batch}"
+                        + (" in the paper subset" if request.paper_subset
+                           else ""))
                 layer_rows = _estimate_rows(model, layers, pass_kinds)
                 total_ms = sum(row["time_ms"] for row in layer_rows)
                 bottlenecks = Counter(row["bottleneck"] for row in layer_rows)
@@ -216,7 +240,8 @@ def _run_sweep(session: "Session", request: SweepRequest) -> Report:
 def _validation_config(request: ValidateRequest) -> ValidationConfig:
     return ValidationConfig(batch=request.batch, max_ctas=request.max_ctas,
                             layers_per_network=request.layers_per_network,
-                            networks=request.networks)
+                            networks=request.networks,
+                            timeout=request.timeout, retries=request.retries)
 
 
 def _run_validate(session: "Session", request: ValidateRequest) -> Report:
@@ -261,7 +286,9 @@ def _run_dse(session: "Session", request: DseRequest) -> Report:
     try:
         exploration = explore(request.space, driver=driver, base_gpu=base_gpu,
                               objectives=objectives, store=store,
-                              session=session, unique=request.unique)
+                              session=session, unique=request.unique,
+                              timeout=request.timeout,
+                              retries=request.retries)
     finally:
         if store is not None:
             store.close()
@@ -280,6 +307,10 @@ def _run_dse(session: "Session", request: DseRequest) -> Report:
     }
     if stats.proxy_evaluations:
         summary["proxy evaluations"] = stats.proxy_evaluations
+    if exploration.failures:
+        summary["failed points"] = len(exploration.failures)
+        if stats.skipped_failures:
+            summary["failures skipped on resume"] = stats.skipped_failures
     for objective in objectives:
         best = None
         for result in exploration.frontier_results():
@@ -295,12 +326,19 @@ def _run_dse(session: "Session", request: DseRequest) -> Report:
     }
     recommendations = scale_next_rows(
         [result.metrics for result in exploration.frontier_results()])
-    children = ()
+    children: tuple = ()
     if recommendations:
         children = (Report(kind="dse-recommendations",
                            title="what to scale next (time-weighted "
                                  "bottleneck shares across the frontier)",
                            rows=tuple(recommendations)),)
+    if exploration.failures:
+        children = children + (Report(
+            kind="dse-failures",
+            title=(f"{len(exploration.failures)} design point(s) failed "
+                   "(error-isolated; recorded in the store and skipped on "
+                   "resume)"),
+            rows=tuple(exploration.failure_rows())),)
     meta = _base_meta(session, request)
     meta.update({
         "gpu": base_gpu.name,
@@ -398,6 +436,20 @@ def experiment_kwargs(spec: ExperimentSpec, request: ExperimentRequest,
             raise ValueError(
                 f"experiment {spec.experiment_id!r} does not support "
                 f"layers_per_network overrides")
+    if request.timeout is not None:
+        if "config" in params:
+            config_overrides["timeout"] = request.timeout
+        else:
+            raise ValueError(
+                f"experiment {spec.experiment_id!r} does not support timeout "
+                f"overrides (set the timeout on the Session instead)")
+    if request.retries is not None:
+        if "config" in params:
+            config_overrides["retries"] = request.retries
+        else:
+            raise ValueError(
+                f"experiment {spec.experiment_id!r} does not support retries "
+                f"overrides (set the retry budget on the Session instead)")
     if config_overrides:
         base = kwargs.get("config", QUICK_VALIDATION)
         kwargs["config"] = replace(base, **config_overrides)
@@ -428,14 +480,20 @@ def plan_simulation_units(session: "Session",
 
     Only requests backed by the shared validation harness are plannable;
     anything else simply runs its (possibly simulation-free) work inline.
+    A request whose planning raises (unknown network, bad override, ...)
+    contributes no units — the error resurfaces, isolated, when that request
+    executes.
     """
     units: List["SimUnit"] = []
     seen = set()
     for request in requests:
-        for unit in _request_units(session, request):
-            if unit not in seen:
-                seen.add(unit)
-                units.append(unit)
+        try:
+            for unit in _request_units(session, request):
+                if unit not in seen:
+                    seen.add(unit)
+                    units.append(unit)
+        except Exception:
+            continue
     return units
 
 

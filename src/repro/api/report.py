@@ -16,6 +16,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.tables import render_series, render_table
 from ..experiments.base import ExperimentResult
+from ..resilience import TaskFailure
 
 #: bumped when the serialized layout changes shape.
 SCHEMA_VERSION = 1
@@ -37,7 +38,8 @@ def _freeze_series(series: Optional[Mapping[str, Sequence[Sequence[object]]]]) -
 class Report:
     """Structured result of one request."""
 
-    #: result family: "experiment", "estimate", "validation" or "sweep".
+    #: result family: "experiment", "estimate", "validation", "sweep", "dse"
+    #: or "error" (a failed request, isolated by ``Session.run_many``).
     kind: str
     #: human readable headline (first line of the text rendering).
     title: str
@@ -114,6 +116,33 @@ class Report:
         return cls.from_dict(json.loads(text))
 
     # -- bridges ---------------------------------------------------------
+
+    @classmethod
+    def from_error(cls, exc: BaseException, *, request: object = None,
+                   meta: Optional[Mapping[str, object]] = None) -> "Report":
+        """An error-kind report describing one failed request.
+
+        Carries the exception type/message, the formatted traceback and the
+        cause chain in ``meta`` so failures stay diagnosable after JSON
+        round-trips; ``summary`` holds the headline error fields.
+        """
+        failure = TaskFailure.from_exception(exc)
+        merged: Dict[str, object] = dict(meta or {})
+        merged["error_type"] = failure.error_type
+        merged["error_message"] = failure.message
+        if failure.traceback is not None:
+            merged["traceback"] = failure.traceback
+        merged["cause"] = list(failure.cause)
+        request_name = type(request).__name__ if request is not None else "request"
+        if request is not None:
+            merged.setdefault("request", request_name)
+            merged.setdefault("request_echo", repr(request))
+        return cls(
+            kind="error",
+            title=f"{request_name} failed: {failure.error_type}: {failure.message}",
+            summary={"error": failure.error_type, "message": failure.message},
+            meta=merged,
+        )
 
     @classmethod
     def from_experiment(cls, result: ExperimentResult,

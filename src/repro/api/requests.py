@@ -20,6 +20,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 Names = Union[str, Sequence[str]]
 
 
+def _check_policy(timeout: Optional[float], retries: Optional[int]) -> None:
+    """Validate the optional per-request resilience-policy overrides."""
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive (or None)")
+    if retries is not None and retries < 0:
+        raise ValueError("retries must be non-negative (or None)")
+
+
 def _name_tuple(value: Optional[Names]) -> Optional[Tuple[str, ...]]:
     """Normalize a name or sequence of names to a lower-case tuple."""
     if value is None:
@@ -98,11 +106,16 @@ class ValidateRequest:
     layers_per_network: Optional[int] = 4
     #: restrict the population to these networks (None = all four CNNs).
     networks: Optional[Names] = None
+    #: per-layer simulation wall-clock timeout override (None = session policy).
+    timeout: Optional[float] = None
+    #: retry-budget override for crashed/failed simulations (None = session).
+    retries: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "networks", _name_tuple(self.networks))
         if self.batch <= 0:
             raise ValueError("batch must be positive")
+        _check_policy(self.timeout, self.retries)
 
 
 @dataclass(frozen=True)
@@ -123,6 +136,10 @@ class ExperimentRequest:
     batch: Optional[int] = None
     max_ctas: Optional[int] = None
     layers_per_network: Optional[int] = None
+    #: per-layer simulation wall-clock timeout override (None = session policy).
+    timeout: Optional[float] = None
+    #: retry-budget override for crashed/failed simulations (None = session).
+    retries: Optional[int] = None
     options: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -132,6 +149,7 @@ class ExperimentRequest:
         object.__setattr__(self, "options", dict(self.options))
         if self.batch is not None and self.batch <= 0:
             raise ValueError("batch must be positive")
+        _check_policy(self.timeout, self.retries)
 
 
 @dataclass(frozen=True)
@@ -161,6 +179,10 @@ class DseRequest:
     unique: bool = True
     #: simulator-confirm this many top frontier points (0 = model only).
     confirm_top: int = 0
+    #: per-point evaluation wall-clock timeout override (None = session policy).
+    timeout: Optional[float] = None
+    #: retry-budget override for crashed/failed evaluations (None = session).
+    retries: Optional[int] = None
 
     def __post_init__(self) -> None:
         from ..analysis.frontier import resolve_objectives
@@ -187,6 +209,7 @@ class DseRequest:
             raise ValueError(f"the {driver} driver requires a budget")
         if self.confirm_top < 0:
             raise ValueError("confirm_top must be non-negative")
+        _check_policy(self.timeout, self.retries)
 
 
 Request = Union[EstimateRequest, SweepRequest, ValidateRequest,

@@ -3,15 +3,24 @@
 A :class:`Session` owns everything that used to live in process-global
 mutable state: how many worker processes per-layer simulations fan out over
 (``jobs``), where simulator results persist on disk (``sim_cache_dir``),
-whether the vectorized engine runs (``vectorized``), and the default decimal
-precision of rendered reports (``precision``).  On top of the policy it keeps
-two in-memory result stores so that many requests executed against the same
-session share work:
+whether the vectorized engine runs (``vectorized``), the default decimal
+precision of rendered reports (``precision``), and the resilience policy for
+fan-out execution (``timeout`` / ``retries`` / ``retry_backoff``).  On top of
+the policy it keeps two in-memory result stores so that many requests
+executed against the same session share work:
 
 * a simulation memo keyed by ``(gpu, layer, simulator config)`` — the unit of
   work the batch executor dedupes across requests, and
 * a validation-report memo so every experiment that consumes the same
   model-vs-measured records (Fig. 11-15, 19, 20) reuses one run.
+
+Fan-out execution is *fault tolerant*: a worker-process crash
+(``BrokenProcessPool``) relaunches the pool and retries only the unfinished
+work units with bounded exponential backoff, a per-unit wall-clock timeout
+cancels stragglers and records them as structured :class:`TaskFailure`
+records instead of hanging forever, and ordinary task exceptions are captured
+inside the worker so one bad unit never poisons the round it rides on.  See
+DESIGN.md, "Failure semantics".
 
 The *active* session is context-local (:func:`current_session` /
 :func:`use_session`), so concurrent scenarios in different threads or asyncio
@@ -22,11 +31,14 @@ old ``set_simulation_defaults`` global had.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import (BrokenExecutor, CancelledError,
+                                ProcessPoolExecutor)
+from concurrent.futures import TimeoutError as FuturesTimeout
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.validation import (
     QUICK_VALIDATION,
@@ -40,12 +52,24 @@ from ..core.layer import LayerConfig
 from ..core.model import DeltaModel
 from ..core.workload import PassKind
 from ..gpu.spec import GpuSpec
+from ..resilience import (
+    SessionClosedError,
+    SimulationError,
+    TaskError,
+    TaskFailure,
+    backoff_delay,
+    run_chunk,
+)
 from ..sim.engine import SimResult, SimulatorConfig
 
 #: one simulation work unit: everything that determines a SimResult.
 #: ``(gpu, layer, config)`` simulates the forward pass; a trailing pass kind
 #: selects a backward-pass GEMM: ``(gpu, layer, config, "wgrad")``.
 SimUnit = Tuple[GpuSpec, LayerConfig, SimulatorConfig]
+
+#: sentinel distinguishing "argument not given" from an explicit ``None``
+#: (an explicit ``timeout=None`` disables the session default for one call).
+_UNSET = object()
 
 
 def _normalize_unit(unit) -> Tuple[GpuSpec, LayerConfig,
@@ -70,6 +94,11 @@ def _unit_key(unit) -> Tuple:
     return (gpu, layer.structural_key(), config, pass_kind)
 
 
+def _describe_unit(unit) -> str:
+    gpu, layer, _config, pass_kind = _normalize_unit(unit)
+    return f"{gpu.name}/{layer.name}/{pass_kind}"
+
+
 # the validation harness's pool worker does exactly what we need: run one
 # (gpu, layer, config, cache_dir[, pass_kind]) task through the
 # disk-cache-aware path.
@@ -86,12 +115,20 @@ class SessionStats:
     sim_memo_hits: int = 0
     #: process pools created; a session reuses one pool across batches.
     pool_launches: int = 0
+    #: pools killed and relaunched after a worker crash or straggler timeout.
+    pool_recoveries: int = 0
     #: requests executed through Session.run / Session.run_many.
     requests_run: int = 0
     #: design-space points evaluated (after memo/store dedupe).
     dse_points: int = 0
     #: design-space points answered from the session's in-memory memo.
     dse_memo_hits: int = 0
+    #: work-unit executions retried (after a task error or worker crash).
+    task_retries: int = 0
+    #: work units that ended in a structured failure after all retries.
+    task_failures: int = 0
+    #: work units cancelled for exceeding the wall-clock timeout.
+    task_timeouts: int = 0
 
 
 class Session:
@@ -103,10 +140,17 @@ class Session:
         with Session(jobs=4, sim_cache_dir="~/.cache/delta-repro") as session:
             report = session.run(ExperimentRequest("fig11"))
             print(report.to_json(indent=2))
+
+    ``timeout`` (seconds, ``None`` = unbounded) bounds each work unit's wall
+    clock; ``retries`` bounds how many times a unit is re-executed after a
+    worker crash or a task error; ``retry_backoff`` is the base of the
+    bounded exponential delay between retry rounds.
     """
 
     def __init__(self, jobs: int = 1, sim_cache_dir: Optional[str] = None,
-                 vectorized: bool = True, precision: int = 3) -> None:
+                 vectorized: bool = True, precision: int = 3,
+                 timeout: Optional[float] = None, retries: int = 2,
+                 retry_backoff: float = 0.1) -> None:
         self._lock = threading.RLock()
         #: memoized results keyed by the unit's structural identity
         #: (gpu, layer.structural_key(), simulator config, pass kind).
@@ -122,11 +166,15 @@ class Session:
         #: pools replaced by a grow; shut down at close() so in-flight work
         #: on them is never interrupted.
         self._retired_pools: List[ProcessPoolExecutor] = []
+        self._closed = False
         self.stats = SessionStats()
         self.jobs = jobs
         self.sim_cache_dir = sim_cache_dir
         self.vectorized = vectorized
         self.precision = precision
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
 
     # -- policy ---------------------------------------------------------
 
@@ -152,6 +200,39 @@ class Session:
             raise ValueError("precision must be non-negative")
         self._precision = int(value)
 
+    @property
+    def timeout(self) -> Optional[float]:
+        """Per-work-unit wall-clock timeout in seconds (None = unbounded)."""
+        return self._timeout
+
+    @timeout.setter
+    def timeout(self, value: Optional[float]) -> None:
+        if value is not None and value <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        self._timeout = None if value is None else float(value)
+
+    @property
+    def retries(self) -> int:
+        """Extra executions allowed per work unit after a crash or error."""
+        return self._retries
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        if value is None or value < 0:
+            raise ValueError("retries must be non-negative")
+        self._retries = int(value)
+
+    @property
+    def retry_backoff(self) -> float:
+        """Base delay (seconds) of the bounded exponential retry backoff."""
+        return self._retry_backoff
+
+    @retry_backoff.setter
+    def retry_backoff(self, value: float) -> None:
+        if value is None or value < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        self._retry_backoff = float(value)
+
     def simulator_config(self, base: Optional[SimulatorConfig] = None,
                          **overrides) -> SimulatorConfig:
         """A simulator config with this session's engine policy applied."""
@@ -161,6 +242,208 @@ class Session:
     def validation_sim_config(self, config: ValidationConfig) -> SimulatorConfig:
         """The simulator config a validation run uses under this session."""
         return self.simulator_config(config.simulator_config())
+
+    # -- resilient task execution ---------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                "this Session is closed; create a new Session (or use the "
+                "session before close()) to execute work")
+
+    def _resolve_policy(self, timeout, retries) -> Tuple[Optional[float], int]:
+        effective_timeout = self.timeout if timeout is _UNSET else timeout
+        if effective_timeout is not None and effective_timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        budget = self.retries if retries is None else int(retries)
+        if budget < 0:
+            raise ValueError("retries must be non-negative")
+        return effective_timeout, budget
+
+    def _run_tasks(self, func, tasks: Sequence, *, jobs: Optional[int] = None,
+                   timeout=_UNSET, retries: Optional[int] = None
+                   ) -> List[Union[object, TaskFailure]]:
+        """Execute tasks with crash recovery, retries and timeouts.
+
+        Returns one entry per task: the result, or a :class:`TaskFailure`
+        describing why the unit produced none.  This is the single resilient
+        engine under :meth:`simulate_many` and :meth:`map_tasks`.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        self._check_open()
+        effective_timeout, budget = self._resolve_policy(timeout, retries)
+        workers = jobs if jobs is not None else self.jobs
+        # a timeout needs a pool even for serial work: an in-process task
+        # cannot be cancelled, a worker process can be killed.
+        use_pool = ((workers > 1 and len(tasks) > 1)
+                    or effective_timeout is not None)
+        if not use_pool:
+            return self._run_tasks_serial(func, tasks, budget)
+        return self._run_tasks_pool(func, tasks, max(1, int(workers)),
+                                    effective_timeout, budget)
+
+    def _run_tasks_serial(self, func, tasks: List, budget: int) -> List:
+        outcomes: List[Union[object, TaskFailure]] = []
+        for task in tasks:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    outcomes.append(func(task))
+                    break
+                except Exception as exc:
+                    if attempts > budget:
+                        outcomes.append(TaskFailure.from_exception(
+                            exc, attempts=attempts))
+                        self.stats.task_failures += 1
+                        break
+                    self.stats.task_retries += 1
+                    time.sleep(backoff_delay(attempts, self.retry_backoff))
+        return outcomes
+
+    def _run_tasks_pool(self, func, tasks: List, workers: int,
+                        timeout: Optional[float], budget: int) -> List:
+        n = len(tasks)
+        outcomes: List[Union[object, TaskFailure]] = [None] * n
+        attempts = [0] * n
+        pending = list(range(n))
+        round_index = 0
+        while pending:
+            if round_index > 0:
+                time.sleep(backoff_delay(round_index, self.retry_backoff))
+            pool = self._ensure_pool(workers)
+            # one task per future when a per-unit timeout must be enforced;
+            # otherwise chunked submission to amortize pickling overhead.
+            if timeout is not None:
+                chunk_size = 1
+            else:
+                chunk_size = max(1, len(pending) // (workers * 4))
+            chunks = [pending[start:start + chunk_size]
+                      for start in range(0, len(pending), chunk_size)]
+            futures = []
+            pool_damaged = False
+            try:
+                for chunk in chunks:
+                    payload = (func, [tasks[i] for i in chunk])
+                    future = pool.submit(run_chunk, payload)
+                    futures.append((chunk, future))
+                    for i in chunk:
+                        attempts[i] += 1
+            except (BrokenExecutor, RuntimeError):
+                pool_damaged = True  # unsubmitted chunks simply stay pending
+            submitted = {i for chunk, _ in futures for i in chunk}
+            lost: List[int] = []     # unfinished units (worker crash/cancel)
+            retry: List[int] = []    # units that raised and have budget left
+            for chunk, future in futures:
+                status, chunk_outcomes = self._collect_future(
+                    future, timeout, [attempts[i] for i in chunk])
+                if status == "ok":
+                    for i, outcome in zip(chunk, chunk_outcomes):
+                        self._apply_outcome(i, outcome, outcomes, attempts,
+                                            budget, retry)
+                elif status == "timeout":
+                    for i, failure in zip(chunk, chunk_outcomes):
+                        outcomes[i] = failure
+                        self.stats.task_timeouts += 1
+                        self.stats.task_failures += 1
+                    pool_damaged = True  # a straggler still occupies a worker
+                elif status == "cancelled":
+                    # never started: the attempt did not happen.
+                    for i in chunk:
+                        attempts[i] -= 1
+                    lost.extend(chunk)
+                else:  # "lost": the pool broke under this future
+                    pool_damaged = True
+                    lost.extend(chunk)
+            lost.extend(i for i in pending if i not in submitted)
+            if pool_damaged:
+                self._kill_pool()
+                self.stats.pool_recoveries += 1
+            next_pending = []
+            for i in lost:
+                if attempts[i] > budget:
+                    outcomes[i] = TaskFailure(
+                        kind="crash", error_type="BrokenProcessPool",
+                        message=("worker process died while executing this "
+                                 "work unit; retry budget "
+                                 f"({budget}) exhausted"),
+                        attempts=attempts[i])
+                    self.stats.task_failures += 1
+                else:
+                    if attempts[i] > 0:
+                        self.stats.task_retries += 1
+                    next_pending.append(i)
+            next_pending.extend(retry)
+            next_pending.sort()
+            pending = next_pending
+            round_index += 1
+        return outcomes
+
+    def _collect_future(self, future, timeout: Optional[float],
+                        chunk_attempts: List[int]):
+        """Wait for one chunk future.
+
+        Returns ``("ok", outcomes)``, ``("timeout", failures)``,
+        ``("cancelled", None)`` (never started, retry freely) or
+        ``("lost", None)`` (pool broke; the chunk is unfinished).
+        """
+        waits = 0
+        while True:
+            waits += 1
+            try:
+                return "ok", future.result(timeout=timeout)
+            except FuturesTimeout:
+                if not future.running() and waits == 1:
+                    # still queued behind other work: cancel and retry rather
+                    # than blaming the unit itself.
+                    if future.cancel():
+                        return "cancelled", None
+                    continue  # started while we looked; one more window
+                failures = [TaskFailure(
+                    kind="timeout", error_type="TimeoutError",
+                    message=(f"work unit exceeded the {timeout:g}s "
+                             "wall-clock timeout and was cancelled"),
+                    attempts=attempt) for attempt in chunk_attempts]
+                return "timeout", failures
+            except CancelledError:
+                return "cancelled", None
+            except (BrokenExecutor, RuntimeError):
+                return "lost", None
+
+    def _apply_outcome(self, index: int, outcome, outcomes, attempts,
+                       budget: int, retry: List[int]) -> None:
+        """Fold one worker-side ("ok"/"error", value) pair into the state."""
+        status, value = outcome
+        if status == "ok":
+            outcomes[index] = value
+            return
+        if attempts[index] > budget:
+            failure = TaskFailure.from_record(value)
+            outcomes[index] = replace(failure, attempts=attempts[index])
+            self.stats.task_failures += 1
+        else:
+            self.stats.task_retries += 1
+            retry.append(index)
+
+    def _kill_pool(self) -> None:
+        """Tear down the current pool hard (crashed or hosting stragglers).
+
+        Worker processes are terminated so hung tasks stop consuming CPU;
+        queued futures are cancelled and their units retried by the caller.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._pool_workers = 0
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except (OSError, AttributeError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     # -- simulation with dedup + shared pool ----------------------------
 
@@ -173,14 +456,24 @@ class Session:
 
     def simulate_many(self, units: Sequence[SimUnit],
                       jobs: Optional[int] = None,
-                      cache_dir: Optional[str] = None) -> List[SimResult]:
+                      cache_dir: Optional[str] = None,
+                      timeout=_UNSET, retries: Optional[int] = None,
+                      strict: bool = True) -> List[SimResult]:
         """Simulate many work units, deduped, over the session's pool.
 
         Results come back aligned with ``units``.  Units already present in
         the session memo cost nothing; duplicates within ``units`` — including
         same-structure layers under different names, and the same layer
         requested for the same training pass twice — run once.
-        ``jobs``/``cache_dir`` override the session policy for this call.
+        ``jobs``/``cache_dir``/``timeout``/``retries`` override the session
+        policy for this call.
+
+        Execution is fault tolerant: worker crashes relaunch the pool and
+        retry the unfinished units, stragglers past ``timeout`` are cancelled.
+        With ``strict=True`` (default) any unit that still fails raises
+        :class:`SimulationError` *after* every successful unit is memoized;
+        with ``strict=False`` failed slots hold the :class:`TaskFailure`
+        record instead.
         """
         keys = [_unit_key(unit) for unit in units]
         with self._lock:
@@ -198,31 +491,52 @@ class Session:
                 cache_dir = self.sim_cache_dir
         tasks = [(gpu, layer, config, cache_dir, pass_kind)
                  for gpu, layer, config, pass_kind in fresh]
-        workers = jobs if jobs is not None else self.jobs
-        if len(tasks) <= 1 or workers <= 1:
-            results = [_run_unit(task) for task in tasks]
-        else:
-            results = list(self._ensure_pool(workers).map(_run_unit, tasks))
+        results = self._run_tasks(_run_unit, tasks, jobs=jobs,
+                                  timeout=timeout, retries=retries)
+        failures: Dict[Tuple, TaskFailure] = {}
         with self._lock:
             for key, result in zip(fresh_keys, results):
-                self._sim_results[key] = result
+                if isinstance(result, TaskFailure):
+                    failures[key] = result
+                else:
+                    self._sim_results[key] = result
             self.stats.sim_tasks += len(tasks)
-            return [self._sim_results[key] for key in keys]
+            if failures and strict:
+                failed_units = [_describe_unit(unit)
+                                for unit, key in zip(fresh, fresh_keys)
+                                if key in failures]
+                raise SimulationError(
+                    list(failures.values()),
+                    context=f"simulation of {', '.join(failed_units)}")
+            return [self._sim_results[key] if key in self._sim_results
+                    else failures[key] for key in keys]
 
-    def map_tasks(self, func, tasks: Sequence, jobs: Optional[int] = None) -> List:
+    def map_tasks(self, func, tasks: Sequence, jobs: Optional[int] = None,
+                  timeout=_UNSET, retries: Optional[int] = None,
+                  return_failures: bool = False) -> List:
         """Map a picklable function over tasks on the session's process pool.
 
         The generic fan-out primitive the design-space exploration uses for
         per-point model evaluations; falls back to a serial loop when the
-        effective job count (or the task count) is 1.
+        effective job count (or the task count) is 1 and no timeout is set.
+
+        Fault tolerance follows the session policy (overridable per call):
+        crashed workers relaunch the pool and the unfinished tasks retry with
+        bounded exponential backoff; stragglers past ``timeout`` are
+        cancelled.  A task that still has no result after the retry budget
+        raises :class:`TaskError` — or, with ``return_failures=True``, yields
+        its :class:`TaskFailure` record in the result list so callers can
+        isolate failures per task.
         """
         tasks = list(tasks)
-        workers = jobs if jobs is not None else self.jobs
-        if workers <= 1 or len(tasks) <= 1:
-            return [func(task) for task in tasks]
-        chunksize = max(1, len(tasks) // (workers * 4))
-        return list(self._ensure_pool(workers).map(func, tasks,
-                                                   chunksize=chunksize))
+        outcomes = self._run_tasks(func, tasks, jobs=jobs, timeout=timeout,
+                                   retries=retries)
+        if not return_failures:
+            failures = [outcome for outcome in outcomes
+                        if isinstance(outcome, TaskFailure)]
+            if failures:
+                raise TaskError(failures, context="map_tasks")
+        return outcomes
 
     # -- design-space memo ----------------------------------------------
 
@@ -243,9 +557,13 @@ class Session:
         """The shared pool, grown (never shrunk) to at least ``workers``.
 
         A too-small pool is retired, not shut down: another thread may still
-        be mapping work onto it, and retired pools drain at close().
+        be mapping work onto it, and retired pools drain at close().  Raises
+        :class:`SessionClosedError` once the session is closed, so a thread
+        racing ``close()`` gets a clear error instead of mapping work onto a
+        shut-down executor.
         """
         with self._lock:
+            self._check_open()
             if self._pool is not None and self._pool_workers < workers:
                 self._retired_pools.append(self._pool)
                 self._pool = None
@@ -262,11 +580,13 @@ class Session:
                           ) -> ValidationReport:
         """Model-vs-simulator records for one GPU, memoized on the session.
 
-        The memo key ignores ``jobs``/``sim_cache_dir`` (execution policy
-        does not change results), so experiments with equal populations share
-        one run regardless of how it was parallelized.
+        The memo key ignores ``jobs``/``sim_cache_dir``/``timeout``/
+        ``retries`` (execution policy does not change results), so
+        experiments with equal populations share one run regardless of how
+        it was parallelized.
         """
-        key = (gpu, replace(config, jobs=None, sim_cache_dir=None))
+        key = (gpu, replace(config, jobs=None, sim_cache_dir=None,
+                            timeout=None, retries=None))
         with self._lock:
             memoized = self._validation_memo.get(key)
         if memoized is not None:
@@ -275,7 +595,9 @@ class Session:
         sim_config = self.validation_sim_config(config)
         sims = self.simulate_many(
             [(gpu, layer, sim_config) for _, layer in population],
-            jobs=config.jobs, cache_dir=config.sim_cache_dir)
+            jobs=config.jobs, cache_dir=config.sim_cache_dir,
+            timeout=config.timeout if config.timeout is not None else _UNSET,
+            retries=config.retries)
         model = DeltaModel(gpu)
         records = tuple(
             validate_layer(network, layer, gpu, model=model, sim_result=sim)
@@ -296,16 +618,29 @@ class Session:
 
         The executor first plans the union of simulation work units across
         the batch, runs them once over the session's shared process pool,
-        then executes each request against the warm memo.
+        then executes each request against the warm memo.  Failures are
+        isolated per request: a request that raises yields a
+        ``Report(kind="error")`` in its slot while every other request's
+        report is produced normally.
         """
         from .executor import execute_many
         return execute_many(self, requests)
 
     # -- lifecycle ------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
     def close(self) -> None:
-        """Shut down the session's process pools (results stay memoized)."""
+        """Shut down the session's process pools (results stay memoized).
+
+        After close the session executes no new work: fan-out entry points
+        raise :class:`SessionClosedError`.
+        """
         with self._lock:
+            self._closed = True
             pools = [p for p in [self._pool, *self._retired_pools] if p]
             self._pool = None
             self._pool_workers = 0
@@ -321,7 +656,8 @@ class Session:
 
     def __repr__(self) -> str:
         return (f"Session(jobs={self.jobs}, sim_cache_dir={self.sim_cache_dir!r}, "
-                f"vectorized={self.vectorized}, precision={self.precision})")
+                f"vectorized={self.vectorized}, precision={self.precision}, "
+                f"timeout={self.timeout}, retries={self.retries})")
 
 
 # ----------------------------------------------------------------------
@@ -360,7 +696,9 @@ def use_session(session: Session) -> Iterator[Session]:
 def configure_default_session(jobs: Optional[int] = None,
                               sim_cache_dir: Optional[str] = None,
                               vectorized: Optional[bool] = None,
-                              precision: Optional[int] = None) -> Session:
+                              precision: Optional[int] = None,
+                              timeout: Optional[float] = None,
+                              retries: Optional[int] = None) -> Session:
     """Adjust the default session's policy; unset arguments stay unchanged."""
     session = default_session()
     if jobs is not None:
@@ -371,6 +709,10 @@ def configure_default_session(jobs: Optional[int] = None,
         session.vectorized = bool(vectorized)
     if precision is not None:
         session.precision = precision
+    if timeout is not None:
+        session.timeout = timeout
+    if retries is not None:
+        session.retries = retries
     return session
 
 

@@ -38,6 +38,12 @@ Estimate one network on one GPU, or sweep networks x GPUs x batches.
 List everything that is available (also as JSON)::
 
     delta-repro list --format json
+
+Failure semantics: a failing request prints a ``kind="error"`` report (text
+or JSON) and exits with status 1 instead of a raw traceback; ``--strict``
+re-raises instead (fail fast).  ``--timeout``/``--retries`` set the session's
+resilience policy for simulation-backed commands (see DESIGN.md, "Failure
+semantics").
 """
 
 from __future__ import annotations
@@ -63,13 +69,25 @@ from .gpu.devices import all_devices, device_aliases
 from .networks.registry import available_networks, paper_subset_networks
 
 
+#: process exit codes (argparse itself exits 2 on usage errors).
+EXIT_OK = 0
+EXIT_REQUEST_FAILED = 1
+
+
 def _session_from_args(args: argparse.Namespace) -> Session:
     jobs = getattr(args, "jobs", None)
     # None = flag not given (serial); explicit non-positive values are
     # rejected by the Session.jobs setter rather than silently coerced.
-    return Session(jobs=1 if jobs is None else jobs,
-                   sim_cache_dir=getattr(args, "sim_cache", None),
-                   precision=args.precision)
+    session = Session(jobs=1 if jobs is None else jobs,
+                      sim_cache_dir=getattr(args, "sim_cache", None),
+                      precision=args.precision)
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None:
+        session.timeout = timeout
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        session.retries = retries
+    return session
 
 
 def _emit(report: Report, args: argparse.Namespace) -> int:
@@ -77,7 +95,27 @@ def _emit(report: Report, args: argparse.Namespace) -> int:
         print(report.to_json(indent=2))
     else:
         print(report.render(precision=args.precision))
-    return 0
+    return EXIT_OK if report.kind != "error" else EXIT_REQUEST_FAILED
+
+
+def _run_request(args: argparse.Namespace, build_request) -> int:
+    """Build and run one request, isolating failures unless ``--strict``.
+
+    By default a failing request — bad network name, failed simulation,
+    anything the executor raises — prints a ``kind="error"`` report in the
+    selected format and exits with :data:`EXIT_REQUEST_FAILED`; ``--strict``
+    re-raises the underlying exception instead.
+    """
+    request = None
+    try:
+        request = build_request()
+        with _session_from_args(args) as session:
+            report = session.run(request)
+    except Exception as exc:
+        if getattr(args, "strict", False):
+            raise
+        return _emit(Report.from_error(exc, request=request), args)
+    return _emit(report, args)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -102,59 +140,47 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    request = ExperimentRequest(
+    return _run_request(args, lambda: ExperimentRequest(
         experiment=args.experiment_id,
         gpus=tuple(args.gpus) if args.gpus else None,
         networks=tuple(args.networks) if args.networks else None,
         batch=args.batch,
         max_ctas=args.max_ctas,
         layers_per_network=args.layers_per_network,
-    )
-    with _session_from_args(args) as session:
-        report = session.run(request)
-    return _emit(report, args)
+    ))
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    request = ValidateRequest(
+    return _run_request(args, lambda: ValidateRequest(
         gpu=args.gpu,
         batch=args.batch,
         max_ctas=args.max_ctas if args.max_ctas > 0 else None,
         layers_per_network=(args.layers_per_network
                             if args.layers_per_network > 0 else None),
         networks=tuple(args.networks) if args.networks else None,
-    )
-    with _session_from_args(args) as session:
-        report = session.run(request)
-    return _emit(report, args)
+    ))
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    request = EstimateRequest(
+    return _run_request(args, lambda: EstimateRequest(
         network=args.network,
         gpu=args.gpu,
         batch=args.batch,
         unique=args.unique,
         paper_subset=args.paper_subset,
         passes=args.passes,
-    )
-    with _session_from_args(args) as session:
-        report = session.run(request)
-    return _emit(report, args)
+    ))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    request = SweepRequest(
+    return _run_request(args, lambda: SweepRequest(
         networks=tuple(args.networks),
         gpus=tuple(args.gpus),
         batches=tuple(args.batches),
         unique=not args.all_layers,
         paper_subset=args.paper_subset,
         passes=args.passes,
-    )
-    with _session_from_args(args) as session:
-        report = session.run(request)
-    return _emit(report, args)
+    ))
 
 
 def _dse_space_from_args(args: argparse.Namespace):
@@ -174,7 +200,7 @@ def _dse_space_from_args(args: argparse.Namespace):
 
 
 def _cmd_dse(args: argparse.Namespace) -> int:
-    request = DseRequest(
+    return _run_request(args, lambda: DseRequest(
         space=_dse_space_from_args(args),
         gpu=args.gpu,
         driver=args.driver,
@@ -184,10 +210,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         store_path=args.store,
         unique=not args.all_layers,
         confirm_top=args.confirm_top,
-    )
-    with _session_from_args(args) as session:
-        report = session.run(request)
-    return _emit(report, args)
+    ))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,6 +239,20 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--sim-cache", default=None, metavar="DIR",
                          help="directory for the on-disk simulation result "
                               "cache (repeat runs skip simulation)")
+        sub.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-work-unit wall-clock timeout; stragglers "
+                              "are cancelled and reported as structured "
+                              "failures (default: unbounded)")
+        sub.add_argument("--retries", type=int, default=None,
+                         help="retry budget per work unit after a worker "
+                              "crash or task error (default: 2)")
+
+    def add_strict_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--strict", action="store_true",
+                         help="fail fast: re-raise request errors instead of "
+                              "emitting a kind=\"error\" report with exit "
+                              "code 1")
 
     list_parser = subparsers.add_parser(
         "list", help="list networks, GPUs and experiments")
@@ -237,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--layers-per-network", type=int, default=None,
                             help="override the layers validated per network")
     add_simulation_flags(exp_parser)
+    add_strict_flag(exp_parser)
     add_format_flag(exp_parser)
     exp_parser.set_defaults(func=_cmd_experiment)
 
@@ -253,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="NET",
                             help="restrict the population to these networks")
     add_simulation_flags(val_parser)
+    add_strict_flag(val_parser)
     add_format_flag(val_parser)
     val_parser.set_defaults(func=_cmd_validate)
 
@@ -267,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="restrict to the layers shown in the paper's "
                                  "figures")
     add_pass_flag(est_parser)
+    add_strict_flag(est_parser)
     add_format_flag(est_parser)
     est_parser.set_defaults(func=_cmd_estimate)
 
@@ -290,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default; --no-paper-subset for the "
                                    "full networks)")
     add_pass_flag(sweep_parser)
+    add_strict_flag(sweep_parser)
     add_format_flag(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -334,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "points (0 = analytic model only)")
     add_pass_flag(dse_parser)
     add_simulation_flags(dse_parser)
+    add_strict_flag(dse_parser)
     add_format_flag(dse_parser)
     dse_parser.set_defaults(func=_cmd_dse)
     return parser

@@ -42,6 +42,7 @@ from .drivers import (
 from .runner import (
     Exploration,
     ExplorationStats,
+    PointFailure,
     PointResult,
     confirm_frontier,
     evaluate_point,
@@ -68,7 +69,7 @@ from .space import (
     union,
     zip_axes,
 )
-from .store import ResultStore
+from .store import ResultStore, StoreLockedError, is_failure_record
 
 __all__ = [
     "Axis",
@@ -94,9 +95,12 @@ __all__ = [
     "build_driver",
     "driver_names",
     "ResultStore",
+    "StoreLockedError",
+    "is_failure_record",
     "Exploration",
     "ExplorationStats",
     "PointResult",
+    "PointFailure",
     "explore",
     "evaluate_point",
     "confirm_frontier",

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..analysis.frontier import (DEFAULT_OBJECTIVE_NAMES, Objective,
                                  design_cost, pareto_frontier,
                                  resolve_objectives)
@@ -33,9 +34,10 @@ from ..core.workload import expand_passes
 from ..gpu.devices import TITAN_XP
 from ..gpu.spec import FP32_BYTES, GpuSpec
 from ..networks.registry import get_network
+from ..resilience import TaskFailure
 from .drivers import ExhaustiveDriver, SuccessiveHalvingDriver
 from .space import DesignPoint, SearchSpace
-from .store import ResultStore
+from .store import FAILURE_FIELD, ResultStore, is_failure_record
 
 #: bump when the evaluation's metric semantics change (invalidates stores).
 EVALUATION_SCHEMA = 1
@@ -143,12 +145,14 @@ def evaluate_point(base_gpu: GpuSpec, point: DesignPoint, *,
 def _evaluate_task(task: Tuple[GpuSpec, DesignPoint, bool]) -> Dict[str, object]:
     """Process-pool worker: evaluate one (base gpu, point, unique) task."""
     base_gpu, point, unique = task
+    faults.fire("dse", f"{point.name}/{point.network}/b{point.batch}")
     return evaluate_point(base_gpu, point, unique=unique)
 
 
 def _proxy_task(task: Tuple[GpuSpec, DesignPoint, bool]) -> Dict[str, object]:
     """Process-pool worker: the layer-subsampled proxy evaluation."""
     base_gpu, point, unique = task
+    faults.fire("dse", f"proxy:{point.name}/{point.network}/b{point.batch}")
     return evaluate_point(base_gpu, point, unique=unique, layer_stride=4)
 
 
@@ -169,6 +173,33 @@ class PointResult:
     confirmation: Optional[Dict[str, float]] = None
 
 
+@dataclass(frozen=True)
+class PointFailure:
+    """One design point whose evaluation permanently failed.
+
+    ``explore`` records these (to the store, when one is attached) and keeps
+    going: a crashing or erroring point never aborts the sweep.  ``cached``
+    marks failures replayed from a memo/store on resume rather than freshly
+    observed.
+    """
+
+    point: DesignPoint
+    key: str
+    failure: TaskFailure
+    cached: bool = False
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "design": self.point.name,
+            "network": self.point.network,
+            "batch": self.point.batch,
+            "kind": self.failure.kind,
+            "error": f"{self.failure.error_type}: {self.failure.message}",
+            "attempts": self.failure.attempts,
+            "cached": self.cached,
+        }
+
+
 @dataclass
 class ExplorationStats:
     """What one :func:`explore` call actually did."""
@@ -178,6 +209,10 @@ class ExplorationStats:
     memo_hits: int = 0
     store_hits: int = 0
     proxy_evaluations: int = 0
+    #: evaluations that permanently failed in this run.
+    failed: int = 0
+    #: failure records replayed from the memo/store (skipped on resume).
+    skipped_failures: int = 0
 
 
 @dataclass(frozen=True)
@@ -193,6 +228,8 @@ class Exploration:
     #: indices into ``results`` forming the Pareto frontier.
     frontier: Tuple[int, ...] = ()
     stats: ExplorationStats = field(default_factory=ExplorationStats)
+    #: design points whose evaluation permanently failed (error-isolated).
+    failures: Tuple[PointFailure, ...] = ()
 
     def speedup(self, result: PointResult) -> Optional[float]:
         """Speedup of one result over its workload's identity baseline."""
@@ -240,29 +277,53 @@ class Exploration:
             rows.append(row)
         return rows
 
+    def failure_rows(self) -> List[Dict[str, object]]:
+        """Failed design points as flat table rows."""
+        return [failure.as_row() for failure in self.failures]
+
 
 # ----------------------------------------------------------------------
 # The orchestrator
 # ----------------------------------------------------------------------
 
 def _map_evaluations(session, jobs: Optional[int],
-                     tasks: List[Tuple[GpuSpec, DesignPoint, bool]]
-                     ) -> List[Dict[str, object]]:
+                     tasks: List[Tuple[GpuSpec, DesignPoint, bool]],
+                     timeout: Optional[float] = None,
+                     retries: Optional[int] = None) -> List[object]:
+    """Evaluate tasks, yielding a metrics dict or TaskFailure per task."""
     if session is not None:
-        return session.map_tasks(_evaluate_task, tasks, jobs=jobs)
-    return [_evaluate_task(task) for task in tasks]
+        kwargs: Dict[str, object] = {"jobs": jobs, "return_failures": True}
+        if timeout is not None:
+            kwargs["timeout"] = timeout
+        if retries is not None:
+            kwargs["retries"] = retries
+        return session.map_tasks(_evaluate_task, tasks, **kwargs)
+    outcomes: List[object] = []
+    for task in tasks:
+        try:
+            outcomes.append(_evaluate_task(task))
+        except Exception as exc:
+            outcomes.append(TaskFailure.from_exception(exc))
+    return outcomes
 
 
 def explore(space: SearchSpace, *, driver=None, base_gpu: GpuSpec = TITAN_XP,
             objectives: Sequence[object] = DEFAULT_OBJECTIVE_NAMES,
             store: Optional[ResultStore] = None, session=None,
             jobs: Optional[int] = None, unique: bool = True,
-            include_baseline: bool = True) -> Exploration:
+            include_baseline: bool = True, timeout: Optional[float] = None,
+            retries: Optional[int] = None) -> Exploration:
     """Run one design-space exploration end to end.
 
     ``session`` supplies process-pool parallelism and the cross-request
     in-memory memo; ``store`` adds on-disk resumability.  Either (or both)
-    may be omitted for a serial, stateless sweep.
+    may be omitted for a serial, stateless sweep.  ``timeout``/``retries``
+    override the session's resilience policy for the per-point evaluations.
+
+    Failures are isolated per point: an evaluation that still fails after the
+    retry budget becomes a :class:`PointFailure` (recorded in the store when
+    one is attached, and skipped on resume) while the sweep continues; the
+    frontier is computed over the successful points only.
     """
     if driver is None:
         driver = ExhaustiveDriver()
@@ -319,12 +380,16 @@ def explore(space: SearchSpace, *, driver=None, base_gpu: GpuSpec = TITAN_XP,
             records[key] = memoized
             cached_keys.add(key)
             stats.memo_hits += 1
+            if is_failure_record(memoized):
+                stats.skipped_failures += 1
             continue
         stored = store.get(key) if store is not None else None
         if stored is not None:
             records[key] = stored
             cached_keys.add(key)
             stats.store_hits += 1
+            if is_failure_record(stored):
+                stats.skipped_failures += 1
             if session is not None:
                 session.dse_record(key, stored)
             continue
@@ -333,33 +398,59 @@ def explore(space: SearchSpace, *, driver=None, base_gpu: GpuSpec = TITAN_XP,
 
     if pending:
         tasks = [(base_gpu, point, unique) for _, point in pending]
-        fresh = _map_evaluations(session, jobs, tasks)
-        stats.evaluated = len(fresh)
-        for (key, point), metrics in zip(pending, fresh):
-            records[key] = metrics
-            if store is not None:
-                store.put(key, metrics, descriptor=point.descriptor())
+        fresh = _map_evaluations(session, jobs, tasks, timeout, retries)
+        for (key, point), outcome in zip(pending, fresh):
+            if isinstance(outcome, TaskFailure):
+                record: Dict[str, object] = {FAILURE_FIELD: outcome.as_record()}
+                records[key] = record
+                stats.failed += 1
+                if store is not None:
+                    store.put_failure(key, outcome.as_record(),
+                                      descriptor=point.descriptor())
+            else:
+                record = outcome
+                records[key] = record
+                stats.evaluated += 1
+                if store is not None:
+                    store.put(key, record, descriptor=point.descriptor())
             if session is not None:
-                session.dse_record(key, metrics)
+                session.dse_record(key, record)
     if session is not None:
         session.stats.dse_points += stats.evaluated
 
-    results = tuple(
-        PointResult(point=point, key=key, metrics=records[key],
-                    cached=key in cached_keys)
-        for point, key in zip(points, keys[: len(points)]))
-    baselines = {
-        signature: PointResult(point=point,
-                               key=keys[len(points) + index],
-                               metrics=records[keys[len(points) + index]],
-                               cached=keys[len(points) + index] in cached_keys)
-        for index, (signature, point) in enumerate(baseline_points.items())
-    }
+    results_list: List[PointResult] = []
+    failures_list: List[PointFailure] = []
+    for point, key in zip(points, keys[: len(points)]):
+        record = records[key]
+        if is_failure_record(record):
+            failures_list.append(PointFailure(
+                point=point, key=key,
+                failure=TaskFailure.from_record(record[FAILURE_FIELD]),
+                cached=key in cached_keys))
+        else:
+            results_list.append(PointResult(point=point, key=key,
+                                            metrics=record,
+                                            cached=key in cached_keys))
+    results = tuple(results_list)
+    baselines = {}
+    for index, (signature, point) in enumerate(baseline_points.items()):
+        key = keys[len(points) + index]
+        record = records[key]
+        if is_failure_record(record):
+            failures_list.append(PointFailure(
+                point=point, key=key,
+                failure=TaskFailure.from_record(record[FAILURE_FIELD]),
+                cached=key in cached_keys))
+            continue
+        baselines[signature] = PointResult(point=point, key=key,
+                                           metrics=record,
+                                           cached=key in cached_keys)
     frontier = tuple(pareto_frontier([result.metrics for result in results],
                                      resolved)) if results else ()
     return Exploration(base_gpu=base_gpu, objectives=tuple(resolved),
                        results=results, baselines=baselines,
-                       frontier=frontier, stats=stats)
+                       frontier=frontier, stats=stats,
+                       failures=tuple(failures_list))
 
 
 # ----------------------------------------------------------------------

@@ -1,18 +1,26 @@
 """Resumable, content-keyed result store for design-space sweeps.
 
 The store is an append-only JSONL file: one line per evaluated design point,
-``{"key": <sha1>, "point": <descriptor>, "metrics": {...}}``.  Keys are
-content hashes over the baseline GPU, the design-point descriptor and the
-workload's layer :meth:`~repro.core.layer.ConvLayerConfig.structural_key`
-fingerprint (see :func:`repro.dse.runner.store_key`), so a sweep that is
-interrupted and rerun — or a different sweep that happens to revisit the same
-point — skips every evaluation already on disk.
+``{"key": <sha1>, "point": <descriptor>, "metrics": {...}}`` — or, for a
+design point whose evaluation failed after exhausting the retry budget,
+``{"key": <sha1>, "point": <descriptor>, "failure": {...}}`` with a
+:meth:`repro.resilience.TaskFailure.as_record` payload.  Keys are content
+hashes over the baseline GPU, the design-point descriptor and the workload's
+layer :meth:`~repro.core.layer.ConvLayerConfig.structural_key` fingerprint
+(see :func:`repro.dse.runner.store_key`), so a sweep that is interrupted and
+rerun — or a different sweep that happens to revisit the same point — skips
+every evaluation already on disk.  Failure records resume too: a point that
+failed permanently is *not* re-evaluated on resume (delete its line, or the
+store file, to force a re-run).
 
 Durability model: every :meth:`put` appends and flushes one line, so a killed
 process loses at most the record being written; :meth:`ResultStore` tolerates
 a truncated (or otherwise corrupt) trailing line on load and the next ``put``
 starts a fresh line.  JSON float serialization round-trips exactly, which
-keeps resumed sweeps bit-identical to uninterrupted ones.
+keeps resumed sweeps bit-identical to uninterrupted ones.  A persistent store
+takes an exclusive advisory lock (``flock``) on its JSONL file before the
+first append; a second concurrent writer gets :class:`StoreLockedError`
+instead of silently interleaving lines.
 """
 
 from __future__ import annotations
@@ -21,13 +29,30 @@ import json
 import os
 from typing import Dict, Iterator, Optional, Tuple
 
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform: advisory locking degrades to no-op
+    fcntl = None
+
+#: field distinguishing a failure record from a metrics record.
+FAILURE_FIELD = "failure"
+
+
+def is_failure_record(record: Optional[Dict[str, object]]) -> bool:
+    """Whether a stored record describes a failed evaluation."""
+    return isinstance(record, dict) and FAILURE_FIELD in record
+
+
+class StoreLockedError(RuntimeError):
+    """Another process holds the store file's exclusive writer lock."""
+
 
 class ResultStore:
     """Keyed record store with optional JSONL persistence.
 
     With ``path=None`` the store is a plain in-memory dict (useful as the
     per-session dedupe memo); with a path it loads every valid line on open
-    and appends eagerly on every :meth:`put`.
+    and appends eagerly on every :meth:`put` / :meth:`put_failure`.
     """
 
     def __init__(self, path: Optional[str] = None) -> None:
@@ -53,15 +78,32 @@ class ResultStore:
                 try:
                     payload = json.loads(line)
                     key = payload["key"]
-                    metrics = payload["metrics"]
+                    if FAILURE_FIELD in payload:
+                        record = {FAILURE_FIELD: payload[FAILURE_FIELD]}
+                    else:
+                        record = payload["metrics"]
                 except (json.JSONDecodeError, KeyError, TypeError):
                     self.corrupt_lines += 1
                     continue
-                self._records[key] = metrics
+                self._records[key] = record
                 self._descriptors[key] = payload.get("point", {})
 
-    def _append(self, key: str, metrics: Dict[str, object],
-                descriptor: Optional[Dict[str, object]]) -> None:
+    def _lock_file(self) -> None:
+        """Take the exclusive advisory writer lock (released on close)."""
+        if fcntl is None:
+            return
+        try:
+            fcntl.flock(self._file.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            handle, self._file = self._file, None
+            handle.close()
+            raise StoreLockedError(
+                f"result store {self.path!r} is locked by another writer; "
+                "point concurrent sweeps at distinct store files") from exc
+
+    def _append(self, key: str,
+                descriptor: Optional[Dict[str, object]],
+                body_field: str, body: Dict[str, object]) -> None:
         if self.path is None:
             return
         if self._file is None:
@@ -69,6 +111,7 @@ class ResultStore:
             if directory:
                 os.makedirs(directory, exist_ok=True)
             self._file = open(self.path, "a", encoding="utf-8")
+            self._lock_file()
             # a kill mid-append can leave a torn line without a newline;
             # start clean so the next record does not fuse with the debris.
             if self._file.tell() > 0:
@@ -77,7 +120,7 @@ class ResultStore:
                     if tail.read(1) != b"\n":
                         self._file.write("\n")
         line = json.dumps({"key": key, "point": descriptor or {},
-                           "metrics": metrics}, sort_keys=True)
+                           body_field: body}, sort_keys=True)
         self._file.write(line + "\n")
         self._file.flush()
 
@@ -96,7 +139,18 @@ class ResultStore:
         self._records[key] = metrics
         if descriptor is not None:
             self._descriptors[key] = descriptor
-        self._append(key, metrics, descriptor)
+        self._append(key, descriptor, "metrics", metrics)
+
+    def put_failure(self, key: str, failure: Dict[str, object],
+                    descriptor: Optional[Dict[str, object]] = None) -> None:
+        """Record a permanently-failed evaluation (skipped on resume)."""
+        if key in self._records:
+            return
+        record = {FAILURE_FIELD: failure}
+        self._records[key] = record
+        if descriptor is not None:
+            self._descriptors[key] = descriptor
+        self._append(key, descriptor, FAILURE_FIELD, failure)
 
     def __contains__(self, key: str) -> bool:
         return key in self._records
@@ -110,11 +164,17 @@ class ResultStore:
     def items(self) -> Iterator[Tuple[str, Dict[str, object]]]:
         return iter(self._records.items())
 
+    def failures(self) -> Dict[str, Dict[str, object]]:
+        """All failure records currently in the store, keyed by store key."""
+        return {key: record[FAILURE_FIELD]
+                for key, record in self._records.items()
+                if is_failure_record(record)}
+
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
         if self._file is not None:
-            self._file.close()
+            self._file.close()  # closing the fd releases the advisory lock
             self._file = None
 
     def __enter__(self) -> "ResultStore":

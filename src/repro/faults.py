@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the resilience layer.
+
+The recovery paths of the execution layer — pool relaunch after a worker
+crash, straggler timeouts, retry of flaky tasks, quarantine of corrupt cache
+entries, torn-store-write tolerance — are exercised by *injecting* the
+corresponding faults at well-defined seams rather than hoping they occur.
+Two kinds of injectors live here:
+
+**Process-seam injectors** (:func:`fire`).  Worker entry points call
+``fire(site, description)``; when a fault plan is installed and a spec
+matches the site/description, the injector triggers: a hard worker crash
+(``os._exit``, indistinguishable from a SIGKILL'd worker), a hang
+(``time.sleep``, exercising wall-clock timeouts), or an injected exception
+(``times=N`` makes a *flaky* task that fails N times and then succeeds).
+The plan travels through the :data:`ENV_VAR` environment variable so pool
+worker processes — forked or spawned — observe it, and every spec carries a
+budget of *tickets* claimed via atomic exclusive file creation in a shared
+state directory, which makes firing deterministic across any number of
+processes: spec ``times=1`` fires exactly once per installed plan, no matter
+how work is scheduled.
+
+**File-fault helpers** (:func:`corrupt_file`, :func:`tear_file`).
+Deterministic, seeded corruption/truncation of on-disk artifacts (sim-cache
+entries, JSONL result stores) for exercising quarantine and torn-tail
+recovery paths.
+
+The hot-path cost when no plan is installed is one environment lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+#: environment variable carrying the serialized fault plan.
+ENV_VAR = "REPRO_FAULTS"
+
+#: exit status of an injected worker crash (mirrors 128+SIGKILL so crash
+#: logs read like an OOM-killed worker).
+CRASH_EXIT_CODE = 137
+
+#: seam names wired into the execution layer ("*" in a spec matches any).
+SITES = ("sim", "dse")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by "error" (flaky) fault specs."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject at a seam.
+
+    ``site`` names the seam ("sim", "dse" or "*"); ``match`` is a substring
+    filter on the task description ("" matches everything); ``times`` bounds
+    how often the spec fires across *all* processes; ``kind`` selects the
+    behavior: "crash" (os._exit), "hang" (sleep ``hang_seconds``) or "error"
+    (raise :class:`InjectedFault`).
+    """
+
+    site: str
+    kind: str  # "crash" | "hang" | "error"
+    match: str = ""
+    times: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "hang", "error"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.times <= 0:
+            raise ValueError("times must be positive")
+
+
+def crash(site: str = "*", match: str = "", times: int = 1) -> FaultSpec:
+    """A worker-crash spec: the process dies mid-task, breaking its pool."""
+    return FaultSpec(site=site, kind="crash", match=match, times=times)
+
+
+def hang(site: str = "*", match: str = "", seconds: float = 30.0,
+         times: int = 1) -> FaultSpec:
+    """A straggler spec: the task sleeps ``seconds`` before completing."""
+    return FaultSpec(site=site, kind="hang", match=match, times=times,
+                     hang_seconds=seconds)
+
+
+def flaky(site: str = "*", match: str = "", failures: int = 1) -> FaultSpec:
+    """A flaky-task spec: raises ``failures`` times, then succeeds."""
+    return FaultSpec(site=site, kind="error", match=match, times=failures)
+
+
+# ----------------------------------------------------------------------
+# Plan installation (environment-carried, file-ticketed)
+# ----------------------------------------------------------------------
+
+#: parse cache keyed by the raw env value (fire() stays one dict lookup hot).
+_PARSED: Tuple[Optional[str], Optional[Tuple[str, Tuple[FaultSpec, ...]]]] = \
+    (None, None)
+
+
+def install(specs: Sequence[FaultSpec], state_dir: str) -> None:
+    """Install a fault plan for this process and all future workers.
+
+    ``state_dir`` must be a writable directory shared by every process that
+    may fire the plan; each spec's tickets are claimed there.  Installing a
+    new plan replaces the old one (old tickets do not carry over as long as
+    ``state_dir`` differs or is cleaned).
+    """
+    os.makedirs(state_dir, exist_ok=True)
+    payload = {"state_dir": str(state_dir),
+               "specs": [asdict(spec) for spec in specs]}
+    os.environ[ENV_VAR] = json.dumps(payload, sort_keys=True)
+
+
+def clear() -> None:
+    """Remove the installed fault plan (workers stop firing)."""
+    os.environ.pop(ENV_VAR, None)
+
+
+def active() -> bool:
+    """Whether a fault plan is currently installed."""
+    return ENV_VAR in os.environ
+
+
+@contextmanager
+def injected(*specs: FaultSpec, state_dir: str) -> Iterator[None]:
+    """Install ``specs`` for the enclosed block, then clear the plan."""
+    install(specs, state_dir)
+    try:
+        yield
+    finally:
+        clear()
+
+
+def _plan() -> Optional[Tuple[str, Tuple[FaultSpec, ...]]]:
+    global _PARSED
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    if _PARSED[0] != text:
+        payload = json.loads(text)
+        specs = tuple(FaultSpec(**spec) for spec in payload["specs"])
+        _PARSED = (text, (payload["state_dir"], specs))
+    return _PARSED[1]
+
+
+def _claim_ticket(state_dir: str, spec_index: int, times: int) -> bool:
+    """Claim the next of ``times`` tickets via exclusive file creation.
+
+    Atomic across processes (O_CREAT | O_EXCL); returns False once every
+    ticket is claimed, which retires the spec.
+    """
+    for ticket in range(times):
+        path = os.path.join(state_dir, f"fault-{spec_index}-{ticket}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:
+            return False  # state dir vanished: fail safe, do not fire
+        os.write(fd, f"pid={os.getpid()}\n".encode("utf-8"))
+        os.close(fd)
+        return True
+    return False
+
+
+def fire(site: str, description: str = "") -> None:
+    """Fault-injection seam: trigger any installed spec matching this call.
+
+    Worker entry points call this with their seam name and a task
+    description; with no plan installed it is a no-op costing one
+    environment lookup.
+    """
+    plan = _plan()
+    if plan is None:
+        return
+    state_dir, specs = plan
+    for index, spec in enumerate(specs):
+        if spec.site != "*" and spec.site != site:
+            continue
+        if spec.match and spec.match not in description:
+            continue
+        if not _claim_ticket(state_dir, index, spec.times):
+            continue
+        _trigger(spec, site, description)
+
+
+def _trigger(spec: FaultSpec, site: str, description: str) -> None:
+    if spec.kind == "crash":
+        # flush nothing, run no handlers: the worker dies as abruptly as a
+        # SIGKILL'd process, which is what breaks a ProcessPoolExecutor.
+        os._exit(CRASH_EXIT_CODE)
+    if spec.kind == "hang":
+        time.sleep(spec.hang_seconds)
+        return
+    raise InjectedFault(
+        f"injected fault at site {site!r} (task {description!r})")
+
+
+# ----------------------------------------------------------------------
+# File-fault helpers (corrupt cache entries, torn store writes)
+# ----------------------------------------------------------------------
+
+def corrupt_file(path: str, *, seed: int = 0, size: int = 64) -> str:
+    """Overwrite ``path`` with deterministic garbage bytes; returns the path.
+
+    The payload is seeded random binary (never valid JSON), modeling a
+    corrupted on-disk cache entry.
+    """
+    payload = random.Random(seed).randbytes(size)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return path
+
+
+def tear_file(path: str, keep_bytes: int) -> str:
+    """Truncate ``path`` to its first ``keep_bytes`` bytes; returns the path.
+
+    Models a torn write: a process killed mid-append leaves a prefix of the
+    record it was writing.
+    """
+    if keep_bytes < 0:
+        raise ValueError("keep_bytes must be non-negative")
+    with open(path, "rb+") as handle:
+        handle.truncate(keep_bytes)
+    return path

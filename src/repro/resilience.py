@@ -1,0 +1,164 @@
+"""Shared failure types and worker-side helpers of the resilience layer.
+
+Everything fan-out execution needs to *describe* a failure lives here, in a
+dependency-free module importable from any layer (``repro.api.session``, the
+DSE runner, the CLI) without creating import cycles:
+
+* :class:`TaskFailure` — the structured record of one work unit that did not
+  produce a result: what kind of failure (``error`` / ``timeout`` /
+  ``crash``), the exception type and message, how many attempts were made,
+  and the worker-side traceback when one exists.  Failure records serialize
+  to plain dicts (:meth:`TaskFailure.as_record`) so they can live in JSONL
+  stores and JSON reports.
+* :func:`run_chunk` — the process-pool worker wrapper that executes a chunk
+  of tasks and converts per-task exceptions into serializable failure
+  payloads *inside the worker*, so an ordinary task error never breaks the
+  pool round it rides on (only a genuine worker crash does).
+* The exception family the execution layer raises: ``SessionClosedError``,
+  ``TaskError`` and ``SimulationError``.
+
+See DESIGN.md, "Failure semantics", for how the pieces compose.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: failure categories a work unit can end in.
+FAILURE_KINDS = ("error", "timeout", "crash")
+
+#: exponential backoff between retry rounds is capped at this many seconds.
+BACKOFF_CAP_SECONDS = 2.0
+
+
+def backoff_delay(round_index: int, base: float,
+                  cap: float = BACKOFF_CAP_SECONDS) -> float:
+    """Bounded exponential backoff before retry round ``round_index`` (>= 1)."""
+    if base <= 0 or round_index <= 0:
+        return 0.0
+    return min(base * (2.0 ** (round_index - 1)), cap)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one work unit that produced no result."""
+
+    #: "error" (the task raised), "timeout" (straggler cancelled) or
+    #: "crash" (worker process died; retry budget exhausted).
+    kind: str
+    #: exception class name ("TimeoutError" for timeouts, the pool's broken-
+    #: executor type for crashes).
+    error_type: str
+    #: human-readable description of what went wrong.
+    message: str
+    #: execution attempts made before giving up (>= 1).
+    attempts: int = 1
+    #: worker-side formatted traceback, when the task raised.
+    traceback: Optional[str] = None
+    #: cause chain, outermost first ("Type: message" per link).
+    cause: Tuple[str, ...] = field(default=())
+
+    def as_record(self) -> Dict[str, object]:
+        """Plain-data payload for JSONL stores and JSON reports."""
+        record: Dict[str, object] = {
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+        if self.traceback is not None:
+            record["traceback"] = self.traceback
+        if self.cause:
+            record["cause"] = list(self.cause)
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "TaskFailure":
+        return cls(kind=str(record.get("kind", "error")),
+                   error_type=str(record.get("error_type", "Exception")),
+                   message=str(record.get("message", "")),
+                   attempts=int(record.get("attempts", 1)),
+                   traceback=record.get("traceback"),
+                   cause=tuple(record.get("cause", ())))
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, kind: str = "error",
+                       attempts: int = 1) -> "TaskFailure":
+        return cls(kind=kind, error_type=type(exc).__name__, message=str(exc),
+                   attempts=attempts, traceback=format_traceback(exc),
+                   cause=cause_chain(exc))
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.error_type}: {self.message}"
+
+
+def cause_chain(exc: BaseException, limit: int = 8) -> Tuple[str, ...]:
+    """The ``__cause__``/``__context__`` chain as "Type: message" strings."""
+    chain: List[str] = []
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen and len(chain) < limit:
+        seen.add(id(current))
+        chain.append(f"{type(current).__name__}: {current}")
+        current = current.__cause__ or current.__context__
+    return tuple(chain)
+
+
+def format_traceback(exc: BaseException) -> str:
+    return "".join(traceback.format_exception(type(exc), exc,
+                                              exc.__traceback__))
+
+
+# ----------------------------------------------------------------------
+# Worker-side chunk execution
+# ----------------------------------------------------------------------
+
+def run_chunk(payload: Tuple) -> List[Tuple[str, object]]:
+    """Process-pool worker: run ``func`` over a chunk of tasks.
+
+    ``payload`` is ``(func, tasks)`` with ``func`` a picklable module-level
+    callable.  Returns one ``("ok", result)`` or ``("error", failure_record)``
+    pair per task: ordinary task exceptions are captured *inside* the worker
+    (with their traceback) instead of poisoning the whole chunk, so the
+    dispatcher can retry or report each task individually.  Only a worker
+    crash or hang escapes this function.
+    """
+    func, tasks = payload
+    outcomes: List[Tuple[str, object]] = []
+    for task in tasks:
+        try:
+            outcomes.append(("ok", func(task)))
+        except Exception as exc:
+            outcomes.append(
+                ("error", TaskFailure.from_exception(exc).as_record()))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Exceptions raised by the execution layer
+# ----------------------------------------------------------------------
+
+class SessionClosedError(RuntimeError):
+    """A closed Session was asked to execute work."""
+
+
+class TaskError(RuntimeError):
+    """One or more work units failed after exhausting the retry budget.
+
+    ``failures`` holds the per-unit :class:`TaskFailure` records (index-
+    aligned metadata lives with the caller that mapped the tasks).
+    """
+
+    def __init__(self, failures: Sequence[TaskFailure],
+                 context: str = "task execution") -> None:
+        self.failures: Tuple[TaskFailure, ...] = tuple(failures)
+        first = self.failures[0] if self.failures else None
+        detail = f": {first}" if first is not None else ""
+        super().__init__(
+            f"{context} failed for {len(self.failures)} work unit(s){detail}")
+
+
+class SimulationError(TaskError):
+    """A simulation work unit failed after exhausting the retry budget."""

@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro import TESLA_P100, TESLA_V100, TITAN_XP
+from repro import TESLA_P100, TESLA_V100, TITAN_XP, faults
 from repro.api.session import default_session
 from repro.core.layer import ConvLayerConfig
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults(monkeypatch):
+    """No fault-injection plan bleeds into (or out of) any test."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
 
 
 @pytest.fixture(autouse=True)
@@ -19,10 +25,12 @@ def _stable_session_policy():
     """
     session = default_session()
     policy = (session.jobs, session.sim_cache_dir, session.vectorized,
-              session.precision)
+              session.precision, session.timeout, session.retries,
+              session.retry_backoff)
     yield
     (session.jobs, session.sim_cache_dir, session.vectorized,
-     session.precision) = policy
+     session.precision, session.timeout, session.retries,
+     session.retry_backoff) = policy
 
 
 @pytest.fixture

@@ -80,6 +80,40 @@ class TestReportRoundTrip:
         parsed = Report.from_json(report.to_json())
         assert_numerically_equal(parsed.to_dict(), report.to_dict())
 
+    def test_error_report_round_trips_bit_identically(self):
+        """A failure report — traceback, cause chain and all — survives
+        to_json/from_json with byte-identical serialization."""
+        request = EstimateRequest("alexnet", batch=8)
+        try:
+            try:
+                raise KeyError("missing layer")
+            except KeyError as inner:
+                raise ValueError("estimation failed") from inner
+        except ValueError as exc:
+            report = Report.from_error(exc, request=request)
+        assert report.kind == "error"
+        assert report.title == ("EstimateRequest failed: ValueError: "
+                                "estimation failed")
+        assert report.summary == {"error": "ValueError",
+                                  "message": "estimation failed"}
+        assert report.meta["cause"] == ["ValueError: estimation failed",
+                                        "KeyError: 'missing layer'"]
+        assert "test_api_report" in report.meta["traceback"]
+        assert report.meta["request"] == "EstimateRequest"
+
+        text = report.to_json()
+        parsed = Report.from_json(text)
+        assert parsed.to_json() == text  # bit-identical
+        assert_numerically_equal(parsed.to_dict(), report.to_dict())
+        assert parsed.render() == report.render()
+
+    def test_error_report_from_session_run_many(self):
+        with Session() as session:
+            [report] = session.run_many([EstimateRequest("no-such-net")])
+        assert report.kind == "error"
+        text = report.to_json()
+        assert Report.from_json(text).to_json() == text
+
     def test_schema_version_checked(self):
         payload = Report(kind="estimate", title="x").to_dict()
         payload["schema_version"] = 999

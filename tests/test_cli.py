@@ -70,9 +70,40 @@ class TestCommands:
         assert args.paper_subset is False
         assert build_parser().parse_args(["sweep"]).paper_subset is True
 
-    def test_non_positive_jobs_rejected(self):
+    def test_bad_network_name_is_isolated_error(self, capsys):
+        assert main(["estimate", "--network", "nonesuch"]) == 1
+        assert "EstimateRequest failed" in capsys.readouterr().out
+
+    def test_bad_network_name_json_error_report(self, capsys):
+        """The CI fault-injection smoke: a bad network under --format json
+        exits nonzero and still prints a machine-readable error report."""
+        assert main(["estimate", "--network", "nonesuch",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "error"
+        assert "nonesuch" in payload["summary"]["message"]
+        assert payload["meta"]["request"] == "EstimateRequest"
+        assert payload["meta"]["traceback"]
+
+    def test_timeout_and_retries_flags_configure_session(self):
+        args = build_parser().parse_args(
+            ["validate", "--timeout", "2.5", "--retries", "0"])
+        assert args.timeout == 2.5
+        assert args.retries == 0
+        with pytest.raises(SystemExit):  # argparse usage error stays exit 2
+            build_parser().parse_args(["validate", "--timeout", "soon"])
+
+    def test_non_positive_timeout_rejected(self, capsys):
+        assert main(["validate", "--timeout", "-1"]) == 1
+        assert "timeout" in capsys.readouterr().out
+
+    def test_non_positive_jobs_rejected(self, capsys):
+        # default mode isolates the error into a kind="error" report + exit 1
+        assert main(["experiment", "tab01", "--jobs", "0"]) == 1
+        assert "jobs must be positive" in capsys.readouterr().out
+        # --strict re-raises instead
         with pytest.raises(ValueError):
-            main(["experiment", "tab01", "--jobs", "0"])
+            main(["experiment", "tab01", "--jobs", "0", "--strict"])
 
 
 class TestJsonOutput:
@@ -204,11 +235,19 @@ class TestDseCommand:
         assert second["summary"]["points evaluated"] == 0
         assert second["rows"] == first["rows"]
 
-    def test_dse_rejects_unknown_objective(self):
+    def test_dse_rejects_unknown_objective(self, capsys):
+        assert main(["dse", "--networks", "alexnet", "--batches", "16",
+                     "--axis", "num_sm=1,2", "--objectives", "speed"]) == 1
+        assert "unknown objective" in capsys.readouterr().out
         with pytest.raises(ValueError, match="unknown objective"):
             main(["dse", "--networks", "alexnet", "--batches", "16",
-                  "--axis", "num_sm=1,2", "--objectives", "speed"])
+                  "--axis", "num_sm=1,2", "--objectives", "speed",
+                  "--strict"])
 
-    def test_dse_rejects_malformed_axis(self):
+    def test_dse_rejects_malformed_axis(self, capsys):
+        assert main(["dse", "--networks", "alexnet",
+                     "--axis", "num_sm"]) == 1
+        assert "malformed axis" in capsys.readouterr().out
         with pytest.raises(ValueError, match="malformed axis"):
-            main(["dse", "--networks", "alexnet", "--axis", "num_sm"])
+            main(["dse", "--networks", "alexnet", "--axis", "num_sm",
+                  "--strict"])

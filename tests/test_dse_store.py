@@ -8,13 +8,16 @@ import pytest
 from repro.dse import (
     ExhaustiveDriver,
     ResultStore,
+    StoreLockedError,
     explore,
     grid,
+    is_failure_record,
     store_key,
     workload_fingerprint,
 )
 from repro.dse.space import DesignPoint
 from repro.gpu import TITAN_XP, DesignOption, get_device
+from repro.resilience import TaskFailure
 
 
 @pytest.fixture()
@@ -80,6 +83,70 @@ class TestResultStore:
         with ResultStore(str(path)) as store:
             store.put("k", {"x": 1})
         assert path.exists()
+
+
+class TestDurability:
+    def test_truncation_at_every_offset_of_final_record(self, tmp_path):
+        """A kill can tear the final append at *any* byte.  Whatever the cut,
+        every earlier record survives, the torn tail is dropped (or, when the
+        cut only removed the newline, still parses), and the store keeps
+        accepting appends that later load cleanly."""
+        path = tmp_path / "sweep.jsonl"
+        with ResultStore(str(path)) as store:
+            store.put("k1", {"x": 1})
+            store.put("k2", {"x": 2})
+            store.put("k3", {"x": 3})
+        blob = path.read_bytes()
+        prefix_len = blob.index(b'"k3"')  # cut somewhere inside record 3
+        prefix_len = blob.rfind(b"\n", 0, prefix_len) + 1
+
+        for offset in range(prefix_len, len(blob)):
+            path.write_bytes(blob[:offset])
+            reloaded = ResultStore(str(path))
+            assert reloaded.get("k1") == {"x": 1}
+            assert reloaded.get("k2") == {"x": 2}
+            assert reloaded.corrupt_lines <= 1
+            assert ("k3" in reloaded) == (reloaded.corrupt_lines == 0
+                                          and offset > prefix_len)
+            reloaded.put("k4", {"x": 4})
+            reloaded.close()
+            recovered = ResultStore(str(path))
+            assert recovered.get("k4") == {"x": 4}
+            assert recovered.get("k1") == {"x": 1}
+            # the torn debris (if any) stays quarantined on its own line
+            # and keeps counting as exactly one corrupt line forever.
+            assert recovered.corrupt_lines == reloaded.corrupt_lines
+
+    def test_second_concurrent_writer_is_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        first = ResultStore(path)
+        first.put("k1", {"x": 1})  # first append takes the writer lock
+        second = ResultStore(path)
+        assert second.get("k1") == {"x": 1}  # reading is fine
+        with pytest.raises(StoreLockedError, match="locked by another"):
+            second.put("k2", {"x": 2})
+        first.close()
+        third = ResultStore(path)
+        third.put("k3", {"x": 3})  # lock released with the handle
+        third.close()
+
+    def test_failure_records_round_trip(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        failure = TaskFailure(kind="crash", error_type="BrokenProcessPool",
+                              message="worker died", attempts=3)
+        with ResultStore(path) as store:
+            store.put("ok", {"x": 1})
+            store.put_failure("bad", failure.as_record(),
+                              descriptor={"network": "alexnet"})
+        reloaded = ResultStore(path)
+        assert not is_failure_record(reloaded.get("ok"))
+        record = reloaded.get("bad")
+        assert is_failure_record(record)
+        assert TaskFailure.from_record(record["failure"]) == failure
+        assert set(reloaded.failures()) == {"bad"}
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert set(lines[1]) == {"key", "point", "failure"}
 
 
 class TestStoreKey:
