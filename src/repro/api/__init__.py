@@ -51,6 +51,7 @@ from ..networks.registry import (
     register_network,
     unregister_network,
 )
+from .progress import emit_progress, observe_progress
 from .report import SCHEMA_VERSION, Report
 from .requests import (
     DseRequest,
@@ -68,6 +69,7 @@ from .session import (
     default_session,
     reset_default_session,
     use_session,
+    work_unit_key,
 )
 
 __all__ = [
@@ -78,6 +80,9 @@ __all__ = [
     "use_session",
     "configure_default_session",
     "reset_default_session",
+    "work_unit_key",
+    "observe_progress",
+    "emit_progress",
     "Report",
     "SCHEMA_VERSION",
     "TaskFailure",

@@ -29,6 +29,7 @@ from ..experiments.registry import ExperimentSpec, get_experiment_spec
 from ..gpu.devices import get_device
 from ..networks.registry import get_network
 from ..resilience import SessionClosedError
+from .progress import emit_progress
 from .report import Report
 from .requests import (DseRequest, EstimateRequest, ExperimentRequest,
                        Request, SweepRequest, ValidateRequest)
@@ -176,6 +177,8 @@ def _run_sweep(session: "Session", request: SweepRequest) -> Report:
     pass_kinds = request.pass_kinds
     scope = ("conv" if request.passes == "forward"
              else f"{request.passes} conv")
+    combinations = (len(request.gpus) * len(request.networks)
+                    * len(request.batches))
     for gpu_name in request.gpus:
         gpu = get_device(gpu_name)
         model = DeltaModel(gpu)
@@ -211,6 +214,9 @@ def _run_sweep(session: "Session", request: SweepRequest) -> Report:
                 series.setdefault(
                     f"{network.name} {scope} time on {gpu.name} (ms)", []
                 ).append((batch, total_ms))
+                emit_progress(stage="sweep", done=len(rows),
+                              total=combinations, network=network.name,
+                              gpu=gpu.name, batch=batch)
     fastest = min(rows, key=lambda row: row["total_time_ms"])
     summary = {
         "combinations": len(rows),

@@ -1,0 +1,64 @@
+"""Context-local progress observation for long-running requests.
+
+The estimation service streams NDJSON progress lines while a sweep or a
+design-space exploration grinds through its points.  The executor and the
+session's fan-out engine cannot know about HTTP — instead they call
+:func:`emit_progress` at well-defined completion points, and whoever wants
+the events installs a callback for the dynamic extent of one request with
+:func:`observe_progress`.
+
+The observer is a :class:`~contextvars.ContextVar`, mirroring the
+context-local active session: concurrent requests running in different
+threads or asyncio tasks never see each other's events, and
+``asyncio.to_thread`` copies the context, so a callback installed on the
+event loop side is visible inside the worker thread that executes the
+blocking request.
+
+Events are plain dicts.  The emitters in this codebase use:
+
+* ``{"stage": "tasks", "done": k, "total": n}`` — one fan-out work unit
+  (simulation, DSE point evaluation) completed, from
+  ``Session._run_tasks``;
+* ``{"stage": "sweep", "done": k, "total": n, "network": ..., "gpu": ...,
+  "batch": ...}`` — one sweep combination completed, from the executor.
+
+Observation is best effort: a callback that raises is dropped for the rest
+of the extent rather than poisoning the request it watches.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, Optional
+
+ProgressCallback = Callable[[Dict[str, object]], None]
+
+_OBSERVER: ContextVar[Optional[ProgressCallback]] = ContextVar(
+    "repro_progress_observer", default=None)
+
+
+@contextmanager
+def observe_progress(callback: ProgressCallback) -> Iterator[None]:
+    """Route :func:`emit_progress` events to ``callback`` inside the block."""
+    token = _OBSERVER.set(callback)
+    try:
+        yield
+    finally:
+        _OBSERVER.reset(token)
+
+
+def emit_progress(**event: object) -> None:
+    """Report one progress event to the context's observer, if any.
+
+    With no observer installed this is one context-variable lookup; emitters
+    can therefore call it unconditionally on hot-ish paths.
+    """
+    callback = _OBSERVER.get()
+    if callback is None:
+        return
+    try:
+        callback(dict(event))
+    except Exception:
+        # a broken observer must never fail the request it watches; drop it.
+        _OBSERVER.set(None)

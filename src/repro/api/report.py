@@ -16,7 +16,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.tables import render_series, render_table
 from ..experiments.base import ExperimentResult
-from ..resilience import TaskFailure
+from ..resilience import TaskError, TaskFailure
 
 #: bumped when the serialized layout changes shape.
 SCHEMA_VERSION = 1
@@ -133,6 +133,11 @@ class Report:
         if failure.traceback is not None:
             merged["traceback"] = failure.traceback
         merged["cause"] = list(failure.cause)
+        if isinstance(exc, TaskError) and exc.failures:
+            # per-work-unit failure records: clients (the estimation service
+            # in particular) surface the structured kind — "error", "timeout"
+            # or "crash" — instead of a flattened message.
+            merged["failures"] = [f.as_record() for f in exc.failures]
         request_name = type(request).__name__ if request is not None else "request"
         if request is not None:
             merged.setdefault("request", request_name)

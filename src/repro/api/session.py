@@ -61,6 +61,7 @@ from ..resilience import (
     run_chunk,
 )
 from ..sim.engine import SimResult, SimulatorConfig
+from .progress import emit_progress
 
 #: one simulation work unit: everything that determines a SimResult.
 #: ``(gpu, layer, config)`` simulates the forward pass; a trailing pass kind
@@ -92,6 +93,18 @@ def _unit_key(unit) -> Tuple:
     """
     gpu, layer, config, pass_kind = _normalize_unit(unit)
     return (gpu, layer.structural_key(), config, pass_kind)
+
+
+def work_unit_key(unit) -> Tuple:
+    """Public name of the work-unit dedupe identity (see :func:`_unit_key`).
+
+    The estimation service and other long-lived callers use this to speak
+    the same content-key language as the session memo: two units with equal
+    keys — same GPU, structurally identical layer, same simulator config and
+    pass kind — produce identical results and execute at most once per
+    session, no matter how many requests ask for them.
+    """
+    return _unit_key(unit)
 
 
 def _describe_unit(unit) -> str:
@@ -286,6 +299,7 @@ class Session:
 
     def _run_tasks_serial(self, func, tasks: List, budget: int) -> List:
         outcomes: List[Union[object, TaskFailure]] = []
+        total = len(tasks)
         for task in tasks:
             attempts = 0
             while True:
@@ -301,6 +315,7 @@ class Session:
                         break
                     self.stats.task_retries += 1
                     time.sleep(backoff_delay(attempts, self.retry_backoff))
+            emit_progress(stage="tasks", done=len(outcomes), total=total)
         return outcomes
 
     def _run_tasks_pool(self, func, tasks: List, workers: int,
@@ -309,6 +324,7 @@ class Session:
         outcomes: List[Union[object, TaskFailure]] = [None] * n
         attempts = [0] * n
         pending = list(range(n))
+        resolved = 0
         round_index = 0
         while pending:
             if round_index > 0:
@@ -341,13 +357,17 @@ class Session:
                     future, timeout, [attempts[i] for i in chunk])
                 if status == "ok":
                     for i, outcome in zip(chunk, chunk_outcomes):
-                        self._apply_outcome(i, outcome, outcomes, attempts,
-                                            budget, retry)
+                        if self._apply_outcome(i, outcome, outcomes, attempts,
+                                               budget, retry):
+                            resolved += 1
+                    emit_progress(stage="tasks", done=resolved, total=n)
                 elif status == "timeout":
                     for i, failure in zip(chunk, chunk_outcomes):
                         outcomes[i] = failure
                         self.stats.task_timeouts += 1
                         self.stats.task_failures += 1
+                        resolved += 1
+                    emit_progress(stage="tasks", done=resolved, total=n)
                     pool_damaged = True  # a straggler still occupies a worker
                 elif status == "cancelled":
                     # never started: the attempt did not happen.
@@ -371,6 +391,8 @@ class Session:
                                  f"({budget}) exhausted"),
                         attempts=attempts[i])
                     self.stats.task_failures += 1
+                    resolved += 1
+                    emit_progress(stage="tasks", done=resolved, total=n)
                 else:
                     if attempts[i] > 0:
                         self.stats.task_retries += 1
@@ -413,19 +435,24 @@ class Session:
                 return "lost", None
 
     def _apply_outcome(self, index: int, outcome, outcomes, attempts,
-                       budget: int, retry: List[int]) -> None:
-        """Fold one worker-side ("ok"/"error", value) pair into the state."""
+                       budget: int, retry: List[int]) -> bool:
+        """Fold one worker-side ("ok"/"error", value) pair into the state.
+
+        Returns whether the task reached a final outcome (result or
+        exhausted-budget failure) rather than being queued for a retry.
+        """
         status, value = outcome
         if status == "ok":
             outcomes[index] = value
-            return
+            return True
         if attempts[index] > budget:
             failure = TaskFailure.from_record(value)
             outcomes[index] = replace(failure, attempts=attempts[index])
             self.stats.task_failures += 1
-        else:
-            self.stats.task_retries += 1
-            retry.append(index)
+            return True
+        self.stats.task_retries += 1
+        retry.append(index)
+        return False
 
     def _kill_pool(self) -> None:
         """Tear down the current pool hard (crashed or hosting stragglers).

@@ -213,6 +213,23 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     ))
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the estimation API over HTTP until SIGINT/SIGTERM.
+
+    One long-lived session (sharing the CLI's pool/timeout/retry flags)
+    backs every request; shutdown drains the connection loop and closes the
+    worker pool before the process exits 0.
+    """
+    from .server import create_app, run_app
+
+    session = _session_from_args(args)
+    app = create_app(session, max_memo=args.max_memo)
+    try:
+        return run_app(app, host=args.host, port=args.port)
+    finally:
+        session.close()  # idempotent; normally closed by lifespan shutdown
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="delta-repro",
@@ -378,6 +395,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_strict_flag(dse_parser)
     add_format_flag(dse_parser)
     dse_parser.set_defaults(func=_cmd_dse)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the estimation API over HTTP (one shared session; "
+             "identical concurrent requests coalesce onto one execution)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="interface to bind (default: loopback)")
+    serve_parser.add_argument("--port", type=int, default=8421,
+                              help="TCP port (0 = OS-assigned)")
+    serve_parser.add_argument("--max-memo", type=int, default=1024,
+                              metavar="N",
+                              help="completed reports memoized server-wide "
+                                   "(0 disables the request memo)")
+    add_simulation_flags(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

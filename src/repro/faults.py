@@ -45,7 +45,9 @@ ENV_VAR = "REPRO_FAULTS"
 CRASH_EXIT_CODE = 137
 
 #: seam names wired into the execution layer ("*" in a spec matches any).
-SITES = ("sim", "dse")
+#: "sim" and "dse" fire inside pool workers; "serve" fires in the estimation
+#: service's request runner, just before a coalesced request executes.
+SITES = ("sim", "dse", "serve")
 
 
 class InjectedFault(RuntimeError):

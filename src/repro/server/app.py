@@ -1,0 +1,336 @@
+"""The estimation service's ASGI application.
+
+:func:`create_app` wraps one long-lived :class:`~repro.api.Session` in a
+standard ASGI 3 callable — servable by the bundled dependency-free asyncio
+HTTP server (:mod:`repro.server.http`), or by uvicorn/hypercorn when they
+are installed (``uvicorn --factory repro.server:create_app`` works out of
+the box; no third-party framework is required or imported).
+
+Routes
+------
+
+============================== ========================================
+``GET  /healthz``              liveness probe
+``GET  /v1/stats``             ``SessionStats`` + request-cache counters
+``GET  /v1/networks``          network registry (+ paper-subset variants)
+``GET  /v1/gpus``              GPU registry with aliases
+``GET  /v1/experiments``       experiment registry
+``POST /v1/estimate``          :class:`EstimateRequest`
+``POST /v1/sweep``             :class:`SweepRequest`
+``POST /v1/validate``          :class:`ValidateRequest`
+``POST /v1/experiment``        :class:`ExperimentRequest`
+``POST /v1/dse``               :class:`DseRequest`
+``GET  /v1/jobs``              list jobs
+``GET  /v1/jobs/{id}``         poll one job
+``GET  /v1/jobs/{id}/report``  a finished job's report (raw body)
+``GET  /v1/jobs/{id}/events``  NDJSON progress stream (chunked)
+============================== ========================================
+
+A synchronous POST responds with ``Report.to_json(indent=2)`` plus a
+trailing newline — byte-identical to ``repro <cmd> --format json`` for the
+same request.  With ``"job": true`` in the body the POST returns ``202`` and
+a job id instead.  Every failure — malformed body, unknown id, failed
+execution — is a structured ``kind="error"`` report body with a 4xx/5xx
+status, never a bare traceback page.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict
+from http import HTTPStatus
+from typing import Dict, Optional
+
+from .. import faults
+from ..api.progress import observe_progress
+from ..api.report import Report
+from ..api.session import Session
+from ..experiments.registry import all_experiment_specs
+from ..gpu.devices import device_aliases
+from ..networks.registry import available_networks, paper_subset_networks
+from ..resilience import SessionClosedError
+from .coalesce import CoalescingCache
+from .jobs import Job, JobManager
+from .schemas import PARSERS, BadRequest, ParsedRequest, parse_body
+
+#: error types whose failures are the client's fault (HTTP 400).
+CLIENT_ERROR_TYPES = ("BadRequest", "ValueError", "KeyError", "TypeError")
+
+
+class ReproApp:
+    """ASGI 3 application: one session, one request cache, one job manager."""
+
+    def __init__(self, session: Session, *, max_memo: int = 1024) -> None:
+        self.session = session
+        self.cache = CoalescingCache(max_entries=max_memo)
+        self.jobs: Optional[JobManager] = None  # bound to the serving loop
+        self.requests_served = 0
+
+    # -- ASGI entry point ------------------------------------------------
+
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - websockets etc.
+            return
+        if self.jobs is None:
+            self.jobs = JobManager()
+        self.requests_served += 1
+        try:
+            await self._dispatch(scope, receive, send)
+        except BadRequest as exc:
+            await _send_error(send, HTTPStatus.BAD_REQUEST, exc)
+        except SessionClosedError as exc:
+            await _send_error(send, HTTPStatus.SERVICE_UNAVAILABLE, exc)
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                self.session.close()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    # -- routing ---------------------------------------------------------
+
+    async def _dispatch(self, scope, receive, send) -> None:
+        method: str = scope["method"]
+        path: str = scope["path"].rstrip("/") or "/"
+        get_routes = {
+            "/healthz": lambda: {"status": "ok"},
+            "/v1/stats": self._stats_payload,
+            "/v1/networks": lambda: _registry_payload(path),
+            "/v1/gpus": lambda: _registry_payload(path),
+            "/v1/experiments": lambda: _registry_payload(path),
+            "/v1/jobs": lambda: {"jobs": self.jobs.describe_all()},
+        }
+        builder = get_routes.get(path)
+        if builder is not None:
+            if not await self._require(method, "GET", path, send):
+                await _send_json(send, HTTPStatus.OK, builder())
+            return
+        if path.startswith("/v1/jobs/"):
+            if await self._require(method, "GET", path, send):
+                return
+            await self._dispatch_job(path, send)
+            return
+        route = path[len("/v1/"):] if path.startswith("/v1/") else None
+        if route in PARSERS:
+            if await self._require(method, "POST", path, send):
+                return
+            body = await _read_body(receive)
+            parsed = parse_body(route, body)
+            if parsed.as_job:
+                await self._respond_job(route, parsed, send)
+            else:
+                await self._respond_sync(parsed, send)
+            return
+        await _send_error(
+            send, HTTPStatus.NOT_FOUND,
+            BadRequest(f"no route {scope['path']!r}; see /v1/stats, "
+                       f"/v1/networks, /v1/gpus, /v1/experiments, "
+                       f"/v1/jobs and POST /v1/{{{'|'.join(sorted(PARSERS))}}}"))
+
+    async def _require(self, method: str, expected: str, path: str,
+                       send) -> bool:
+        """405 unless the route's method matches; True when already handled."""
+        if method == expected or (expected == "GET" and method == "HEAD"):
+            return False
+        await _send_error(
+            send, HTTPStatus.METHOD_NOT_ALLOWED,
+            BadRequest(f"method {method} is not allowed on {path}; "
+                       f"use {expected}"))
+        return True
+
+    async def _dispatch_job(self, path: str, send) -> None:
+        parts = path.split("/")  # ["", "v1", "jobs", id, sub?]
+        job = self.jobs.get(parts[3]) if len(parts) in (4, 5) else None
+        if job is None or (len(parts) == 5
+                           and parts[4] not in ("report", "events")):
+            await _send_error(send, HTTPStatus.NOT_FOUND,
+                              BadRequest(f"no such job at {path!r}"))
+            return
+        if len(parts) == 4:
+            payload = job.describe()
+            if job.finished:
+                payload["report"] = job.report.to_dict()
+            await _send_json(send, HTTPStatus.OK, payload)
+            return
+        if parts[4] == "report":
+            if not job.finished:
+                await _send_error(
+                    send, HTTPStatus.CONFLICT,
+                    BadRequest(f"job {job.job_id} is still running; poll "
+                               f"/v1/jobs/{job.job_id} or stream its events"))
+                return
+            status = (HTTPStatus.OK if job.status == "done"
+                      else _error_status(job.report))
+            await _send_report(send, status, job.report)
+            return
+        await _stream_events(send, job)
+
+    # -- execution (coalesced, thread-offloaded) -------------------------
+
+    def _execute(self, parsed: ParsedRequest) -> Report:
+        """Run one request on a worker thread; failures become reports.
+
+        The ``"serve"`` fault seam fires exactly once per *execution* —
+        coalesced and memoized requests never reach it, which is what the
+        exactly-once tests pin with a ``times=1`` ticket.
+        """
+        faults.fire("serve",
+                    f"{type(parsed.request).__name__} {parsed.key}")
+        try:
+            return self.session.run(parsed.request)
+        except SessionClosedError:
+            raise
+        except Exception as exc:
+            # same shape (and bytes) as the CLI's isolated error report.
+            return Report.from_error(exc, request=parsed.request)
+
+    async def _respond_sync(self, parsed: ParsedRequest, send) -> None:
+        report = await self.cache.run(
+            parsed.key,
+            lambda: asyncio.to_thread(self._execute, parsed))
+        status = (HTTPStatus.OK if report.kind != "error"
+                  else _error_status(report))
+        await _send_report(send, status, report)
+
+    async def _respond_job(self, route: str, parsed: ParsedRequest,
+                           send) -> None:
+        def make_executor():
+            async def execute(job: Job) -> Report:
+                def work() -> Report:
+                    with observe_progress(_progress_bridge(job)):
+                        return self._execute(parsed)
+                return await self.cache.run(
+                    parsed.key, lambda: asyncio.to_thread(work))
+            return execute
+
+        job, coalesced = self.jobs.submit(route, parsed.key, make_executor())
+        payload = dict(job.describe())
+        payload["coalesced"] = coalesced
+        await _send_json(send, HTTPStatus.ACCEPTED, payload)
+
+    # -- payload builders ------------------------------------------------
+
+    def _stats_payload(self) -> Dict[str, object]:
+        session = self.session
+        return {
+            "session": asdict(session.stats),
+            "server": {
+                "requests_served": self.requests_served,
+                "jobs": len(self.jobs) if self.jobs is not None else 0,
+                "request_cache": self.cache.stats.as_dict(),
+                "memo_entries": len(self.cache),
+            },
+            "policy": {
+                "jobs": session.jobs,
+                "vectorized": session.vectorized,
+                "precision": session.precision,
+                "timeout": session.timeout,
+                "retries": session.retries,
+                "sim_cache_dir": (str(session.sim_cache_dir)
+                                  if session.sim_cache_dir else None),
+            },
+        }
+
+
+def _progress_bridge(job: Job):
+    """A progress callback publishing ``progress`` events onto ``job``."""
+    def push(event: Dict[str, object]) -> None:
+        payload: Dict[str, object] = {"event": "progress"}
+        payload.update(event)
+        job.post_threadsafe(payload)
+    return push
+
+
+def _registry_payload(path: str) -> Dict[str, object]:
+    if path == "/v1/networks":
+        return {"networks": available_networks(),
+                "paper_subset_variants": paper_subset_networks()}
+    if path == "/v1/gpus":
+        return {"gpus": [{"name": name, "aliases": list(aliases)}
+                         for name, aliases in device_aliases().items()]}
+    return {"experiments": [{"id": spec.experiment_id, "title": spec.title,
+                             "fast": spec.fast,
+                             "uses_validation": spec.uses_validation}
+                            for spec in all_experiment_specs()]}
+
+
+def _error_status(report: Report) -> HTTPStatus:
+    """4xx for caller mistakes, 5xx for execution failures."""
+    if report.meta.get("error_type") in CLIENT_ERROR_TYPES:
+        return HTTPStatus.BAD_REQUEST
+    return HTTPStatus.INTERNAL_SERVER_ERROR
+
+
+# ----------------------------------------------------------------------
+# ASGI send/receive helpers
+# ----------------------------------------------------------------------
+
+async def _read_body(receive) -> bytes:
+    chunks = []
+    while True:
+        message = await receive()
+        if message["type"] == "http.disconnect":
+            raise BadRequest("client disconnected before the body arrived")
+        chunks.append(message.get("body", b""))
+        if not message.get("more_body", False):
+            return b"".join(chunks)
+
+
+async def _send_bytes(send, status: HTTPStatus, body: bytes,
+                      content_type: str) -> None:
+    await send({
+        "type": "http.response.start",
+        "status": int(status),
+        "headers": [
+            (b"content-type", content_type.encode("ascii")),
+            (b"content-length", str(len(body)).encode("ascii")),
+        ],
+    })
+    await send({"type": "http.response.body", "body": body,
+                "more_body": False})
+
+
+async def _send_json(send, status: HTTPStatus, payload: Dict[str, object]
+                     ) -> None:
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    await _send_bytes(send, status, body, "application/json")
+
+
+async def _send_report(send, status: HTTPStatus, report: Report) -> None:
+    """The report body: ``to_json(indent=2)`` + newline, as the CLI prints."""
+    body = (report.to_json(indent=2) + "\n").encode("utf-8")
+    await _send_bytes(send, status, body, "application/json")
+
+
+async def _send_error(send, status: HTTPStatus, exc: Exception) -> None:
+    await _send_report(send, status, Report.from_error(exc))
+
+
+async def _stream_events(send, job: Job) -> None:
+    """NDJSON chunked stream: replay history, then follow until ``done``."""
+    await send({
+        "type": "http.response.start",
+        "status": int(HTTPStatus.OK),
+        "headers": [(b"content-type", b"application/x-ndjson")],
+    })
+    async for event in job.stream_events():
+        line = (json.dumps(event) + "\n").encode("utf-8")
+        await send({"type": "http.response.body", "body": line,
+                    "more_body": True})
+    await send({"type": "http.response.body", "body": b"",
+                "more_body": False})
+
+
+def create_app(session: Optional[Session] = None, *,
+               max_memo: int = 1024) -> ReproApp:
+    """Build the service app around ``session`` (a fresh one by default)."""
+    return ReproApp(session if session is not None else Session(),
+                    max_memo=max_memo)

@@ -1,0 +1,129 @@
+"""Server-wide request memo with in-flight coalescing.
+
+The long-lived :class:`~repro.api.Session` behind the service already
+dedupes *work units* (per-layer simulations, DSE point evaluations) across
+requests through its ``structural_key``-based memo, in front of the on-disk
+sim cache.  This module adds the request-level layer above it:
+
+* a bounded LRU **memo** of completed reports keyed by the request's content
+  key (see :func:`repro.server.schemas.parse_body`) — a repeated identical
+  request costs one dictionary lookup, zero model evaluations; and
+* **coalescing** of concurrent identical requests: the first arrival starts
+  the (thread-offloaded) execution, every later arrival awaits the same
+  in-flight future, and when the execution finishes — or fails — all waiters
+  observe the same report.  N concurrent identical requests therefore
+  execute exactly once, which the fault-injection suite pins with a
+  ``times=1`` ticket at the ``"serve"`` seam.
+
+Error-kind reports propagate to every coalesced waiter but are *not*
+memoized: a transient failure (worker crash, timeout) must not poison the
+cache for later retries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional
+
+from ..api.report import Report
+
+
+@dataclass
+class CoalesceStats:
+    """Counters describing what the request cache absorbed."""
+
+    #: requests answered from the completed-report memo.
+    memo_hits: int = 0
+    #: requests that piggybacked on an identical in-flight execution.
+    coalesced: int = 0
+    #: requests that actually executed.
+    executed: int = 0
+    #: memo entries dropped by the LRU bound.
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"memo_hits": self.memo_hits, "coalesced": self.coalesced,
+                "executed": self.executed, "evictions": self.evictions}
+
+
+@dataclass
+class CoalescingCache:
+    """Keyed report memo + single-flight execution for identical requests.
+
+    Single-event-loop use only (the service runs one loop); the blocking
+    work itself happens in worker threads via the awaitable the caller
+    passes in, so the loop stays responsive while requests execute.
+    """
+
+    #: completed reports kept (LRU); 0 disables memoization entirely.
+    max_entries: int = 1024
+    stats: CoalesceStats = field(default_factory=CoalesceStats)
+    _memo: "OrderedDict[str, Report]" = field(default_factory=OrderedDict)
+    _inflight: Dict[str, "asyncio.Future[Report]"] = field(
+        default_factory=dict)
+
+    def lookup(self, key: str) -> Optional[Report]:
+        """The memoized report for ``key``, refreshing its LRU position."""
+        report = self._memo.get(key)
+        if report is not None:
+            self._memo.move_to_end(key)
+            self.stats.memo_hits += 1
+        return report
+
+    async def run(self, key: str,
+                  execute: Callable[[], Awaitable[Report]]) -> Report:
+        """Return ``key``'s report, executing at most once concurrently.
+
+        ``execute`` is awaited only by the first concurrent caller; everyone
+        else shares its outcome.  If the execution raises, every waiter sees
+        the exception; if it returns an error-kind report, every waiter gets
+        that report and nothing is memoized.
+        """
+        memoized = self.lookup(key)
+        if memoized is not None:
+            return memoized
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.stats.coalesced += 1
+            # shield: one waiter's cancellation must not cancel the shared
+            # execution out from under the other waiters.
+            return await asyncio.shield(inflight)
+        future: "asyncio.Future[Report]" = (
+            asyncio.get_running_loop().create_future())
+        self._inflight[key] = future
+        self.stats.executed += 1
+        try:
+            report = await execute()
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                # without a waiter the exception would be logged as never
+                # retrieved; mark it consumed — the raise below reports it.
+                future.exception()
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(report)
+            if report.kind != "error":
+                self._remember(key, report)
+            return report
+        finally:
+            self._inflight.pop(key, None)
+
+    def _remember(self, key: str, report: Report) -> None:
+        if self.max_entries <= 0:
+            return
+        self._memo[key] = report
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.max_entries:
+            self._memo.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every memoized report (in-flight executions are unaffected)."""
+        self._memo.clear()
+
+    def __len__(self) -> int:
+        return len(self._memo)

@@ -1,0 +1,71 @@
+"""In-process ASGI test client for the estimation service tests.
+
+Calls the app directly with a synthetic scope — no socket, no thread — so
+route tests stay fast and deterministic.  The socket path itself is covered
+by the ``ServerThread``-based tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+
+async def asgi_request(app, method: str, path: str,
+                       body: Optional[dict] = None,
+                       raw_body: Optional[bytes] = None
+                       ) -> Tuple[int, Dict[str, str], bytes]:
+    """One request against ``app``; returns (status, headers, body bytes)."""
+    payload = raw_body if raw_body is not None else (
+        json.dumps(body).encode() if body is not None else b"")
+    scope = {
+        "type": "http",
+        "asgi": {"version": "3.0"},
+        "http_version": "1.1",
+        "method": method,
+        "path": path,
+        "raw_path": path.encode(),
+        "query_string": b"",
+        "headers": [],
+        "server": ("127.0.0.1", 0),
+        "client": ("127.0.0.1", 0),
+    }
+    messages = [{"type": "http.request", "body": payload,
+                 "more_body": False}]
+
+    async def receive():
+        if messages:
+            return messages.pop(0)
+        return {"type": "http.disconnect"}
+
+    status = 0
+    headers: Dict[str, str] = {}
+    chunks = []
+
+    async def send(message):
+        nonlocal status
+        if message["type"] == "http.response.start":
+            status = message["status"]
+            headers.update({name.decode(): value.decode()
+                            for name, value in message.get("headers", [])})
+        elif message["type"] == "http.response.body":
+            chunks.append(message.get("body", b""))
+
+    await app(scope, receive, send)
+    return status, headers, b"".join(chunks)
+
+
+def request(app, method: str, path: str, body: Optional[dict] = None,
+            raw_body: Optional[bytes] = None
+            ) -> Tuple[int, Dict[str, str], bytes]:
+    """Synchronous wrapper: run one request on a fresh event loop."""
+    return asyncio.run(asgi_request(app, method, path, body=body,
+                                    raw_body=raw_body))
+
+
+def json_request(app, method: str, path: str, body: Optional[dict] = None,
+                 raw_body: Optional[bytes] = None) -> Tuple[int, dict]:
+    """Like :func:`request`, decoding the response body as JSON."""
+    status, _, raw = request(app, method, path, body=body, raw_body=raw_body)
+    return status, json.loads(raw)

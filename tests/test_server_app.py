@@ -1,0 +1,153 @@
+"""Route behavior of the service app: payloads, errors, CLI bit-identity."""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.cli import main
+from repro.server import create_app
+from server_utils import json_request, request
+
+
+@pytest.fixture
+def app():
+    application = create_app(Session())
+    yield application
+    application.session.close()
+
+
+class TestPlumbing:
+    def test_healthz(self, app):
+        status, payload = json_request(app, "GET", "/healthz")
+        assert (status, payload) == (200, {"status": "ok"})
+
+    def test_unknown_route_is_structured_404(self, app):
+        status, payload = json_request(app, "GET", "/v2/everything")
+        assert status == 404
+        assert payload["kind"] == "error"
+        assert "/v1/" in payload["meta"]["error_message"]
+
+    def test_wrong_method_is_structured_405(self, app):
+        status, payload = json_request(app, "POST", "/healthz", body={})
+        assert status == 405
+        assert payload["kind"] == "error"
+        status, payload = json_request(app, "GET", "/v1/estimate")
+        assert status == 405
+        assert "use POST" in payload["meta"]["error_message"]
+
+    def test_trailing_slash_is_tolerated(self, app):
+        status, _ = json_request(app, "GET", "/v1/networks/")
+        assert status == 200
+
+
+class TestRegistries:
+    def test_networks(self, app):
+        status, payload = json_request(app, "GET", "/v1/networks")
+        assert status == 200
+        assert "alexnet" in payload["networks"]
+        assert set(payload["paper_subset_variants"]) <= \
+            set(payload["networks"])
+
+    def test_gpus(self, app):
+        status, payload = json_request(app, "GET", "/v1/gpus")
+        assert status == 200
+        names = {gpu["name"] for gpu in payload["gpus"]}
+        assert "TITAN Xp" in names
+
+    def test_experiments(self, app):
+        status, payload = json_request(app, "GET", "/v1/experiments")
+        assert status == 200
+        ids = {spec["id"] for spec in payload["experiments"]}
+        assert "tab01" in ids
+
+    def test_registries_match_cli_list(self, app, capsys):
+        main(["list", "--format", "json"])
+        cli = json.loads(capsys.readouterr().out)
+        _, networks = json_request(app, "GET", "/v1/networks")
+        _, gpus = json_request(app, "GET", "/v1/gpus")
+        _, experiments = json_request(app, "GET", "/v1/experiments")
+        assert networks["networks"] == cli["networks"]
+        assert gpus["gpus"] == cli["gpus"]
+        assert experiments["experiments"] == cli["experiments"]
+
+
+class TestEstimateRoute:
+    def test_body_is_bit_identical_to_cli_json(self, app, capsys):
+        exit_code = main(["estimate", "--network", "alexnet", "--batch",
+                          "32", "--format", "json"])
+        assert exit_code == 0
+        cli_bytes = capsys.readouterr().out.encode()
+        status, _, server_bytes = request(
+            app, "POST", "/v1/estimate",
+            body={"network": "alexnet", "batch": 32})
+        assert status == 200
+        assert server_bytes == cli_bytes
+
+    def test_repeat_hits_the_request_memo(self, app):
+        body = {"network": "alexnet", "batch": 32}
+        _, _, first = request(app, "POST", "/v1/estimate", body=body)
+        _, _, second = request(app, "POST", "/v1/estimate", body=body)
+        assert first == second
+        assert app.cache.stats.executed == 1
+        assert app.cache.stats.memo_hits == 1
+        assert app.session.stats.requests_run == 1
+
+
+class TestStats:
+    def test_shape(self, app):
+        request(app, "POST", "/v1/estimate",
+                body={"network": "alexnet", "batch": 32})
+        status, payload = json_request(app, "GET", "/v1/stats")
+        assert status == 200
+        session = payload["session"]
+        # the full resilience counters from the session are surfaced.
+        for counter in ("requests_run", "pool_recoveries", "task_retries",
+                        "task_failures", "task_timeouts"):
+            assert counter in session
+        assert session["requests_run"] == 1
+        server = payload["server"]
+        assert server["request_cache"]["executed"] == 1
+        assert server["memo_entries"] == 1
+        assert payload["policy"]["jobs"] == 1
+
+
+# every POST route must turn a malformed body into a structured 400 — never
+# a bare 500 traceback.  One regression per route.
+BAD_BODIES = [
+    ("estimate", {"network": "made-up-net"}),
+    ("sweep", {"batches": ["not-a-number"]}),
+    ("validate", {"gpu": "rtx9090"}),
+    ("experiment", {"experiment": "fig99"}),
+    ("dse", {"axes": {"warp_speed": [1]}}),
+]
+
+
+class TestStructuredErrors:
+    @pytest.mark.parametrize("route,body", BAD_BODIES,
+                             ids=[route for route, _ in BAD_BODIES])
+    def test_bad_body_is_structured_400(self, app, route, body):
+        status, payload = json_request(app, "POST", f"/v1/{route}",
+                                       body=body)
+        assert status == 400
+        assert payload["kind"] == "error"
+        assert payload["meta"]["error_type"] == "BadRequest"
+        assert route in payload["meta"]["error_message"]
+
+    @pytest.mark.parametrize("route", sorted(r for r, _ in BAD_BODIES))
+    def test_invalid_json_is_structured_400(self, app, route):
+        status, payload = json_request(app, "POST", f"/v1/{route}",
+                                       raw_body=b"{nope")
+        assert status == 400
+        assert payload["kind"] == "error"
+        assert "not valid JSON" in payload["meta"]["error_message"]
+
+    def test_error_body_shape_matches_cli_error_report(self, app, capsys):
+        exit_code = main(["estimate", "--network", "made-up-net",
+                          "--format", "json"])
+        assert exit_code == 1
+        cli = json.loads(capsys.readouterr().out)
+        _, payload = json_request(app, "POST", "/v1/estimate",
+                                  body={"network": "made-up-net"})
+        assert payload["kind"] == cli["kind"] == "error"
+        assert set(payload["meta"]) >= {"error_type", "error_message"}

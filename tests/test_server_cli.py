@@ -1,0 +1,92 @@
+"""The ``repro serve`` subcommand: flags, ready line, clean signal shutdown."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 8421)
+        assert args.max_memo == 1024
+        assert args.jobs is None and args.sim_cache is None
+        assert args.timeout is None and args.retries is None
+
+    def test_simulation_flags_are_shared(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "4", "--sim-cache", "/tmp/c",
+             "--timeout", "30", "--retries", "1"])
+        assert args.jobs == 4 and args.sim_cache == "/tmp/c"
+        assert args.timeout == 30.0 and args.retries == 1
+
+
+def _spawn_server(*extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.Popen(
+        [sys.executable, "-c",
+         "from repro.cli import main; import sys; sys.exit(main(sys.argv[1:]))",
+         "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM],
+                         ids=["sigint", "sigterm"])
+def test_serve_subprocess_shuts_down_cleanly(signum):
+    """The served API answers over a real socket and exits 0 on signal."""
+    proc = _spawn_server()
+    try:
+        ready = proc.stdout.readline().strip()
+        assert ready.startswith("listening on http://"), ready
+        base = ready.split(" ")[-1]
+        with urllib.request.urlopen(base + "/healthz", timeout=30) as reply:
+            assert reply.status == 200
+        request = urllib.request.Request(
+            base + "/v1/estimate",
+            data=json.dumps({"network": "alexnet", "batch": 16,
+                             "unique": True}).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=120) as reply:
+            payload = json.loads(reply.read())
+        assert payload["kind"] == "estimate"
+        proc.send_signal(signum)
+        assert proc.wait(timeout=30) == 0
+        assert proc.stderr.read() == ""
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+def test_serve_structured_errors_over_the_wire():
+    """Malformed bodies come back 400 with a structured report body."""
+    proc = _spawn_server()
+    try:
+        ready = proc.stdout.readline().strip()
+        base = ready.split(" ")[-1]
+        request = urllib.request.Request(
+            base + "/v1/estimate", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["kind"] == "error"
+        assert payload["meta"]["error_type"] == "BadRequest"
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)

@@ -1,0 +1,233 @@
+"""Server-wide dedupe and request coalescing — the exactly-once guarantees.
+
+The cache unit tests drive :class:`CoalescingCache` directly on an event
+loop; the integration tests fire genuinely concurrent HTTP requests at a
+:class:`ServerThread` and pin the exactly-once behavior with fault-injection
+tickets: a ``times=1`` hang at the ``"serve"`` seam holds the single
+execution open so every concurrent identical request provably lands in the
+coalescing window, and the ticket files record how many executions reached
+the seam at all.
+"""
+
+import asyncio
+import glob
+import http.client
+import json
+import os
+import threading
+
+from repro import faults
+from repro.api import Report, Session
+from repro.server import CoalescingCache, ServerThread, create_app
+
+
+def make_report(title="r"):
+    return Report(kind="estimate", title=title)
+
+
+def error_report():
+    return Report.from_error(RuntimeError("boom"))
+
+
+class TestCoalescingCacheUnit:
+    def test_memoizes_completed_reports(self):
+        async def scenario():
+            cache = CoalescingCache()
+            calls = []
+
+            async def execute():
+                calls.append(1)
+                return make_report()
+
+            first = await cache.run("k", execute)
+            second = await cache.run("k", execute)
+            assert first is second
+            assert len(calls) == 1
+            assert cache.stats.memo_hits == 1
+            assert cache.stats.executed == 1
+
+        asyncio.run(scenario())
+
+    def test_concurrent_callers_share_one_execution(self):
+        async def scenario():
+            cache = CoalescingCache()
+            started = asyncio.Event()
+            release = asyncio.Event()
+            calls = []
+
+            async def execute():
+                calls.append(1)
+                started.set()
+                await release.wait()
+                return make_report()
+
+            first = asyncio.ensure_future(cache.run("k", execute))
+            await started.wait()
+            others = [asyncio.ensure_future(cache.run("k", execute))
+                      for _ in range(4)]
+            await asyncio.sleep(0)  # let the waiters reach the in-flight map
+            release.set()
+            reports = await asyncio.gather(first, *others)
+            assert len(calls) == 1
+            assert all(report is reports[0] for report in reports)
+            assert cache.stats.executed == 1
+            assert cache.stats.coalesced == 4
+
+        asyncio.run(scenario())
+
+    def test_exception_reaches_every_waiter(self):
+        async def scenario():
+            cache = CoalescingCache()
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def execute():
+                started.set()
+                await release.wait()
+                raise RuntimeError("shared failure")
+
+            first = asyncio.ensure_future(cache.run("k", execute))
+            await started.wait()
+            second = asyncio.ensure_future(cache.run("k", execute))
+            await asyncio.sleep(0)
+            release.set()
+            results = await asyncio.gather(first, second,
+                                           return_exceptions=True)
+            assert all(isinstance(r, RuntimeError) for r in results)
+            # a failed execution is not memoized: the next run retries.
+            assert cache.lookup("k") is None
+            assert len(cache) == 0
+
+        asyncio.run(scenario())
+
+    def test_error_reports_are_not_memoized(self):
+        async def scenario():
+            cache = CoalescingCache()
+            reports = [error_report(), make_report()]
+
+            async def execute():
+                return reports.pop(0)
+
+            first = await cache.run("k", execute)
+            assert first.kind == "error"
+            second = await cache.run("k", execute)
+            assert second.kind == "estimate"
+            assert cache.stats.executed == 2
+
+        asyncio.run(scenario())
+
+    def test_lru_eviction(self):
+        async def scenario():
+            cache = CoalescingCache(max_entries=2)
+
+            async def execute():
+                return make_report()
+
+            for key in ("a", "b", "c"):
+                await cache.run(key, execute)
+            assert cache.lookup("a") is None  # oldest evicted
+            assert cache.lookup("c") is not None
+            assert cache.stats.evictions == 1
+
+        asyncio.run(scenario())
+
+    def test_zero_entries_disables_the_memo(self):
+        async def scenario():
+            cache = CoalescingCache(max_entries=0)
+
+            async def execute():
+                return make_report()
+
+            await cache.run("k", execute)
+            assert cache.lookup("k") is None
+            assert len(cache) == 0
+
+        asyncio.run(scenario())
+
+
+def _post(host, port, route, body, out, index):
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        conn.request("POST", f"/v1/{route}", body=json.dumps(body),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        out[index] = (response.status, response.read())
+    finally:
+        conn.close()
+
+
+def _concurrent_posts(server, route, body, count):
+    results = [None] * count
+    threads = [threading.Thread(target=_post,
+                                args=(server.host, server.port, route, body,
+                                      results, index))
+               for index in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=180)
+    assert all(result is not None for result in results)
+    return results
+
+
+class TestServerCoalescing:
+    def test_identical_concurrent_requests_execute_exactly_once(
+            self, tmp_path):
+        """Five concurrent identical estimates: one execution, five bodies.
+
+        The ``times=1`` hang at the "serve" seam keeps the single execution
+        in flight long enough that every other request provably arrives
+        inside the coalescing window, and the consumed tickets double-check
+        that exactly one execution reached the seam.
+        """
+        session = Session()
+        app = create_app(session)
+        body = {"network": "alexnet", "batch": 8, "unique": True}
+        state_dir = str(tmp_path / "faults")
+        with ServerThread(app) as server:
+            with faults.injected(
+                    faults.hang(site="serve", seconds=1.5, times=1),
+                    state_dir=state_dir):
+                results = _concurrent_posts(server, "estimate", body, 5)
+        statuses = {status for status, _ in results}
+        bodies = {payload for _, payload in results}
+        assert statuses == {200}
+        assert len(bodies) == 1  # every caller got the same bytes
+        assert session.stats.requests_run == 1
+        assert app.cache.stats.executed == 1
+        assert (app.cache.stats.coalesced
+                + app.cache.stats.memo_hits) == 4
+        # the seam fired once: exactly one hang ticket was claimed.
+        assert len(glob.glob(os.path.join(state_dir, "fault-*"))) == 1
+
+    def test_crash_during_coalesced_request_fails_all_waiters(
+            self, tmp_path):
+        """A worker crash inside the one shared execution fails every waiter
+        with the structured ``kind="crash"`` failure record — and is not
+        memoized, so a later retry executes afresh."""
+        session = Session(jobs=2)
+        session.retries = 0
+        app = create_app(session)
+        # two work units, so the jobs=2 session fans out over a real pool
+        # (a single serial unit would fire the crash in-process instead).
+        body = {"networks": ["alexnet"], "batch": 4, "max_ctas": 20,
+                "layers_per_network": 2}
+        state_dir = str(tmp_path / "faults")
+        with ServerThread(app) as server:
+            with faults.injected(
+                    faults.hang(site="serve", seconds=1.5, times=1),
+                    faults.crash(site="sim"),
+                    state_dir=state_dir):
+                results = _concurrent_posts(server, "validate", body, 3)
+        payloads = [json.loads(raw) for _, raw in results]
+        assert {status for status, _ in results} == {500}
+        for payload in payloads:
+            assert payload["kind"] == "error"
+            kinds = {record["kind"] for record in
+                     payload["meta"]["failures"]}
+            assert "crash" in kinds
+        assert app.cache.stats.executed == 1
+        assert app.cache.stats.coalesced == 2
+        # the failure was not memoized; the key will re-execute next time.
+        assert len(app.cache) == 0
+        session.close()

@@ -1,0 +1,193 @@
+"""The service's strict body-to-request deserialization layer."""
+
+import json
+
+import pytest
+
+from repro.api import (DseRequest, EstimateRequest, ExperimentRequest,
+                       SweepRequest, ValidateRequest)
+from repro.server import BadRequest, parse_body
+from repro.server.schemas import (parse_dse, parse_estimate, parse_experiment,
+                                  parse_sweep, parse_validate)
+
+
+def key_of(route, body):
+    return parse_body(route, json.dumps(body).encode()).key
+
+
+class TestParseBody:
+    def test_unknown_route(self):
+        with pytest.raises(BadRequest, match="unknown request route"):
+            parse_body("teleport", b"{}")
+
+    def test_invalid_json(self):
+        with pytest.raises(BadRequest, match="not valid JSON"):
+            parse_body("estimate", b"{network:")
+
+    def test_non_object_body(self):
+        with pytest.raises(BadRequest, match="must be a JSON object"):
+            parse_body("estimate", b"[1, 2]")
+
+    def test_empty_body_means_defaults(self):
+        # sweep has defaults for everything; an empty body is a valid sweep.
+        parsed = parse_body("sweep", b"")
+        assert isinstance(parsed.request, SweepRequest)
+        assert parsed.request.networks == ("alexnet", "vgg16", "googlenet",
+                                           "resnet152")
+
+    def test_empty_body_still_enforces_required_fields(self):
+        with pytest.raises(BadRequest, match="'network' is required"):
+            parse_body("estimate", b"")
+
+
+class TestEstimate:
+    def test_defaults(self):
+        parsed = parse_estimate({"network": "alexnet"})
+        request = parsed.request
+        assert isinstance(request, EstimateRequest)
+        assert (request.gpu, request.batch) == ("titanxp", 256)
+        assert not parsed.as_job
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(BadRequest, match="bacth"):
+            parse_estimate({"network": "alexnet", "bacth": 64})
+
+    def test_unknown_network_rejected_at_parse_time(self):
+        with pytest.raises(BadRequest, match="unknown network 'lenet9000'"):
+            parse_estimate({"network": "lenet9000"})
+
+    def test_unknown_gpu_rejected_at_parse_time(self):
+        with pytest.raises(BadRequest, match="estimate"):
+            parse_estimate({"network": "alexnet", "gpu": "rtx9090"})
+
+    def test_type_errors_are_bad_requests(self):
+        with pytest.raises(BadRequest, match="'batch' must be an integer"):
+            parse_estimate({"network": "alexnet", "batch": "many"})
+        with pytest.raises(BadRequest, match="'batch' must be an integer"):
+            parse_estimate({"network": "alexnet", "batch": True})
+        with pytest.raises(BadRequest, match="'unique' must be a boolean"):
+            parse_estimate({"network": "alexnet", "unique": 1})
+
+    def test_constructor_errors_become_bad_requests(self):
+        with pytest.raises(BadRequest, match="estimate"):
+            parse_estimate({"network": "alexnet", "batch": -4})
+        with pytest.raises(BadRequest, match="estimate"):
+            parse_estimate({"network": "alexnet", "passes": "sideways"})
+
+    def test_job_flag(self):
+        assert parse_estimate({"network": "alexnet", "job": True}).as_job
+        with pytest.raises(BadRequest, match="'job' must be a boolean"):
+            parse_estimate({"network": "alexnet", "job": "yes"})
+
+
+class TestContentKeys:
+    def test_normalization_shares_a_key(self):
+        base = key_of("estimate", {"network": "alexnet"})
+        assert key_of("estimate", {"network": "AlexNet"}) == base
+        assert key_of("estimate", {"network": "alexnet",
+                                   "gpu": "TitanXP"}) == base
+        # explicit defaults normalize onto the omitted-field key.
+        assert key_of("estimate", {"network": "alexnet", "gpu": "titanxp",
+                                   "batch": 256, "unique": False}) == base
+
+    def test_differing_requests_differ(self):
+        base = key_of("estimate", {"network": "alexnet"})
+        assert key_of("estimate", {"network": "alexnet",
+                                   "batch": 64}) != base
+        assert key_of("estimate", {"network": "vgg16"}) != base
+
+    def test_job_flag_does_not_change_the_key(self):
+        assert key_of("estimate", {"network": "alexnet", "job": True}) == \
+            key_of("estimate", {"network": "alexnet"})
+
+    def test_route_is_part_of_the_key(self):
+        # same field values through different routes must never collide.
+        assert key_of("validate", {"gpu": "titanxp"}) != \
+            key_of("dse", {"gpu": "titanxp"})
+
+
+class TestSweep:
+    def test_defaults_match_cli(self):
+        request = parse_sweep({}).request
+        assert isinstance(request, SweepRequest)
+        assert request.gpus == ("titanxp", "v100")
+        assert request.batches == (64, 256)
+        assert request.unique and request.paper_subset
+
+    def test_scalar_promotes_to_list(self):
+        request = parse_sweep({"networks": "alexnet", "batches": 32}).request
+        assert request.networks == ("alexnet",)
+        assert request.batches == (32,)
+
+    def test_bad_batches(self):
+        with pytest.raises(BadRequest, match="'batches'"):
+            parse_sweep({"batches": ["a lot"]})
+        with pytest.raises(BadRequest, match="'batches'"):
+            parse_sweep({"batches": []})
+
+
+class TestValidate:
+    def test_defaults(self):
+        request = parse_validate({}).request
+        assert isinstance(request, ValidateRequest)
+        assert (request.gpu, request.batch) == ("titanxp", 32)
+        assert request.max_ctas == 180 and request.layers_per_network == 4
+
+    def test_execution_policy_fields(self):
+        request = parse_validate({"timeout": 2, "retries": 0}).request
+        assert request.timeout == 2.0 and request.retries == 0
+
+    def test_unknown_network_in_list(self):
+        with pytest.raises(BadRequest, match="unknown network"):
+            parse_validate({"networks": ["alexnet", "squeezenet"]})
+
+
+class TestExperiment:
+    def test_required_experiment_id(self):
+        with pytest.raises(BadRequest, match="'experiment' is required"):
+            parse_experiment({})
+
+    def test_unknown_experiment(self):
+        with pytest.raises(BadRequest, match="unknown experiment"):
+            parse_experiment({"experiment": "table99"})
+
+    def test_known_experiment(self):
+        parsed = parse_experiment({"experiment": "tab01", "batch": 8})
+        assert isinstance(parsed.request, ExperimentRequest)
+        assert parsed.request.experiment == "tab01"
+
+
+class TestDse:
+    def test_default_space_is_the_stock_grid(self):
+        parsed = parse_dse({})
+        assert isinstance(parsed.request, DseRequest)
+        assert parsed.request.gpu == "titanxp"
+        assert len(list(parsed.request.space.points())) > 1
+
+    def test_explicit_axes(self):
+        parsed = parse_dse({"axes": {"num_sm": [1, 2], "cta_tile": 128}})
+        points = list(parsed.request.space.points())
+        assert len(points) == 2  # cta_tile scalar promoted, 2 x 1 grid
+
+    def test_axes_must_be_an_object(self):
+        with pytest.raises(BadRequest, match="'axes' must be a non-empty"):
+            parse_dse({"axes": [1, 2]})
+        with pytest.raises(BadRequest, match="'axes' must be a non-empty"):
+            parse_dse({"axes": {}})
+
+    def test_bad_axis_key(self):
+        with pytest.raises(BadRequest, match="bad axis"):
+            parse_dse({"axes": {"warp_speed": [1, 2]}})
+
+    def test_multiple_networks_become_an_axis(self):
+        parsed = parse_dse({"axes": {"num_sm": [1, 2]},
+                            "networks": ["alexnet", "vgg16"]})
+        assert len(list(parsed.request.space.points())) == 4
+
+    def test_axes_change_the_key(self):
+        assert key_of("dse", {"axes": {"num_sm": [1, 2]}}) != \
+            key_of("dse", {"axes": {"num_sm": [1, 4]}})
+
+    def test_unknown_driver_rejected(self):
+        with pytest.raises(BadRequest, match="dse"):
+            parse_dse({"driver": "simulated-annealing"})
