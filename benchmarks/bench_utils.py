@@ -9,9 +9,15 @@ time; see EXPERIMENTS.md for how to rerun at larger scale.
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import platform
+import socket
+import subprocess
 from typing import Dict
+
+import numpy
 
 from repro.analysis.validation import ValidationConfig
 
@@ -34,13 +40,43 @@ def run_once(benchmark, func, *args, **kwargs):
                               rounds=1, iterations=1, warmup_rounds=0)
 
 
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=os.path.dirname(os.path.abspath(__file__)))
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def run_metadata() -> Dict[str, object]:
+    """Provenance block stamped into every benchmark summary.
+
+    Records when/where a BENCH_*.json came from, so committed numbers can be
+    compared across machines and revisions instead of being bare floats.
+    """
+    return {
+        "generated_utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "hostname": socket.gethostname(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "git_sha": _git_sha(),
+    }
+
+
 def write_bench_summary(name: str, payload: Dict[str, object]) -> str:
     """Write a machine-readable BENCH_<name>.json perf summary.
 
     Every perf-regression benchmark emits one of these so the trajectory
     (points/s, wall-clock, speedups) is diffable across PRs instead of
-    living only in transient pytest output.  Returns the written path.
+    living only in transient pytest output.  A ``meta`` provenance block
+    (timestamp, host, python/numpy versions, git sha) is stamped in unless
+    the payload already carries one.  Returns the written path.
     """
+    payload = dict(payload)
+    payload.setdefault("meta", run_metadata())
     out_dir = os.environ.get("BENCH_OUT_DIR", RESULTS_DIR)
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")

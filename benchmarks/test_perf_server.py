@@ -36,6 +36,13 @@ MISS_FLOOR_RPS = 5.0
 BODY = json.dumps({"network": "alexnet", "batch": 16, "unique": True})
 
 
+def _content(payload):
+    """Report content with the volatile ``meta["timing"]`` block stripped."""
+    body = json.loads(payload)
+    body.get("meta", {}).pop("timing", None)
+    return body
+
+
 def _drive(host, port, count):
     """``count`` sequential POSTs over one keep-alive connection."""
     conn = http.client.HTTPConnection(host, port, timeout=120)
@@ -49,8 +56,10 @@ def _drive(host, port, count):
             assert response.status == 200
             if first is None:
                 first = payload
-            else:
-                assert payload == first  # every answer is bit-identical
+            elif payload != first:
+                # memo hits are byte-identical (same Report object); real
+                # re-executions may differ only in meta["timing"].
+                assert _content(payload) == _content(first)
         return first
     finally:
         conn.close()

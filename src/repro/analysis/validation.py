@@ -42,6 +42,7 @@ from ..core.tiling import build_grid
 from ..core.workload import PassKind, lower_pass
 from ..gpu.spec import GpuSpec
 from ..networks.registry import paper_benchmark_suite
+from ..obs import metrics as obs_metrics
 from ..sim.engine import (ConvLayerSimulator, SimResult, SimTraffic,
                           SimulatorConfig)
 from .metrics import AccuracySummary
@@ -267,6 +268,7 @@ def simulate_layer(gpu: GpuSpec, layer: LayerConfig,
             with open(path, "r", encoding="utf-8") as handle:
                 stored = json.load(handle)
             grid = build_grid(workload, tile_hw=config.cta_tile_hw)
+            obs_metrics.count("sim_cache_hits")
             return SimResult(
                 layer=layer, gpu=gpu, grid=grid,
                 traffic=SimTraffic(**stored["traffic"]),
@@ -281,6 +283,7 @@ def simulate_layer(gpu: GpuSpec, layer: LayerConfig,
             # corrupt or stale-shaped entry: quarantine it (rename-aside)
             # so the poisoned bytes are never read again, then re-simulate.
             _quarantine_cache_entry(path)
+        obs_metrics.count("sim_cache_misses")
     result = ConvLayerSimulator(gpu, config).run(workload)
     if cache_dir:
         os.makedirs(cache_dir, exist_ok=True)

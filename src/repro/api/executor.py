@@ -17,6 +17,7 @@ Three responsibilities live here:
 from __future__ import annotations
 
 import inspect
+import time
 from collections import Counter
 from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence
@@ -28,6 +29,7 @@ from ..core.training import estimate_training_step
 from ..experiments.registry import ExperimentSpec, get_experiment_spec
 from ..gpu.devices import get_device
 from ..networks.registry import get_network
+from ..obs import spans as obs_spans
 from ..resilience import SessionClosedError
 from .progress import emit_progress
 from .report import Report
@@ -43,20 +45,38 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 # ----------------------------------------------------------------------
 
 def execute(session: "Session", request: Request) -> Report:
-    """Run one request under ``session`` and return its report."""
-    if isinstance(request, EstimateRequest):
-        report = _run_estimate(session, request)
-    elif isinstance(request, SweepRequest):
-        report = _run_sweep(session, request)
-    elif isinstance(request, ValidateRequest):
-        report = _run_validate(session, request)
-    elif isinstance(request, ExperimentRequest):
-        report = _run_experiment(session, request)
-    elif isinstance(request, DseRequest):
-        report = _run_dse(session, request)
-    else:
-        raise TypeError(f"unsupported request type {type(request).__name__}")
-    session.stats.requests_run += 1
+    """Run one request under ``session`` and return its report.
+
+    Every request runs under a root span (a private shallow tracer is
+    installed when none is active, so this is always on and cheap); the
+    resulting per-phase wall-clock breakdown is attached as
+    ``report.meta["timing"]`` and observed in the session's latency
+    histogram.  Compare reports with :meth:`Report.content_dict` /
+    ``content_json`` to ignore this volatile block.
+    """
+    kind = type(request).__name__
+    with obs_spans.request_trace(f"request:{kind}", request=kind) as rt:
+        if isinstance(request, EstimateRequest):
+            report = _run_estimate(session, request)
+        elif isinstance(request, SweepRequest):
+            with obs_spans.trace("model.sweep",
+                                 combinations=(len(request.gpus)
+                                               * len(request.networks)
+                                               * len(request.batches))):
+                report = _run_sweep(session, request)
+        elif isinstance(request, ValidateRequest):
+            report = _run_validate(session, request)
+        elif isinstance(request, ExperimentRequest):
+            report = _run_experiment(session, request)
+        elif isinstance(request, DseRequest):
+            report = _run_dse(session, request)
+        else:
+            raise TypeError(
+                f"unsupported request type {type(request).__name__}")
+        session.stats.requests_run += 1
+    timing = rt.timing()
+    report.meta["timing"] = timing
+    session.stats.observe_request(kind, timing["total_ms"] / 1e3)
     return report
 
 
@@ -75,20 +95,24 @@ def execute_many(session: "Session", requests: Sequence[Request]) -> List[Report
     misuse, not a request failure.)
     """
     requests = list(requests)
-    units = plan_simulation_units(session, requests)
+    with obs_spans.trace("plan", requests=len(requests)):
+        units = plan_simulation_units(session, requests)
     if units:
         # strict=False: every unit that can complete is memoized; a failing
         # unit surfaces when (only) the request that needs it executes.
         session.simulate_many(units, strict=False)
     reports: List[Report] = []
     for request in requests:
+        started = time.perf_counter()
         try:
             reports.append(execute(session, request))
         except SessionClosedError:
             raise
         except Exception as exc:
-            reports.append(Report.from_error(
-                exc, request=request, meta=_base_meta(session, request)))
+            report = Report.from_error(
+                exc, request=request, meta=_base_meta(session, request))
+            report.meta["timing"] = obs_spans.elapsed_timing(started)
+            reports.append(report)
     return reports
 
 
@@ -138,30 +162,33 @@ def _run_estimate(session: "Session", request: EstimateRequest) -> Report:
               else network.gemm_layers())
     model = DeltaModel(gpu)
     pass_kinds = request.pass_kinds
-    if request.passes == "training":
-        step = estimate_training_step(model, layers, batch=request.batch,
-                                      passes=pass_kinds, name=network.name)
-        rows = step.rows()
-        bottlenecks = Counter(row["bottleneck"] for row in rows)
-        summary = step.summary()
-        summary["dominant bottleneck"] = (bottlenecks.most_common(1)[0][0]
-                                          if bottlenecks else "n/a")
-        title = (f"{network.name} training step on {gpu.name} "
-                 f"(batch {request.batch})")
-    else:
-        rows = _estimate_rows(model, layers, pass_kinds)
-        total_ms = sum(row["time_ms"] for row in rows)
-        bottlenecks = Counter(row["bottleneck"] for row in rows)
-        summary = {
-            "total conv time (ms)": total_ms,
-            "layers": len(rows),
-            "dominant bottleneck": (bottlenecks.most_common(1)[0][0]
-                                    if bottlenecks else "n/a"),
-        }
-        title = f"{network.name} on {gpu.name} (batch {request.batch})"
-        if request.passes != "forward":
-            title = (f"{network.name} {request.passes} pass on {gpu.name} "
+    with obs_spans.trace("model.estimate", layers=len(layers),
+                         passes=request.passes):
+        if request.passes == "training":
+            step = estimate_training_step(model, layers, batch=request.batch,
+                                          passes=pass_kinds,
+                                          name=network.name)
+            rows = step.rows()
+            bottlenecks = Counter(row["bottleneck"] for row in rows)
+            summary = step.summary()
+            summary["dominant bottleneck"] = (bottlenecks.most_common(1)[0][0]
+                                              if bottlenecks else "n/a")
+            title = (f"{network.name} training step on {gpu.name} "
                      f"(batch {request.batch})")
+        else:
+            rows = _estimate_rows(model, layers, pass_kinds)
+            total_ms = sum(row["time_ms"] for row in rows)
+            bottlenecks = Counter(row["bottleneck"] for row in rows)
+            summary = {
+                "total conv time (ms)": total_ms,
+                "layers": len(rows),
+                "dominant bottleneck": (bottlenecks.most_common(1)[0][0]
+                                        if bottlenecks else "n/a"),
+            }
+            title = f"{network.name} on {gpu.name} (batch {request.batch})"
+            if request.passes != "forward":
+                title = (f"{network.name} {request.passes} pass on "
+                         f"{gpu.name} (batch {request.batch})")
     meta = _base_meta(session, request)
     meta.update({"network": network.name, "gpu": gpu.name,
                  "batch": request.batch, "unique": request.unique,

@@ -34,6 +34,16 @@ def _freeze_series(series: Optional[Mapping[str, Sequence[Sequence[object]]]]) -
             for name, pairs in (series or {}).items()}
 
 
+def _strip_timing(payload: Dict[str, object]) -> None:
+    """Drop ``meta["timing"]`` from a serialized report tree, in place."""
+    meta = payload.get("meta")
+    if isinstance(meta, dict):
+        meta.pop("timing", None)
+    for child in payload.get("children") or ():
+        if isinstance(child, dict):
+            _strip_timing(child)
+
+
 @dataclass(frozen=True)
 class Report:
     """Structured result of one request."""
@@ -93,6 +103,21 @@ class Report:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    def content_dict(self) -> Dict[str, object]:
+        """:meth:`to_dict` minus volatile wall-clock metadata.
+
+        ``meta["timing"]`` (attached to every executed report by the
+        executor) differs between otherwise identical runs; this is the
+        stable content identity that bit-identity tests and run-to-run
+        comparisons should use.
+        """
+        payload = self.to_dict()
+        _strip_timing(payload)
+        return payload
+
+    def content_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.content_dict(), indent=indent)
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "Report":

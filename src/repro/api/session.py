@@ -37,7 +37,7 @@ from concurrent.futures import (BrokenExecutor, CancelledError,
 from concurrent.futures import TimeoutError as FuturesTimeout
 from contextlib import contextmanager
 from contextvars import ContextVar
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.validation import (
@@ -52,6 +52,8 @@ from ..core.layer import LayerConfig
 from ..core.model import DeltaModel
 from ..core.workload import PassKind
 from ..gpu.spec import GpuSpec
+from ..obs import metrics as obs_metrics
+from ..obs import spans as obs_spans
 from ..resilience import (
     SessionClosedError,
     SimulationError,
@@ -118,30 +120,58 @@ def _describe_unit(unit) -> str:
 _run_unit = _simulate_task
 
 
-@dataclass
-class SessionStats:
-    """Counters describing what a session actually executed."""
+class SessionStats(obs_metrics.StatsView):
+    """Counters describing what a session actually executed.
 
-    #: simulation tasks dispatched (after in-memory dedup).
-    sim_tasks: int = 0
-    #: simulation units answered from the session's in-memory store.
-    sim_memo_hits: int = 0
-    #: process pools created; a session reuses one pool across batches.
-    pool_launches: int = 0
-    #: pools killed and relaunched after a worker crash or straggler timeout.
-    pool_recoveries: int = 0
-    #: requests executed through Session.run / Session.run_many.
-    requests_run: int = 0
-    #: design-space points evaluated (after memo/store dedupe).
-    dse_points: int = 0
-    #: design-space points answered from the session's in-memory memo.
-    dse_memo_hits: int = 0
-    #: work-unit executions retried (after a task error or worker crash).
-    task_retries: int = 0
-    #: work units that ended in a structured failure after all retries.
-    task_failures: int = 0
-    #: work units cancelled for exceeding the wall-clock timeout.
-    task_timeouts: int = 0
+    A registry-backed view (:class:`repro.obs.metrics.StatsView`): each
+    field reads and writes a ``repro_session_*`` counter in the
+    per-session ``stats.registry``, which the server merges into its
+    ``GET /metrics`` exposition.  The attribute API is unchanged.
+    """
+
+    _AREA = "session"
+    _FIELDS = {
+        "sim_tasks":
+            "simulation tasks dispatched (after in-memory dedup)",
+        "sim_memo_hits":
+            "simulation units answered from the session's in-memory store",
+        "sim_cache_hits":
+            "simulations answered from the on-disk sim cache",
+        "sim_cache_misses":
+            "on-disk sim cache lookups that had to simulate",
+        "pool_launches":
+            "process pools created; a session reuses one pool across batches",
+        "pool_recoveries":
+            "pools killed and relaunched after a worker crash or "
+            "straggler timeout",
+        "requests_run":
+            "requests executed through Session.run / Session.run_many",
+        "dse_points":
+            "design-space points evaluated (after memo/store dedupe)",
+        "dse_memo_hits":
+            "design-space points answered from the session's in-memory memo",
+        "task_retries":
+            "work-unit executions retried (after a task error or "
+            "worker crash)",
+        "task_failures":
+            "work units that ended in a structured failure after all retries",
+        "task_timeouts":
+            "work units cancelled for exceeding the wall-clock timeout",
+    }
+
+    def observe_request(self, kind: str, seconds: float) -> None:
+        """Record one request's end-to-end latency, labeled by kind."""
+        self.registry.histogram(
+            "repro_session_request_seconds",
+            "end-to-end request latency by request kind",
+            labels={"kind": kind}).observe(seconds)
+
+    def fold_counters(self, counters: Dict[str, int]) -> None:
+        """Add context-local counter totals (serial path or a worker
+        chunk's piggybacked telemetry) into the matching fields."""
+        for name, value in counters.items():
+            if name in self._counters and value:
+                self._counters[name].value += value
 
 
 class Session:
@@ -300,22 +330,28 @@ class Session:
     def _run_tasks_serial(self, func, tasks: List, budget: int) -> List:
         outcomes: List[Union[object, TaskFailure]] = []
         total = len(tasks)
-        for task in tasks:
-            attempts = 0
-            while True:
-                attempts += 1
-                try:
-                    outcomes.append(func(task))
-                    break
-                except Exception as exc:
-                    if attempts > budget:
-                        outcomes.append(TaskFailure.from_exception(
-                            exc, attempts=attempts))
-                        self.stats.task_failures += 1
-                        break
-                    self.stats.task_retries += 1
-                    time.sleep(backoff_delay(attempts, self.retry_backoff))
-            emit_progress(stage="tasks", done=len(outcomes), total=total)
+        task_name = f"task:{getattr(func, '__name__', 'task')}"
+        counters: Dict[str, int] = {}
+        with obs_metrics.count_into(counters):
+            for task in tasks:
+                attempts = 0
+                with obs_spans.trace_deep(task_name):
+                    while True:
+                        attempts += 1
+                        try:
+                            outcomes.append(func(task))
+                            break
+                        except Exception as exc:
+                            if attempts > budget:
+                                outcomes.append(TaskFailure.from_exception(
+                                    exc, attempts=attempts))
+                                self.stats.task_failures += 1
+                                break
+                            self.stats.task_retries += 1
+                            time.sleep(backoff_delay(attempts,
+                                                     self.retry_backoff))
+                emit_progress(stage="tasks", done=len(outcomes), total=total)
+        self.stats.fold_counters(counters)
         return outcomes
 
     def _run_tasks_pool(self, func, tasks: List, workers: int,
@@ -326,82 +362,114 @@ class Session:
         pending = list(range(n))
         resolved = 0
         round_index = 0
+        # workers always capture counter telemetry (sim-cache hits feed the
+        # session stats); spans ride along only when a deep tracer is on.
+        capture = "spans" if obs_spans.deep_tracing() else True
         while pending:
             if round_index > 0:
                 time.sleep(backoff_delay(round_index, self.retry_backoff))
-            pool = self._ensure_pool(workers)
-            # one task per future when a per-unit timeout must be enforced;
-            # otherwise chunked submission to amortize pickling overhead.
-            if timeout is not None:
-                chunk_size = 1
-            else:
-                chunk_size = max(1, len(pending) // (workers * 4))
-            chunks = [pending[start:start + chunk_size]
-                      for start in range(0, len(pending), chunk_size)]
-            futures = []
-            pool_damaged = False
-            try:
-                for chunk in chunks:
-                    payload = (func, [tasks[i] for i in chunk])
-                    future = pool.submit(run_chunk, payload)
-                    futures.append((chunk, future))
-                    for i in chunk:
-                        attempts[i] += 1
-            except (BrokenExecutor, RuntimeError):
-                pool_damaged = True  # unsubmitted chunks simply stay pending
-            submitted = {i for chunk, _ in futures for i in chunk}
-            lost: List[int] = []     # unfinished units (worker crash/cancel)
-            retry: List[int] = []    # units that raised and have budget left
-            for chunk, future in futures:
-                status, chunk_outcomes = self._collect_future(
-                    future, timeout, [attempts[i] for i in chunk])
-                if status == "ok":
-                    for i, outcome in zip(chunk, chunk_outcomes):
-                        if self._apply_outcome(i, outcome, outcomes, attempts,
-                                               budget, retry):
+            with obs_spans.trace("pool.round", round=round_index,
+                                 pending=len(pending), workers=workers):
+                pool = self._ensure_pool(workers)
+                # one task per future when a per-unit timeout must be
+                # enforced; otherwise chunked submission to amortize
+                # pickling overhead.
+                if timeout is not None:
+                    chunk_size = 1
+                else:
+                    chunk_size = max(1, len(pending) // (workers * 4))
+                chunks = [pending[start:start + chunk_size]
+                          for start in range(0, len(pending), chunk_size)]
+                futures = []
+                pool_damaged = False
+                try:
+                    for chunk in chunks:
+                        payload = (func, [tasks[i] for i in chunk], capture)
+                        future = pool.submit(run_chunk, payload)
+                        futures.append((chunk, future))
+                        for i in chunk:
+                            attempts[i] += 1
+                except (BrokenExecutor, RuntimeError):
+                    pool_damaged = True  # unsubmitted chunks stay pending
+                submitted = {i for chunk, _ in futures for i in chunk}
+                lost: List[int] = []  # unfinished (worker crash/cancel)
+                retry: List[int] = []  # raised, budget left
+                for chunk, future in futures:
+                    status, chunk_outcomes = self._collect_future(
+                        future, timeout, [attempts[i] for i in chunk])
+                    if status == "ok":
+                        chunk_outcomes = self._absorb_telemetry(
+                            chunk_outcomes)
+                        for i, outcome in zip(chunk, chunk_outcomes):
+                            if self._apply_outcome(i, outcome, outcomes,
+                                                   attempts, budget, retry):
+                                resolved += 1
+                        emit_progress(stage="tasks", done=resolved, total=n)
+                    elif status == "timeout":
+                        for i, failure in zip(chunk, chunk_outcomes):
+                            outcomes[i] = failure
+                            self.stats.task_timeouts += 1
+                            self.stats.task_failures += 1
                             resolved += 1
-                    emit_progress(stage="tasks", done=resolved, total=n)
-                elif status == "timeout":
-                    for i, failure in zip(chunk, chunk_outcomes):
-                        outcomes[i] = failure
-                        self.stats.task_timeouts += 1
+                        emit_progress(stage="tasks", done=resolved, total=n)
+                        pool_damaged = True  # straggler occupies a worker
+                    elif status == "cancelled":
+                        # never started: the attempt did not happen.
+                        for i in chunk:
+                            attempts[i] -= 1
+                        lost.extend(chunk)
+                    else:  # "lost": the pool broke under this future
+                        pool_damaged = True
+                        lost.extend(chunk)
+                lost.extend(i for i in pending if i not in submitted)
+                if pool_damaged:
+                    self._kill_pool()
+                    self.stats.pool_recoveries += 1
+                next_pending = []
+                for i in lost:
+                    if attempts[i] > budget:
+                        outcomes[i] = TaskFailure(
+                            kind="crash", error_type="BrokenProcessPool",
+                            message=("worker process died while executing "
+                                     "this work unit; retry budget "
+                                     f"({budget}) exhausted"),
+                            attempts=attempts[i])
                         self.stats.task_failures += 1
                         resolved += 1
-                    emit_progress(stage="tasks", done=resolved, total=n)
-                    pool_damaged = True  # a straggler still occupies a worker
-                elif status == "cancelled":
-                    # never started: the attempt did not happen.
-                    for i in chunk:
-                        attempts[i] -= 1
-                    lost.extend(chunk)
-                else:  # "lost": the pool broke under this future
-                    pool_damaged = True
-                    lost.extend(chunk)
-            lost.extend(i for i in pending if i not in submitted)
-            if pool_damaged:
-                self._kill_pool()
-                self.stats.pool_recoveries += 1
-            next_pending = []
-            for i in lost:
-                if attempts[i] > budget:
-                    outcomes[i] = TaskFailure(
-                        kind="crash", error_type="BrokenProcessPool",
-                        message=("worker process died while executing this "
-                                 "work unit; retry budget "
-                                 f"({budget}) exhausted"),
-                        attempts=attempts[i])
-                    self.stats.task_failures += 1
-                    resolved += 1
-                    emit_progress(stage="tasks", done=resolved, total=n)
-                else:
-                    if attempts[i] > 0:
-                        self.stats.task_retries += 1
-                    next_pending.append(i)
-            next_pending.extend(retry)
-            next_pending.sort()
-            pending = next_pending
-            round_index += 1
+                        emit_progress(stage="tasks", done=resolved, total=n)
+                    else:
+                        if attempts[i] > 0:
+                            self.stats.task_retries += 1
+                        next_pending.append(i)
+                next_pending.extend(retry)
+                next_pending.sort()
+                pending = next_pending
+                round_index += 1
         return outcomes
+
+    def _absorb_telemetry(self, chunk_outcomes: List) -> List:
+        """Strip and fold a chunk's trailing telemetry entry, if present.
+
+        Counter totals land in the session stats; serialized worker spans
+        are adopted into the active deep tracer, re-parented under the
+        current (pool-round) span so the merged trace stays one tree.
+        """
+        if (not chunk_outcomes
+                or not isinstance(chunk_outcomes[-1], tuple)
+                or chunk_outcomes[-1][0] != "telemetry"):
+            return chunk_outcomes
+        data = chunk_outcomes[-1][1]
+        counters = data.get("counters")
+        if counters:
+            with self._lock:
+                self.stats.fold_counters(counters)
+        payloads = data.get("spans")
+        if payloads:
+            tracer = obs_spans.active_tracer()
+            if tracer is not None and tracer.deep:
+                tracer.adopt(payloads,
+                             parent=obs_spans.current_span_id())
+        return chunk_outcomes[:-1]
 
     def _collect_future(self, future, timeout: Optional[float],
                         chunk_attempts: List[int]):
@@ -518,8 +586,10 @@ class Session:
                 cache_dir = self.sim_cache_dir
         tasks = [(gpu, layer, config, cache_dir, pass_kind)
                  for gpu, layer, config, pass_kind in fresh]
-        results = self._run_tasks(_run_unit, tasks, jobs=jobs,
-                                  timeout=timeout, retries=retries)
+        with obs_spans.trace("simulate", units=len(tasks),
+                             memo_hits=len(units) - len(tasks)):
+            results = self._run_tasks(_run_unit, tasks, jobs=jobs,
+                                      timeout=timeout, retries=retries)
         failures: Dict[Tuple, TaskFailure] = {}
         with self._lock:
             for key, result in zip(fresh_keys, results):
@@ -556,8 +626,9 @@ class Session:
         isolate failures per task.
         """
         tasks = list(tasks)
-        outcomes = self._run_tasks(func, tasks, jobs=jobs, timeout=timeout,
-                                   retries=retries)
+        with obs_spans.trace("map_tasks", tasks=len(tasks)):
+            outcomes = self._run_tasks(func, tasks, jobs=jobs,
+                                       timeout=timeout, retries=retries)
         if not return_failures:
             failures = [outcome for outcome in outcomes
                         if isinstance(outcome, TaskFailure)]
@@ -618,6 +689,11 @@ class Session:
             memoized = self._validation_memo.get(key)
         if memoized is not None:
             return memoized
+        with obs_spans.trace("validation", gpu=gpu.name):
+            return self._build_validation_report(gpu, config, key)
+
+    def _build_validation_report(self, gpu: GpuSpec, config: ValidationConfig,
+                                 key) -> ValidationReport:
         population = select_layers(config)
         sim_config = self.validation_sim_config(config)
         sims = self.simulate_many(

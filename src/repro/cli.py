@@ -51,6 +51,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Optional, Sequence
 
 from .api import (
@@ -67,7 +68,10 @@ from .dse.space import Axis, default_space, grid, parse_axis
 from .experiments.registry import all_experiment_specs, available_experiments
 from .gpu.devices import all_devices, device_aliases
 from .networks.registry import available_networks, paper_subset_networks
+from .obs import spans as obs_spans
+from .obs.log import get_logger
 
+_log = get_logger("cli")
 
 #: process exit codes (argparse itself exits 2 on usage errors).
 EXIT_OK = 0
@@ -98,23 +102,43 @@ def _emit(report: Report, args: argparse.Namespace) -> int:
     return EXIT_OK if report.kind != "error" else EXIT_REQUEST_FAILED
 
 
+def _write_trace(trace: "obs_spans.Trace", path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace.to_chrome(), handle, indent=2)
+    _log.info("wrote chrome trace (%d spans) to %s", len(trace), path)
+
+
 def _run_request(args: argparse.Namespace, build_request) -> int:
     """Build and run one request, isolating failures unless ``--strict``.
 
     By default a failing request — bad network name, failed simulation,
     anything the executor raises — prints a ``kind="error"`` report in the
     selected format and exits with :data:`EXIT_REQUEST_FAILED`; ``--strict``
-    re-raises the underlying exception instead.
+    re-raises the underlying exception instead.  ``--trace OUT.json``
+    records a deep span trace of the execution (written even when the
+    request fails, so slow failures stay diagnosable).
     """
     request = None
+    trace_path = getattr(args, "trace", None)
+    started = time.perf_counter()
+    collected: Optional["obs_spans.Trace"] = None
     try:
         request = build_request()
         with _session_from_args(args) as session:
-            report = session.run(request)
+            if trace_path:
+                with obs_spans.collect_trace(deep=True) as collected:
+                    report = session.run(request)
+            else:
+                report = session.run(request)
     except Exception as exc:
         if getattr(args, "strict", False):
             raise
-        return _emit(Report.from_error(exc, request=request), args)
+        report = Report.from_error(exc, request=request)
+        # failures that escape the executor carry no phase breakdown, but
+        # the end-to-end wall clock is still known here.
+        report.meta["timing"] = obs_spans.elapsed_timing(started)
+    if trace_path and collected is not None:
+        _write_trace(collected, trace_path)
     return _emit(report, args)
 
 
@@ -228,6 +252,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return run_app(app, host=args.host, port=args.port)
     finally:
         session.close()  # idempotent; normally closed by lifespan shutdown
+        stats = session.stats
+        _log.info(
+            "shutdown summary: %d HTTP requests, %d executed / %d memo hits "
+            "/ %d coalesced (request cache), %d sim cache hits / %d misses, "
+            "%d dse memo hits, session counters %s",
+            app.requests_served, app.cache.stats.executed,
+            app.cache.stats.memo_hits, app.cache.stats.coalesced,
+            stats.sim_cache_hits, stats.sim_cache_misses,
+            stats.dse_memo_hits, stats.as_dict())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -264,6 +297,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--retries", type=int, default=None,
                          help="retry budget per work unit after a worker "
                               "crash or task error (default: 2)")
+
+    def add_trace_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--trace", default=None, metavar="OUT.json",
+                         help="write a chrome://tracing / Perfetto trace of "
+                              "the execution: request phases, pool work "
+                              "units (re-parented from worker processes) "
+                              "and simulator phases")
 
     def add_strict_flag(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--strict", action="store_true",
@@ -308,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="NET",
                             help="restrict the population to these networks")
     add_simulation_flags(val_parser)
+    add_trace_flag(val_parser)
     add_strict_flag(val_parser)
     add_format_flag(val_parser)
     val_parser.set_defaults(func=_cmd_validate)
@@ -323,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="restrict to the layers shown in the paper's "
                                  "figures")
     add_pass_flag(est_parser)
+    add_trace_flag(est_parser)
     add_strict_flag(est_parser)
     add_format_flag(est_parser)
     est_parser.set_defaults(func=_cmd_estimate)
@@ -347,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default; --no-paper-subset for the "
                                    "full networks)")
     add_pass_flag(sweep_parser)
+    add_trace_flag(sweep_parser)
     add_strict_flag(sweep_parser)
     add_format_flag(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
@@ -392,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "points (0 = analytic model only)")
     add_pass_flag(dse_parser)
     add_simulation_flags(dse_parser)
+    add_trace_flag(dse_parser)
     add_strict_flag(dse_parser)
     add_format_flag(dse_parser)
     dse_parser.set_defaults(func=_cmd_dse)

@@ -34,6 +34,8 @@ from ..core.workload import expand_passes
 from ..gpu.devices import TITAN_XP
 from ..gpu.spec import FP32_BYTES, GpuSpec
 from ..networks.registry import get_network
+from ..obs import metrics as obs_metrics
+from ..obs import spans as obs_spans
 from ..resilience import TaskFailure
 from .drivers import ExhaustiveDriver, SuccessiveHalvingDriver
 from .space import DesignPoint, SearchSpace
@@ -200,19 +202,26 @@ class PointFailure:
         }
 
 
-@dataclass
-class ExplorationStats:
-    """What one :func:`explore` call actually did."""
+class ExplorationStats(obs_metrics.StatsView):
+    """What one :func:`explore` call actually did.
 
-    planned: int = 0
-    evaluated: int = 0
-    memo_hits: int = 0
-    store_hits: int = 0
-    proxy_evaluations: int = 0
-    #: evaluations that permanently failed in this run.
-    failed: int = 0
-    #: failure records replayed from the memo/store (skipped on resume).
-    skipped_failures: int = 0
+    A registry-backed view (``repro_dse_*`` counters in ``registry``);
+    the attribute API is unchanged.
+    """
+
+    _AREA = "dse"
+    _FIELDS = {
+        "planned": "design points the driver planned",
+        "evaluated": "design points evaluated in this run",
+        "memo_hits": "points answered from the session's in-memory memo",
+        "store_hits": "points answered from the resumable result store",
+        "proxy_evaluations":
+            "cheap proxy evaluations used by successive halving",
+        "failed": "evaluations that permanently failed in this run",
+        "skipped_failures":
+            "failure records replayed from the memo/store "
+            "(skipped on resume)",
+    }
 
 
 @dataclass(frozen=True)
@@ -332,7 +341,8 @@ def explore(space: SearchSpace, *, driver=None, base_gpu: GpuSpec = TITAN_XP,
                 else resolve_objectives(objectives))
     stats = ExplorationStats()
 
-    points = driver.plan(space)
+    with obs_spans.trace("dse.plan", driver=type(driver).__name__):
+        points = driver.plan(space)
     stats.planned = len(points)
     if isinstance(driver, SuccessiveHalvingDriver):
         primary = resolved[0]
@@ -343,18 +353,20 @@ def explore(space: SearchSpace, *, driver=None, base_gpu: GpuSpec = TITAN_XP,
             later rung cost nothing) and fanned out over the session pool."""
             missing = [point for point in candidates
                        if point.point_hash() not in proxy_memo]
-            if missing:
-                tasks = [(base_gpu, point, unique) for point in missing]
-                fresh = (session.map_tasks(_proxy_task, tasks, jobs=jobs)
-                         if session is not None
-                         else [_proxy_task(task) for task in tasks])
-                stats.proxy_evaluations += len(missing)
-                for point, metrics in zip(missing, fresh):
-                    proxy_memo[point.point_hash()] = metrics
-            # lower is better for the refine() sort.
-            return [-primary.oriented(float(
-                proxy_memo[point.point_hash()][primary.metric]))
-                for point in candidates]
+            with obs_spans.trace("dse.rung", candidates=len(candidates),
+                                 fresh=len(missing)):
+                if missing:
+                    tasks = [(base_gpu, point, unique) for point in missing]
+                    fresh = (session.map_tasks(_proxy_task, tasks, jobs=jobs)
+                             if session is not None
+                             else [_proxy_task(task) for task in tasks])
+                    stats.proxy_evaluations += len(missing)
+                    for point, metrics in zip(missing, fresh):
+                        proxy_memo[point.point_hash()] = metrics
+                # lower is better for the refine() sort.
+                return [-primary.oriented(float(
+                    proxy_memo[point.point_hash()][primary.metric]))
+                    for point in candidates]
 
         points = driver.refine(points, score_points)
 
@@ -398,7 +410,10 @@ def explore(space: SearchSpace, *, driver=None, base_gpu: GpuSpec = TITAN_XP,
 
     if pending:
         tasks = [(base_gpu, point, unique) for _, point in pending]
-        fresh = _map_evaluations(session, jobs, tasks, timeout, retries)
+        with obs_spans.trace("dse.evaluate", points=len(pending),
+                             memo_hits=stats.memo_hits,
+                             store_hits=stats.store_hits):
+            fresh = _map_evaluations(session, jobs, tasks, timeout, retries)
         for (key, point), outcome in zip(pending, fresh):
             if isinstance(outcome, TaskFailure):
                 record: Dict[str, object] = {FAILURE_FIELD: outcome.as_record()}
@@ -445,8 +460,10 @@ def explore(space: SearchSpace, *, driver=None, base_gpu: GpuSpec = TITAN_XP,
         baselines[signature] = PointResult(point=point, key=key,
                                            metrics=record,
                                            cached=key in cached_keys)
-    frontier = tuple(pareto_frontier([result.metrics for result in results],
-                                     resolved)) if results else ()
+    with obs_spans.trace("dse.frontier", results=len(results)):
+        frontier = tuple(pareto_frontier(
+            [result.metrics for result in results],
+            resolved)) if results else ()
     return Exploration(base_gpu=base_gpu, objectives=tuple(resolved),
                        results=results, baselines=baselines,
                        frontier=frontier, stats=stats,

@@ -1,0 +1,66 @@
+"""Unified observability: spans, metrics, chrome-trace export, logging.
+
+Dependency-free (stdlib only) so every layer — core model, sim engine,
+session/executor, DSE runner, server, CLI — can import it without cycles.
+See DESIGN.md, "Observability".
+
+* :mod:`repro.obs.spans` — context-local ``trace()`` spans with
+  cross-process propagation and a Chrome/Perfetto exporter.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms, Prometheus text
+  exposition, and the registry-backed stats views.
+* :mod:`repro.obs.log` — stderr logging with the level from ``REPRO_LOG``.
+"""
+
+from .log import get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsView,
+    count,
+    count_into,
+    render_prometheus,
+)
+from .spans import (
+    RequestTrace,
+    Span,
+    Trace,
+    Tracer,
+    active_tracer,
+    collect_trace,
+    current_span_id,
+    deep_tracing,
+    elapsed_timing,
+    install_tracer,
+    request_trace,
+    trace,
+    trace_deep,
+)
+
+__all__ = [
+    "get_logger",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StatsView",
+    "count",
+    "count_into",
+    "render_prometheus",
+    "RequestTrace",
+    "Span",
+    "Trace",
+    "Tracer",
+    "active_tracer",
+    "collect_trace",
+    "current_span_id",
+    "deep_tracing",
+    "elapsed_timing",
+    "install_tracer",
+    "request_trace",
+    "trace",
+    "trace_deep",
+]

@@ -1,0 +1,54 @@
+"""Logging for the CLI and server: stderr, level from ``REPRO_LOG``.
+
+Diagnostics go through a shared ``repro`` logger hierarchy instead of bare
+``print`` so they can be filtered and redirected without touching stdout —
+the CLI's report output and the server's parseable
+``listening on http://host:port`` ready line stay on stdout untouched.
+
+Set ``REPRO_LOG=debug|info|warning|error`` (default ``warning``) to choose
+the stderr verbosity; ``repro serve`` ends with an ``info``-level shutdown
+summary, so ``REPRO_LOG=info repro serve ...`` shows it.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+_CONFIGURED = False
+
+
+def _resolve_level(value: Optional[str]) -> int:
+    if not value:
+        return logging.WARNING
+    text = value.strip().upper()
+    if text.isdigit():
+        return int(text)
+    return getattr(logging, text, logging.WARNING)
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """The ``repro`` logger (or a child), configured once per process.
+
+    The root ``repro`` logger gets one stderr handler and the level named
+    by the ``REPRO_LOG`` environment variable; propagation to the Python
+    root logger is disabled so embedding applications keep control of
+    their own handlers.
+    """
+    global _CONFIGURED
+    root = logging.getLogger("repro")
+    if not _CONFIGURED:
+        root.setLevel(_resolve_level(os.environ.get("REPRO_LOG")))
+        if not root.handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s: %(message)s"))
+            root.addHandler(handler)
+        root.propagate = False
+        _CONFIGURED = True
+    if name == "repro":
+        return root
+    return logging.getLogger(name if name.startswith("repro.")
+                             else f"repro.{name}")

@@ -1,0 +1,316 @@
+"""Typed metrics: counters, gauges, histograms, and Prometheus exposition.
+
+A :class:`MetricsRegistry` holds named metric instances (optionally with a
+fixed label set per instance) and renders them in the Prometheus text
+format; :func:`render_prometheus` merges several registries into one
+exposition, which is what the server's ``GET /metrics`` route serves.
+
+Metric names follow ``repro_<area>_<name>`` (see DESIGN.md): the four
+public stats classes — ``SessionStats``, ``CacheStats``, ``CoalesceStats``,
+``ExplorationStats`` — are attribute-compatible :class:`StatsView`
+subclasses whose counters live in a per-instance registry, so the existing
+``stats.field += 1`` call sites and per-session test assertions keep
+working while the same numbers become scrapeable.
+
+:func:`count` is the cross-process half: hot paths (the sim disk cache in
+particular) bump a *context-local* counter sink that costs one contextvar
+lookup when no sink is installed; :func:`repro.resilience.run_chunk`
+installs a sink around each chunk and ships the totals back to the
+coordinator, which folds them into ``SessionStats``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: default latency buckets, in seconds (Prometheus convention).
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0)
+
+Labels = Tuple[Tuple[str, str], ...]
+Sample = Tuple[str, Labels, float]
+
+
+def _freeze_labels(labels: Optional[Dict[str, str]]) -> Labels:
+    return tuple(sorted((str(k), str(v))
+                        for k, v in (labels or {}).items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Labels = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+    def samples(self) -> List[Sample]:
+        return [(self.name, self.labels, self.value)]
+
+
+class Gauge:
+    """A value that can go up and down, or track a callback."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labels", "value", "fn")
+
+    def __init__(self, name: str, help: str = "", labels: Labels = (),
+                 fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def samples(self) -> List[Sample]:
+        value = self.fn() if self.fn is not None else self.value
+        return [(self.name, self.labels, value)]
+
+
+class Histogram:
+    """Cumulative-bucket histogram of observed values (e.g. seconds)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "labels", "buckets", "counts",
+                 "sum", "count")
+
+    def __init__(self, name: str, help: str = "", labels: Labels = (),
+                 buckets: Optional[Tuple[float, ...]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets if buckets is not None
+                                    else DEFAULT_BUCKETS))
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+
+    def samples(self) -> List[Sample]:
+        out: List[Sample] = []
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            labels = self.labels + (("le", _format_value(bound)),)
+            out.append((f"{self.name}_bucket", labels, bucket_count))
+        out.append((f"{self.name}_bucket",
+                    self.labels + (("le", "+Inf"),), self.count))
+        out.append((f"{self.name}_sum", self.labels, self.sum))
+        out.append((f"{self.name}_count", self.labels, self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create store of metric instances keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Labels], object] = {}
+
+    def _get(self, cls, name: str, help: str,
+             labels: Optional[Dict[str, str]], **kwargs):
+        key = (name, _freeze_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, help=help, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, str]] = None,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._get(Gauge, name, help, labels)
+        if fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Optional[Dict[str, str]] = None,
+                  buckets: Optional[Tuple[float, ...]] = None) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    def collect(self) -> List[object]:
+        return list(self._metrics.values())
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and value == int(value) \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def render_prometheus(registries: Iterable[MetricsRegistry]) -> str:
+    """Merge registries into one Prometheus text-format exposition.
+
+    ``# HELP`` / ``# TYPE`` headers are emitted once per metric name even
+    when instances of the same name (label children, or the same stats
+    class on several objects) live in different registries; conflicting
+    kinds under one name raise :class:`ValueError`.
+    """
+    by_name: Dict[str, List[object]] = {}
+    order: List[str] = []
+    for registry in registries:
+        for metric in registry.collect():
+            group = by_name.get(metric.name)
+            if group is None:
+                by_name[metric.name] = [metric]
+                order.append(metric.name)
+            else:
+                if group[0].kind != metric.kind:
+                    raise ValueError(
+                        f"metric {metric.name!r} registered as both "
+                        f"{group[0].kind} and {metric.kind}")
+                group.append(metric)
+    lines: List[str] = []
+    for name in order:
+        group = by_name[name]
+        help_text = next((m.help for m in group if m.help), "")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {group[0].kind}")
+        for metric in group:
+            for sample_name, labels, value in metric.samples():
+                if labels:
+                    rendered = ",".join(
+                        f'{key}="{_escape_label(str(val))}"'
+                        for key, val in labels)
+                    lines.append(f"{sample_name}{{{rendered}}} "
+                                 f"{_format_value(value)}")
+                else:
+                    lines.append(f"{sample_name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Context-local counter sink (cross-process hot-path counting)
+# ----------------------------------------------------------------------
+
+_COUNTS: ContextVar[Optional[Dict[str, int]]] = ContextVar(
+    "repro_counter_sink", default=None)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Bump a context-local counter; a no-op when no sink is installed.
+
+    Hot paths call this unconditionally — the disabled cost is one
+    contextvar lookup.  The session (serial path) and the pool workers
+    (:func:`repro.resilience.run_chunk`) install sinks and fold the totals
+    into ``SessionStats`` fields of the same name.
+    """
+    sink = _COUNTS.get()
+    if sink is not None:
+        sink[name] = sink.get(name, 0) + amount
+
+
+@contextmanager
+def count_into(sink: Dict[str, int]) -> Iterator[Dict[str, int]]:
+    """Route :func:`count` calls in this context into ``sink``."""
+    token = _COUNTS.set(sink)
+    try:
+        yield sink
+    finally:
+        _COUNTS.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Registry-backed stats views
+# ----------------------------------------------------------------------
+
+def _restore_stats(cls, values):
+    return cls(**values)
+
+
+class StatsView:
+    """Attribute-compatible stats object backed by a metrics registry.
+
+    Subclasses declare ``_AREA`` and ``_FIELDS`` (name -> help text); each
+    instance owns a private :class:`MetricsRegistry` whose counters are
+    named ``repro_<area>_<field>``, exposed for scraping via the
+    ``registry`` attribute.  Reads and writes of declared fields go
+    straight to the counters, so the pre-existing dataclass idioms —
+    ``stats.field += 1``, plain assignment, keyword construction — all
+    keep working, and per-instance registries keep per-session counts
+    exact (a global registry would conflate concurrent sessions).
+    """
+
+    _AREA = "stats"
+    _FIELDS: Dict[str, str] = {}
+
+    def __init__(self, **values) -> None:
+        registry = MetricsRegistry()
+        counters = {
+            name: registry.counter(f"repro_{type(self)._AREA}_{name}",
+                                   help_text)
+            for name, help_text in type(self)._FIELDS.items()
+        }
+        object.__setattr__(self, "registry", registry)
+        object.__setattr__(self, "_counters", counters)
+        for name, value in values.items():
+            setattr(self, name, value)
+
+    def __getattr__(self, name):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def __setattr__(self, name, value) -> None:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            counters[name].value = value
+        else:
+            object.__setattr__(self, name, value)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Field -> value, in declaration order (the JSON payload shape)."""
+        counters = self._counters
+        return {name: counters[name].value for name in type(self)._FIELDS}
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({fields})"
+
+    def __reduce__(self):
+        return (_restore_stats, (type(self), self.as_dict()))

@@ -118,21 +118,57 @@ def format_traceback(exc: BaseException) -> str:
 def run_chunk(payload: Tuple) -> List[Tuple[str, object]]:
     """Process-pool worker: run ``func`` over a chunk of tasks.
 
-    ``payload`` is ``(func, tasks)`` with ``func`` a picklable module-level
-    callable.  Returns one ``("ok", result)`` or ``("error", failure_record)``
-    pair per task: ordinary task exceptions are captured *inside* the worker
-    (with their traceback) instead of poisoning the whole chunk, so the
-    dispatcher can retry or report each task individually.  Only a worker
-    crash or hang escapes this function.
+    ``payload`` is ``(func, tasks)`` — or ``(func, tasks, capture)`` to
+    carry telemetry home — with ``func`` a picklable module-level callable.
+    Returns one ``("ok", result)`` or ``("error", failure_record)`` pair per
+    task: ordinary task exceptions are captured *inside* the worker (with
+    their traceback) instead of poisoning the whole chunk, so the dispatcher
+    can retry or report each task individually.  Only a worker crash or hang
+    escapes this function.
+
+    With ``capture`` truthy, a trailing ``("telemetry", data)`` entry is
+    appended after the per-task outcomes: ``data["counters"]`` holds the
+    context-local :func:`repro.obs.metrics.count` totals the tasks bumped
+    (sim-cache hits/misses in particular), and — when ``capture`` is the
+    string ``"spans"`` — ``data["spans"]`` holds this process's serialized
+    spans, one ``task:<func>`` root per task, for the coordinator to adopt
+    and re-parent into its own trace.
     """
-    func, tasks = payload
+    func, tasks = payload[0], payload[1]
+    capture = payload[2] if len(payload) > 2 else False
     outcomes: List[Tuple[str, object]] = []
-    for task in tasks:
+
+    def one(task) -> None:
         try:
             outcomes.append(("ok", func(task)))
         except Exception as exc:
             outcomes.append(
                 ("error", TaskFailure.from_exception(exc).as_record()))
+
+    if not capture:
+        for task in tasks:
+            one(task)
+        return outcomes
+
+    from .obs import metrics as obs_metrics
+    from .obs import spans as obs_spans
+
+    counters: dict = {}
+    tracer = obs_spans.Tracer(deep=True) if capture == "spans" else None
+    task_name = f"task:{getattr(func, '__name__', 'task')}"
+    with obs_metrics.count_into(counters):
+        if tracer is None:
+            for task in tasks:
+                one(task)
+        else:
+            with obs_spans.install_tracer(tracer):
+                for task in tasks:
+                    with obs_spans.trace(task_name):
+                        one(task)
+    telemetry: dict = {"counters": counters}
+    if tracer is not None:
+        telemetry["spans"] = [span.as_dict() for span in tracer.spans]
+    outcomes.append(("telemetry", telemetry))
     return outcomes
 
 

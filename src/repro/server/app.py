@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import asdict
+import time
 from http import HTTPStatus
 from typing import Dict, Optional
 
@@ -49,6 +49,8 @@ from ..api.session import Session
 from ..experiments.registry import all_experiment_specs
 from ..gpu.devices import device_aliases
 from ..networks.registry import available_networks, paper_subset_networks
+from ..obs import metrics as obs_metrics
+from ..obs import spans as obs_spans
 from ..resilience import SessionClosedError
 from .coalesce import CoalescingCache
 from .jobs import Job, JobManager
@@ -66,6 +68,17 @@ class ReproApp:
         self.cache = CoalescingCache(max_entries=max_memo)
         self.jobs: Optional[JobManager] = None  # bound to the serving loop
         self.requests_served = 0
+        self.registry = obs_metrics.MetricsRegistry()
+        self._requests_total = self.registry.counter(
+            "repro_server_requests", "HTTP requests received")
+        self._jobs_submitted = self.registry.counter(
+            "repro_jobs_submitted", "background jobs started")
+        self.registry.gauge(
+            "repro_jobs_active", "jobs currently executing",
+            fn=lambda: self.jobs.running if self.jobs is not None else 0)
+        self.registry.gauge(
+            "repro_jobs_tracked", "jobs retained for polling",
+            fn=lambda: len(self.jobs) if self.jobs is not None else 0)
 
     # -- ASGI entry point ------------------------------------------------
 
@@ -78,12 +91,20 @@ class ReproApp:
         if self.jobs is None:
             self.jobs = JobManager()
         self.requests_served += 1
+        self._requests_total.inc()
+        started = time.perf_counter()
         try:
             await self._dispatch(scope, receive, send)
         except BadRequest as exc:
             await _send_error(send, HTTPStatus.BAD_REQUEST, exc)
         except SessionClosedError as exc:
             await _send_error(send, HTTPStatus.SERVICE_UNAVAILABLE, exc)
+        finally:
+            self.registry.histogram(
+                "repro_server_request_seconds",
+                "HTTP request latency by route",
+                labels={"route": _route_label(scope["path"])},
+            ).observe(time.perf_counter() - started)
 
     async def _lifespan(self, receive, send) -> None:
         while True:
@@ -108,6 +129,13 @@ class ReproApp:
             "/v1/experiments": lambda: _registry_payload(path),
             "/v1/jobs": lambda: {"jobs": self.jobs.describe_all()},
         }
+        if path == "/metrics":
+            if not await self._require(method, "GET", path, send):
+                body = self._metrics_text().encode("utf-8")
+                await _send_bytes(
+                    send, HTTPStatus.OK, body,
+                    "text/plain; version=0.0.4; charset=utf-8")
+            return
         builder = get_routes.get(path)
         if builder is not None:
             if not await self._require(method, "GET", path, send):
@@ -131,7 +159,7 @@ class ReproApp:
             return
         await _send_error(
             send, HTTPStatus.NOT_FOUND,
-            BadRequest(f"no route {scope['path']!r}; see /v1/stats, "
+            BadRequest(f"no route {scope['path']!r}; see /metrics, /v1/stats, "
                        f"/v1/networks, /v1/gpus, /v1/experiments, "
                        f"/v1/jobs and POST /v1/{{{'|'.join(sorted(PARSERS))}}}"))
 
@@ -158,6 +186,8 @@ class ReproApp:
             payload = job.describe()
             if job.finished:
                 payload["report"] = job.report.to_dict()
+                if job.trace is not None:
+                    payload["trace"] = job.trace
             await _send_json(send, HTTPStatus.OK, payload)
             return
         if parts[4] == "report":
@@ -206,22 +236,50 @@ class ReproApp:
             async def execute(job: Job) -> Report:
                 def work() -> Report:
                     with observe_progress(_progress_bridge(job)):
-                        return self._execute(parsed)
+                        if not parsed.with_trace:
+                            return self._execute(parsed)
+                        with obs_spans.collect_trace(deep=True) as trace:
+                            report = self._execute(parsed)
+                        job.trace = trace.to_chrome()
+                        return report
+                if parsed.with_trace:
+                    # a traced job always executes for real: a memoized or
+                    # coalesced answer would have no spans to attach.
+                    return await asyncio.to_thread(work)
                 return await self.cache.run(
                     parsed.key, lambda: asyncio.to_thread(work))
             return execute
 
         job, coalesced = self.jobs.submit(route, parsed.key, make_executor())
+        if not coalesced:
+            self._jobs_submitted.inc()
         payload = dict(job.describe())
         payload["coalesced"] = coalesced
         await _send_json(send, HTTPStatus.ACCEPTED, payload)
 
     # -- payload builders ------------------------------------------------
 
+    def _metrics_text(self) -> str:
+        """Prometheus text exposition over every registry of the stack."""
+        return obs_metrics.render_prometheus([
+            self.registry,
+            self.session.stats.registry,
+            self.cache.stats.registry,
+        ])
+
     def _stats_payload(self) -> Dict[str, object]:
         session = self.session
+        stats = session.stats
         return {
-            "session": asdict(session.stats),
+            "session": stats.as_dict(),
+            "sim_cache": {
+                "hits": stats.sim_cache_hits,
+                "misses": stats.sim_cache_misses,
+            },
+            "dse": {
+                "points": stats.dse_points,
+                "memo_hits": stats.dse_memo_hits,
+            },
             "server": {
                 "requests_served": self.requests_served,
                 "jobs": len(self.jobs) if self.jobs is not None else 0,
@@ -247,6 +305,27 @@ def _progress_bridge(job: Job):
         payload.update(event)
         job.post_threadsafe(payload)
     return push
+
+
+#: fixed GET routes that label the latency histogram by their own path.
+_STATIC_ROUTES = frozenset({
+    "/", "/healthz", "/metrics", "/v1/stats", "/v1/networks", "/v1/gpus",
+    "/v1/experiments", "/v1/jobs",
+})
+
+
+def _route_label(path: str) -> str:
+    """A bounded-cardinality route label (job ids collapse to ``{id}``)."""
+    path = path.rstrip("/") or "/"
+    if path in _STATIC_ROUTES:
+        return path
+    if path.startswith("/v1/jobs/"):
+        sub = path.split("/")[4:5]
+        return f"/v1/jobs/{{id}}/{sub[0]}" if sub else "/v1/jobs/{id}"
+    route = path[len("/v1/"):] if path.startswith("/v1/") else None
+    if route in PARSERS:
+        return path
+    return "other"
 
 
 def _registry_payload(path: str) -> Dict[str, object]:

@@ -28,24 +28,27 @@ from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Dict, Optional
 
 from ..api.report import Report
+from ..obs.metrics import StatsView
 
 
-@dataclass
-class CoalesceStats:
-    """Counters describing what the request cache absorbed."""
+class CoalesceStats(StatsView):
+    """Counters describing what the request cache absorbed.
 
-    #: requests answered from the completed-report memo.
-    memo_hits: int = 0
-    #: requests that piggybacked on an identical in-flight execution.
-    coalesced: int = 0
-    #: requests that actually executed.
-    executed: int = 0
-    #: memo entries dropped by the LRU bound.
-    evictions: int = 0
+    A registry-backed view (``repro_coalesce_*`` counters in ``registry``,
+    merged into the server's ``GET /metrics``); attribute API unchanged.
+    """
 
-    def as_dict(self) -> Dict[str, int]:
-        return {"memo_hits": self.memo_hits, "coalesced": self.coalesced,
-                "executed": self.executed, "evictions": self.evictions}
+    _AREA = "coalesce"
+    _FIELDS = {
+        "memo_hits":
+            "requests answered from the completed-report memo",
+        "coalesced":
+            "requests that piggybacked on an identical in-flight execution",
+        "executed":
+            "requests that actually executed",
+        "evictions":
+            "memo entries dropped by the LRU bound",
+    }
 
 
 @dataclass

@@ -30,6 +30,10 @@ import socket
 import threading
 from typing import Callable, Optional, Tuple
 
+from ..obs.log import get_logger
+
+_log = get_logger("server.http")
+
 #: request-line + headers larger than this are rejected outright.
 MAX_HEADER_BYTES = 64 * 1024
 
@@ -103,6 +107,8 @@ class _Connection:
             await self.app(scope, _receiver(body), responder.send)
         except Exception:
             # the app catches its own errors; this guards the bridge itself.
+            _log.exception("unhandled error while serving %s %s",
+                           scope["method"], path)
             if not responder.started:
                 await self._send_plain(500, "internal server error")
             return False
@@ -294,10 +300,14 @@ def run_app(app, host: str = "127.0.0.1", port: int = 8421) -> int:
             loop.add_signal_handler(signum, stop.set)
 
         def ready(bound_host: str, bound_port: int) -> None:
+            # the parseable readiness line stays on stdout for scripts;
+            # diagnostics go through the logger (stderr, REPRO_LOG level).
             print(f"listening on http://{bound_host}:{bound_port}",
                   flush=True)
+            _log.info("serving on http://%s:%s", bound_host, bound_port)
 
         await _serve(app, host, port, ready, stop)
+        _log.info("shutdown complete")
 
     asyncio.run(main())
     return 0

@@ -41,6 +41,8 @@ class Job:
         self.key = key
         self.status = "running"  # -> "done" | "error"
         self.report: Optional[Report] = None
+        #: chrome-trace payload captured when submitted with "trace": true.
+        self.trace: Optional[Dict[str, object]] = None
         self.events: List[Dict[str, object]] = []
         self._changed = asyncio.Event()
         self._loop = asyncio.get_running_loop()
@@ -148,6 +150,11 @@ class JobManager:
                     if job.finished]
         for job_id in finished[:max(0, len(finished) - self.max_finished)]:
             del self._jobs[job_id]
+
+    @property
+    def running(self) -> int:
+        """Jobs currently executing (the ``repro_jobs_active`` gauge)."""
+        return len(self._running_by_key)
 
     def get(self, job_id: str) -> Optional[Job]:
         return self._jobs.get(job_id)

@@ -51,6 +51,9 @@ class ParsedRequest:
     key: str
     #: run asynchronously as a job instead of inline (body field ``"job"``).
     as_job: bool
+    #: record a deep execution trace on the job (body field ``"trace"``);
+    #: only valid together with ``"job": true``.
+    with_trace: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -63,11 +66,12 @@ def _check_fields(body: Mapping[str, object], allowed: Sequence[str],
         raise BadRequest(
             f"{route}: request body must be a JSON object, "
             f"got {type(body).__name__}")
-    unknown = sorted(set(body) - set(allowed) - {"job"})
+    unknown = sorted(set(body) - set(allowed) - {"job", "trace"})
     if unknown:
         raise BadRequest(
             f"{route}: unknown field(s) {unknown}; "
-            f"accepted fields are {sorted(allowed)} (plus \"job\")")
+            f"accepted fields are {sorted(allowed)} "
+            f"(plus \"job\" and \"trace\")")
 
 
 def _bool(body: Mapping[str, object], field: str, default: bool,
@@ -99,6 +103,23 @@ def _float(body: Mapping[str, object], field: str,
         raise BadRequest(f"{route}: field {field!r} must be a number, "
                          f"got {value!r}")
     return float(value)
+
+
+def _job_flags(body: Mapping[str, object], route: str) -> Tuple[bool, bool]:
+    """The shared ``"job"``/``"trace"`` execution flags of every route.
+
+    A deep trace is recorded per *job* (attached to its poll payload), so
+    ``"trace": true`` on a synchronous request is a 400 — synchronous
+    responses already carry the per-phase ``meta["timing"]`` breakdown.
+    """
+    as_job = _bool(body, "job", False, route)
+    with_trace = _bool(body, "trace", False, route)
+    if with_trace and not as_job:
+        raise BadRequest(
+            f"{route}: \"trace\" requires \"job\": true — synchronous "
+            f"responses carry meta[\"timing\"] instead; submit a job and "
+            f"poll /v1/jobs/{{id}} for the chrome trace")
+    return as_job, with_trace
 
 
 def _str(body: Mapping[str, object], field: str, default: Optional[str],
@@ -208,7 +229,7 @@ def parse_estimate(body: Mapping[str, object]) -> ParsedRequest:
         "paper_subset": request.paper_subset, "passes": request.passes,
     }
     return ParsedRequest(request, _content_key(canonical),
-                         _bool(body, "job", False, route))
+                         *_job_flags(body, route))
 
 
 def parse_sweep(body: Mapping[str, object]) -> ParsedRequest:
@@ -234,7 +255,7 @@ def parse_sweep(body: Mapping[str, object]) -> ParsedRequest:
         "passes": request.passes,
     }
     return ParsedRequest(request, _content_key(canonical),
-                         _bool(body, "job", False, route))
+                         *_job_flags(body, route))
 
 
 def parse_validate(body: Mapping[str, object]) -> ParsedRequest:
@@ -261,7 +282,7 @@ def parse_validate(body: Mapping[str, object]) -> ParsedRequest:
         "timeout": request.timeout, "retries": request.retries,
     }
     return ParsedRequest(request, _content_key(canonical),
-                         _bool(body, "job", False, route))
+                         *_job_flags(body, route))
 
 
 def parse_experiment(body: Mapping[str, object]) -> ParsedRequest:
@@ -295,7 +316,7 @@ def parse_experiment(body: Mapping[str, object]) -> ParsedRequest:
         "timeout": request.timeout, "retries": request.retries,
     }
     return ParsedRequest(request, _content_key(canonical),
-                         _bool(body, "job", False, route))
+                         *_job_flags(body, route))
 
 
 def _dse_space(body: Mapping[str, object], networks: Tuple[str, ...],
@@ -375,7 +396,7 @@ def parse_dse(body: Mapping[str, object]) -> ParsedRequest:
     }
     canonical.update(space_descriptor)
     return ParsedRequest(request, _content_key(canonical),
-                         _bool(body, "job", False, route))
+                         *_job_flags(body, route))
 
 
 #: route name -> parser, the app's dispatch table for POST bodies.

@@ -37,10 +37,11 @@ short sequence of rounds, each round touching every referenced set at once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
+
+from ..obs.metrics import StatsView
 
 #: block-access chunk bound: limits the worst-case quadratic work of the
 #: within-block tie-break corrections (only adversarial streams hit it).
@@ -50,12 +51,21 @@ _BLOCK_CHUNK = 8192
 _PENDING_LIMIT = 256
 
 
-@dataclass
-class CacheStats:
-    """Access statistics of one cache instance."""
+class CacheStats(StatsView):
+    """Access statistics of one cache instance.
 
-    accesses: int = 0
-    misses: int = 0
+    A registry-backed view (``repro_cache_*`` counters in ``registry``);
+    the public attribute API is unchanged.
+    """
+
+    _AREA = "cache"
+    _FIELDS = {
+        "accesses": "sector accesses observed by this cache instance",
+        "misses": "sector accesses that missed in this cache instance",
+    }
+
+    def __init__(self, accesses: int = 0, misses: int = 0) -> None:
+        super().__init__(accesses=accesses, misses=misses)
 
     @property
     def hits(self) -> int:

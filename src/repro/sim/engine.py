@@ -41,6 +41,7 @@ from ..core.layer import LayerConfig
 from ..core.tiling import GemmGrid, build_grid
 from ..core.workload import GemmWorkload, PassKind, as_workload
 from ..gpu.spec import GpuSpec
+from ..obs import spans as obs_spans
 from .cache import LruCache, SetAssociativeCache, SetAssociativeCacheBank
 from .dram import DramChannel
 from .im2col import GemmTraceGenerator, TileAccess
@@ -171,9 +172,13 @@ class ConvLayerSimulator:
         """Simulate one workload (or a layer's forward pass) and return
         traffic and execution time."""
         workload = as_workload(source)
-        if self.config.vectorized:
-            return self._run_vectorized(workload)
-        return self._run_reference(workload)
+        with obs_spans.trace_deep("sim.run", workload=workload.name,
+                                  m=workload.gemm.m, n=workload.gemm.n,
+                                  k=workload.gemm.k,
+                                  vectorized=self.config.vectorized):
+            if self.config.vectorized:
+                return self._run_vectorized(workload)
+            return self._run_reference(workload)
 
     # ------------------------------------------------------------------
     # Vectorized pipeline
@@ -251,7 +256,7 @@ class ConvLayerSimulator:
         simulated_time = 0.0
         empty = np.empty(0, dtype=np.int64)
 
-        for wave in scheduler.waves():
+        for wave_index, wave in enumerate(scheduler.waves()):
             if simulated_ctas >= budget:
                 break
             per_sm = wave.per_sm()
@@ -260,67 +265,78 @@ class ConvLayerSimulator:
                             - set(a_tiles))
             new_ns = sorted({n for ctas in per_sm.values() for _, n in ctas}
                             - set(b_tiles))
-            if new_ms:
-                materialize(a_tiles, trace.a_tile_batch, new_ms)
-            if new_ns:
-                materialize(b_tiles, trace.b_tile_batch, new_ns)
+            # Spans are per wave, never per loop or inside the cache kernels:
+            # wave counts are small so the (deep-only) overhead stays out of
+            # the benchmarked hot path.
+            with obs_spans.trace_deep("sim.im2col", wave=wave_index,
+                                      m_tiles=len(new_ms),
+                                      n_tiles=len(new_ns)):
+                if new_ms:
+                    materialize(a_tiles, trace.a_tile_batch, new_ms)
+                if new_ns:
+                    materialize(b_tiles, trace.b_tile_batch, new_ns)
 
-            # Wave-static per-loop aggregates (exact integer-valued floats,
-            # so the summation order cannot change the totals).
-            sm_fetch: Dict[int, np.ndarray] = {}
-            requests_per_loop = np.zeros(num_loops, dtype=np.int64)
-            for sm in sms:
-                fetch_total = np.zeros(num_loops)
-                for cta_m, cta_n in per_sm[sm]:
-                    fetch_total += a_tiles[cta_m][2] + b_tiles[cta_n][2]
-                    requests_per_loop += (a_tiles[cta_m][1]
-                                          + b_tiles[cta_n][1])
-                sm_fetch[sm] = fetch_total
-                l1_bytes += float(fetch_total.sum())
-            l1_requests += float(requests_per_loop.sum())
+            with obs_spans.trace_deep("sim.kernels", wave=wave_index,
+                                      ctas=wave.num_ctas, loops=num_loops):
+                # Wave-static per-loop aggregates (exact integer-valued
+                # floats, so the summation order cannot change the totals).
+                sm_fetch: Dict[int, np.ndarray] = {}
+                requests_per_loop = np.zeros(num_loops, dtype=np.int64)
+                for sm in sms:
+                    fetch_total = np.zeros(num_loops)
+                    for cta_m, cta_n in per_sm[sm]:
+                        fetch_total += a_tiles[cta_m][2] + b_tiles[cta_n][2]
+                        requests_per_loop += (a_tiles[cta_m][1]
+                                              + b_tiles[cta_n][1])
+                    sm_fetch[sm] = fetch_total
+                    l1_bytes += float(fetch_total.sum())
+                l1_requests += float(requests_per_loop.sum())
 
-            # Per-loop (sm, sector-array) segment lists, resolved once.
-            loop_segments: List[List[Tuple[int, np.ndarray]]] = \
-                [[] for _ in range(num_loops)]
-            for sm in sms:
-                for cta_m, cta_n in per_sm[sm]:
-                    for views in (a_tiles[cta_m][0], b_tiles[cta_n][0]):
-                        for loop, piece in enumerate(views):
-                            if piece.size:
-                                loop_segments[loop].append((sm, piece))
+                # Per-loop (sm, sector-array) segment lists, resolved once.
+                loop_segments: List[List[Tuple[int, np.ndarray]]] = \
+                    [[] for _ in range(num_loops)]
+                for sm in sms:
+                    for cta_m, cta_n in per_sm[sm]:
+                        for views in (a_tiles[cta_m][0], b_tiles[cta_n][0]):
+                            for loop, piece in enumerate(views):
+                                if piece.size:
+                                    loop_segments[loop].append((sm, piece))
 
-            wave_time = 0.0
-            for loop in range(num_loops):
-                loop_l1_per_sm = {sm: float(sm_fetch[sm][loop]) for sm in sms}
-                segments = [piece for _, piece in loop_segments[loop]]
-                owners = [sm for sm, _ in loop_segments[loop]]
-                lengths = [piece.size for piece in segments]
+                wave_time = 0.0
+                for loop in range(num_loops):
+                    loop_l1_per_sm = {sm: float(sm_fetch[sm][loop])
+                                      for sm in sms}
+                    segments = [piece for _, piece in loop_segments[loop]]
+                    owners = [sm for sm, _ in loop_segments[loop]]
+                    lengths = [piece.size for piece in segments]
 
-                if segments:
-                    sectors = np.concatenate(segments)
-                    owner_ids = np.repeat(np.asarray(owners, dtype=np.int64),
-                                          np.asarray(lengths, dtype=np.int64))
-                    l1_hits = l1_bank.access_block(owner_ids, sectors)
-                    missed = sectors[~l1_hits]
-                else:
-                    missed = empty
-                loop_l2_total = float(missed.size * sector_bytes)
-                l2_bytes += loop_l2_total
+                    if segments:
+                        sectors = np.concatenate(segments)
+                        owner_ids = np.repeat(
+                            np.asarray(owners, dtype=np.int64),
+                            np.asarray(lengths, dtype=np.int64))
+                        l1_hits = l1_bank.access_block(owner_ids, sectors)
+                        missed = sectors[~l1_hits]
+                    else:
+                        missed = empty
+                    loop_l2_total = float(missed.size * sector_bytes)
+                    l2_bytes += loop_l2_total
 
-                if missed.size:
-                    l2_hits = l2_cache.access_block(missed)
-                    dram_missed = missed[~l2_hits]
-                else:
-                    dram_missed = empty
-                loop_dram_total = float(dram_missed.size * sector_bytes)
-                b_misses = int(np.count_nonzero(
-                    dram_missed >= b_sector_boundary))
-                dram_b_bytes += b_misses * sector_bytes
-                dram_a_bytes += (dram_missed.size - b_misses) * sector_bytes
+                    if missed.size:
+                        l2_hits = l2_cache.access_block(missed)
+                        dram_missed = missed[~l2_hits]
+                    else:
+                        dram_missed = empty
+                    loop_dram_total = float(dram_missed.size * sector_bytes)
+                    b_misses = int(np.count_nonzero(
+                        dram_missed >= b_sector_boundary))
+                    dram_b_bytes += b_misses * sector_bytes
+                    dram_a_bytes += ((dram_missed.size - b_misses)
+                                     * sector_bytes)
 
-                wave_time += self._loop_time(
-                    per_sm, loop_l1_per_sm, loop_l2_total, loop_dram_total,
-                    t_compute, dram)
+                    wave_time += self._loop_time(
+                        per_sm, loop_l1_per_sm, loop_l2_total,
+                        loop_dram_total, t_compute, dram)
             simulated_ctas += wave.num_ctas
             simulated_time += wave_time
 

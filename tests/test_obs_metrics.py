@@ -1,0 +1,221 @@
+"""Unit tests for the metrics registry, Prometheus exposition, and StatsView.
+
+The stats classes themselves (SessionStats, CacheStats, CoalesceStats,
+ExplorationStats) are exercised by the layer tests that own them; here we
+pin the registry contract they are all built on, plus the context-local
+counter sink that carries hot-path counts across the process pool.
+"""
+
+import pickle
+
+import pytest
+
+from repro.api.session import SessionStats
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               StatsView, render_prometheus)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("repro_test_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="gauge"):
+            counter.inc(-1)
+
+    def test_samples(self):
+        counter = Counter("repro_test_total", labels=(("route", "/"),))
+        counter.inc(2)
+        assert counter.samples() == \
+            [("repro_test_total", (("route", "/"),), 2)]
+
+
+class TestGauge:
+    def test_up_and_down(self):
+        gauge = Gauge("repro_test_active")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.samples() == [("repro_test_active", (), 2)]
+
+    def test_callback_wins_over_stored_value(self):
+        gauge = Gauge("repro_test_active", fn=lambda: 7)
+        gauge.set(99)
+        assert gauge.samples() == [("repro_test_active", (), 7)]
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        hist = Histogram("repro_test_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        samples = dict(((name, labels), value)
+                       for name, labels, value in hist.samples())
+        assert samples[("repro_test_seconds_bucket", (("le", "0.1"),))] == 1
+        assert samples[("repro_test_seconds_bucket", (("le", "1"),))] == 3
+        assert samples[("repro_test_seconds_bucket", (("le", "10"),))] == 4
+        assert samples[("repro_test_seconds_bucket", (("le", "+Inf"),))] == 5
+        assert samples[("repro_test_seconds_count", ())] == 5
+        assert samples[("repro_test_seconds_sum", ())] == pytest.approx(56.05)
+
+    def test_default_buckets_are_sorted(self):
+        hist = Histogram("repro_test_seconds")
+        assert hist.buckets == tuple(sorted(hist.buckets))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", "help text")
+        b = registry.counter("repro_x_total")
+        assert a is b
+        assert a.help == "help text"
+
+    def test_label_children_are_distinct_instances(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", labels={"route": "/a"})
+        b = registry.counter("repro_x_total", labels={"route": "/b"})
+        assert a is not b
+        # label order does not matter: the frozen key is sorted.
+        c = registry.histogram("repro_y", labels={"b": "2", "a": "1"})
+        d = registry.histogram("repro_y", labels={"a": "1", "b": "2"})
+        assert c is d
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total")
+
+    def test_gauge_callback_can_be_bound_late(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_x_active")
+        gauge = registry.gauge("repro_x_active", fn=lambda: 11)
+        assert gauge.samples()[0][2] == 11
+
+
+class TestRenderPrometheus:
+    def test_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "things done").inc(3)
+        registry.gauge("repro_b_active", "in flight").set(1)
+        text = render_prometheus([registry])
+        lines = text.splitlines()
+        assert "# HELP repro_a_total things done" in lines
+        assert "# TYPE repro_a_total counter" in lines
+        assert "repro_a_total 3" in lines
+        assert "# TYPE repro_b_active gauge" in lines
+        assert text.endswith("\n")
+
+    def test_headers_emitted_once_across_registries(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("repro_a_total", "things").inc(1)
+        second.counter("repro_a_total").inc(2)
+        text = render_prometheus([first, second])
+        assert text.count("# TYPE repro_a_total counter") == 1
+        # both instances' samples survive the merge.
+        assert text.count("repro_a_total ") >= 2
+
+    def test_kind_conflict_across_registries_raises(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("repro_a_total")
+        second.gauge("repro_a_total")
+        with pytest.raises(ValueError, match="both"):
+            render_prometheus([first, second])
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total",
+                         labels={"route": 'say "hi"\nback\\slash'}).inc()
+        text = render_prometheus([registry])
+        assert r'route="say \"hi\"\nback\\slash"' in text
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_a_seconds", "latency",
+                           buckets=(0.5,)).observe(0.1)
+        text = render_prometheus([registry])
+        assert '# TYPE repro_a_seconds histogram' in text
+        assert 'repro_a_seconds_bucket{le="0.5"} 1' in text
+        assert 'repro_a_seconds_bucket{le="+Inf"} 1' in text
+        assert 'repro_a_seconds_count 1' in text
+
+
+class TestCounterSink:
+    def test_no_sink_is_a_noop(self):
+        obs_metrics.count("sim_cache_hits")  # must not raise
+
+    def test_sink_collects_and_resets(self):
+        sink = {}
+        with obs_metrics.count_into(sink):
+            obs_metrics.count("hits")
+            obs_metrics.count("hits", 2)
+            obs_metrics.count("misses")
+        assert sink == {"hits": 3, "misses": 1}
+        obs_metrics.count("hits")  # sink uninstalled: no effect
+        assert sink["hits"] == 3
+
+    def test_nested_sinks_restore_the_outer_one(self):
+        outer, inner = {}, {}
+        with obs_metrics.count_into(outer):
+            with obs_metrics.count_into(inner):
+                obs_metrics.count("x")
+            obs_metrics.count("x")
+        assert inner == {"x": 1}
+        assert outer == {"x": 1}
+
+
+class _DemoStats(StatsView):
+    _AREA = "demo"
+    _FIELDS = {"hits": "cache hits", "misses": "cache misses"}
+
+
+class TestStatsView:
+    def test_attribute_compatibility(self):
+        stats = _DemoStats()
+        assert stats.hits == 0
+        stats.hits += 1
+        stats.misses = 5
+        assert (stats.hits, stats.misses) == (1, 5)
+        assert stats.as_dict() == {"hits": 1, "misses": 5}
+
+    def test_keyword_construction(self):
+        assert _DemoStats(hits=2).as_dict() == {"hits": 2, "misses": 0}
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="nope"):
+            _DemoStats().nope
+
+    def test_counters_follow_the_naming_scheme(self):
+        stats = _DemoStats(hits=3)
+        names = {metric.name for metric in stats.registry.collect()}
+        assert names == {"repro_demo_hits", "repro_demo_misses"}
+        text = render_prometheus([stats.registry])
+        assert "repro_demo_hits 3" in text
+        assert "# HELP repro_demo_hits cache hits" in text
+
+    def test_equality_and_repr(self):
+        assert _DemoStats(hits=1) == _DemoStats(hits=1)
+        assert _DemoStats(hits=1) != _DemoStats(hits=2)
+        assert repr(_DemoStats(hits=1)) == "_DemoStats(hits=1, misses=0)"
+
+    def test_pickle_roundtrip(self):
+        stats = _DemoStats(hits=4, misses=2)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone == stats
+        clone.hits += 1  # independent registries after the roundtrip
+        assert stats.hits == 4
+
+    def test_instances_have_private_registries(self):
+        a, b = _DemoStats(), _DemoStats()
+        a.hits += 1
+        assert b.hits == 0
+
+    def test_session_stats_is_a_stats_view(self):
+        stats = SessionStats(requests_run=2)
+        assert isinstance(stats, StatsView)
+        assert stats.requests_run == 2
+        assert "repro_session_requests_run" in \
+            render_prometheus([stats.registry])

@@ -1,0 +1,217 @@
+"""Unit tests for the context-local span API and chrome-trace export.
+
+Covers the tracer-absent fast path, the shallow/deep split, nesting and
+parent links, worker-span adoption (re-parenting), the per-request timing
+breakdown, and the shape of ``Trace.to_chrome()`` output.  End-to-end trace
+plumbing (CLI ``--trace``, traced jobs, pool piggybacking) is covered by
+the CLI/server tests and CI's chrome-trace validation job.
+"""
+
+import json
+import os
+
+from repro.obs import spans as obs_spans
+from repro.obs.spans import Span, Tracer
+
+
+class TestFastPath:
+    def test_trace_without_tracer_yields_none(self):
+        assert obs_spans.active_tracer() is None
+        with obs_spans.trace("anything", detail=1) as span:
+            assert span is None
+        with obs_spans.trace_deep("anything") as span:
+            assert span is None
+
+    def test_no_tracer_means_no_state_leak(self):
+        with obs_spans.trace("outer"):
+            with obs_spans.trace_deep("inner"):
+                pass
+        assert obs_spans.current_span_id() is None
+        assert not obs_spans.deep_tracing()
+
+
+class TestGranularity:
+    def test_shallow_tracer_skips_deep_spans(self):
+        tracer = Tracer(deep=False)
+        with obs_spans.install_tracer(tracer):
+            assert not obs_spans.deep_tracing()
+            with obs_spans.trace("request") as shallow:
+                assert shallow is not None
+                with obs_spans.trace_deep("per-unit") as deep:
+                    assert deep is None
+        assert [s.name for s in tracer.spans] == ["request"]
+
+    def test_deep_tracer_records_both(self):
+        tracer = Tracer(deep=True)
+        with obs_spans.install_tracer(tracer):
+            assert obs_spans.deep_tracing()
+            with obs_spans.trace("request"):
+                with obs_spans.trace_deep("per-unit"):
+                    pass
+        assert [s.name for s in tracer.spans] == ["request", "per-unit"]
+
+
+class TestNesting:
+    def test_parent_links_follow_lexical_nesting(self):
+        tracer = Tracer(deep=True)
+        with obs_spans.install_tracer(tracer):
+            with obs_spans.trace("root") as root:
+                with obs_spans.trace("child") as child:
+                    with obs_spans.trace_deep("grandchild") as grand:
+                        assert obs_spans.current_span_id() == grand.span_id
+                assert obs_spans.current_span_id() == root.span_id
+        assert root.parent is None
+        assert child.parent == root.span_id
+        assert grand.parent == child.span_id
+        # every span is closed, with end >= start.
+        for span in tracer.spans:
+            assert span.end is not None and span.end >= span.start
+            assert span.duration_ms >= 0.0
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = Tracer()
+        with obs_spans.install_tracer(tracer):
+            with obs_spans.trace("root") as root:
+                with obs_spans.trace("first") as a:
+                    pass
+                with obs_spans.trace("second") as b:
+                    pass
+        assert a.parent == b.parent == root.span_id
+
+    def test_attrs_are_kept_verbatim(self):
+        tracer = Tracer()
+        with obs_spans.install_tracer(tracer):
+            with obs_spans.trace("sim", workload="conv1", wave=3) as span:
+                pass
+        assert span.attrs == {"workload": "conv1", "wave": 3}
+
+
+class TestSerialization:
+    def test_span_dict_roundtrip(self):
+        span = Span(span_id="123-4", name="unit", start=100.0, end=100.5,
+                    pid=123, tid=7, parent="123-1", attrs={"k": "v"})
+        assert Span.from_dict(span.as_dict()) == span
+
+    def test_open_span_roundtrips_with_null_end(self):
+        span = Span(span_id="1-1", name="open", start=5.0)
+        clone = Span.from_dict(json.loads(json.dumps(span.as_dict())))
+        assert clone.end is None
+        assert clone.duration_ms == 0.0
+
+
+class TestAdoption:
+    def test_worker_roots_are_reparented(self):
+        tracer = Tracer(deep=True)
+        worker = [
+            Span(span_id="999-1", name="task:sim", start=1.0, end=2.0,
+                 pid=999).as_dict(),
+            Span(span_id="999-2", name="task:sim", start=2.0, end=3.0,
+                 pid=999, parent="999-1").as_dict(),
+        ]
+        tracer.adopt(worker, parent="1-1")
+        by_id = {s.span_id: s for s in tracer.spans}
+        # the worker's root hangs off the coordinator span; nested worker
+        # spans keep their own parent links untouched.
+        assert by_id["999-1"].parent == "1-1"
+        assert by_id["999-2"].parent == "999-1"
+
+
+class TestRequestTrace:
+    def test_installs_private_shallow_tracer_when_none(self):
+        assert obs_spans.active_tracer() is None
+        with obs_spans.request_trace("request:Estimate") as rt:
+            assert obs_spans.active_tracer() is rt.tracer
+            assert not rt.tracer.deep
+            with obs_spans.trace("simulate"):
+                pass
+            with obs_spans.trace("simulate"):
+                pass
+            with obs_spans.trace("frontier"):
+                pass
+        assert obs_spans.active_tracer() is None
+        timing = rt.timing()
+        assert timing["total_ms"] >= 0.0
+        # phases aggregate direct children by name.
+        assert set(timing["phases"]) == {"simulate", "frontier"}
+        assert timing["phases"]["simulate"] >= 0.0
+
+    def test_nested_spans_do_not_count_as_phases(self):
+        with obs_spans.request_trace("request") as rt:
+            with obs_spans.trace("outer"):
+                with obs_spans.trace("inner"):
+                    pass
+        assert set(rt.timing()["phases"]) == {"outer"}
+
+    def test_reuses_an_installed_deep_tracer(self):
+        tracer = Tracer(deep=True)
+        with obs_spans.install_tracer(tracer):
+            with obs_spans.request_trace("request") as rt:
+                assert rt.tracer is tracer
+                with obs_spans.trace_deep("unit"):
+                    pass
+            # the surrounding tracer stays installed after the request.
+            assert obs_spans.active_tracer() is tracer
+        assert {s.name for s in tracer.spans} == {"request", "unit"}
+
+    def test_elapsed_timing_shape(self):
+        import time
+        timing = obs_spans.elapsed_timing(time.perf_counter())
+        assert timing["phases"] == {}
+        assert timing["total_ms"] >= 0.0
+
+
+class TestChromeExport:
+    def _trace(self):
+        with obs_spans.collect_trace(deep=True) as trace:
+            with obs_spans.trace("root", kind="test"):
+                with obs_spans.trace_deep("leaf"):
+                    pass
+        return trace
+
+    def test_collect_trace_survives_context_exit(self):
+        trace = self._trace()
+        assert len(trace) == 2
+        assert [s.name for s in trace.spans] == ["root", "leaf"]
+
+    def test_chrome_shape(self):
+        payload = self._trace().to_chrome()
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["spans"] == 2
+        events = payload["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert [m["name"] for m in metas] == ["process_name"]
+        assert metas[0]["pid"] == os.getpid()
+        assert "coordinator" in metas[0]["args"]["name"]
+        assert len(spans) == 2
+        ids = {e["args"]["span_id"] for e in spans}
+        for event in spans:
+            assert event["cat"] == "repro"
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+            parent = event["args"].get("parent")
+            assert parent is None or parent in ids
+        # timestamps are rebased so the earliest span opens at t=0.
+        assert min(e["ts"] for e in spans) == 0.0
+        assert json.dumps(payload)  # JSON-serializable end to end
+
+    def test_unclosed_span_is_flagged_not_dropped(self):
+        tracer = Tracer()
+        tracer.begin("still-open", None, {})
+        payload = obs_spans.Trace(tracer).to_chrome()
+        (event,) = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert event["args"]["unclosed"] is True
+        assert event["dur"] == 0.0
+
+    def test_foreign_pid_gets_a_worker_process_name(self):
+        tracer = Tracer()
+        tracer.adopt([Span(span_id="424242-1", name="task", start=1.0,
+                           end=2.0, pid=424242).as_dict()], parent=None)
+        payload = obs_spans.Trace(tracer).to_chrome()
+        metas = {e["pid"]: e["args"]["name"]
+                 for e in payload["traceEvents"] if e["ph"] == "M"}
+        assert metas[424242] == "repro worker-424242"
+
+    def test_empty_trace_exports_cleanly(self):
+        payload = obs_spans.Trace(Tracer()).to_chrome()
+        assert payload["traceEvents"] == []
+        assert payload["otherData"]["spans"] == 0

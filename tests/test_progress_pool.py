@@ -1,0 +1,129 @@
+"""Progress-observer behavior under the pool executor.
+
+The observer is context-local (:mod:`repro.api.progress`); these tests pin
+the contract the streaming-jobs server relies on: events arrive in work-unit
+completion order with a consistent total, a raising observer is dropped
+without failing the request it watches, the observer survives the
+``asyncio.to_thread`` hop the server uses, and injected worker crashes
+(``repro.faults``) still drive the count to completion while the pool
+recovers underneath.
+"""
+
+import asyncio
+import threading
+
+from repro import faults
+from repro.api import Session, observe_progress
+
+TASKS = list(range(6))
+
+
+def _square(task):
+    return task * task
+
+
+def _square_with_fault_seam(task):
+    faults.fire("progress-pool", f"task-{task}")
+    return task * task
+
+
+def _events_are_ordered(events, total):
+    assert events, "fan-out must emit progress"
+    assert {e["stage"] for e in events} == {"tasks"}
+    assert all(e["total"] == total for e in events)
+    dones = [e["done"] for e in events]
+    assert dones == sorted(dones), "done counts must never regress"
+    assert dones[-1] == total
+
+
+class TestOrderedEvents:
+    def test_serial_path_emits_one_event_per_unit(self):
+        events = []
+        with Session(jobs=1) as session:
+            with observe_progress(events.append):
+                results = session.map_tasks(_square, TASKS)
+        assert results == [t * t for t in TASKS]
+        assert [e["done"] for e in events] == list(range(1, len(TASKS) + 1))
+        _events_are_ordered(events, len(TASKS))
+
+    def test_pool_path_counts_monotonically_to_total(self):
+        events = []
+        with Session(jobs=2) as session:
+            with observe_progress(events.append):
+                results = session.map_tasks(_square, TASKS)
+        assert results == [t * t for t in TASKS]
+        # chunks finish in any order, but the resolved count only grows.
+        _events_are_ordered(events, len(TASKS))
+
+    def test_events_fire_on_the_calling_thread(self):
+        seen = set()
+        with Session(jobs=2) as session:
+            with observe_progress(
+                    lambda event: seen.add(threading.get_ident())):
+                session.map_tasks(_square, TASKS)
+        # the observer is a plain callback on the coordinating thread, so
+        # server-side bridges may touch request state without locking.
+        assert seen == {threading.get_ident()}
+
+
+class TestObserverIsolation:
+    def test_raising_observer_never_fails_the_request(self):
+        calls = []
+
+        def explode(event):
+            calls.append(event)
+            raise RuntimeError("observer bug")
+
+        with Session(jobs=2) as session:
+            with observe_progress(explode):
+                results = session.map_tasks(_square, TASKS)
+                # the broken observer was dropped after its first event;
+                # later fan-outs in the same extent stay silent.
+                session.map_tasks(_square, TASKS[:2])
+        assert results == [t * t for t in TASKS]
+        assert len(calls) == 1
+
+    def test_observer_scope_ends_with_the_context(self):
+        events = []
+        with Session(jobs=1) as session:
+            with observe_progress(events.append):
+                session.map_tasks(_square, TASKS[:2])
+            emitted_inside = len(events)
+            session.map_tasks(_square, TASKS[:2])
+        assert emitted_inside == 2
+        assert len(events) == 2  # nothing observed outside the block
+
+
+class TestThreadHop:
+    def test_observer_crosses_asyncio_to_thread(self):
+        # the server installs the observer on the event-loop side and runs
+        # the blocking request in a worker thread; contextvars must carry
+        # the observer across that hop.
+        events = []
+
+        async def scenario():
+            with Session(jobs=2) as session:
+                with observe_progress(events.append):
+                    return await asyncio.to_thread(
+                        session.map_tasks, _square, TASKS)
+
+        results = asyncio.run(scenario())
+        assert results == [t * t for t in TASKS]
+        _events_are_ordered(events, len(TASKS))
+
+
+class TestCrashIsolation:
+    def test_worker_crash_still_drives_the_count_home(self, tmp_path):
+        events = []
+        with faults.injected(
+                faults.crash(site="progress-pool", match="task-3"),
+                state_dir=str(tmp_path)):
+            with Session(jobs=2) as session:
+                with observe_progress(events.append):
+                    results = session.map_tasks(_square_with_fault_seam,
+                                                TASKS)
+                assert session.stats.pool_recoveries >= 1
+        # the crashed unit was retried on a fresh pool and every task
+        # produced its result; the observer saw the full count regardless.
+        assert results == [t * t for t in TASKS]
+        _events_are_ordered(events, len(TASKS))

@@ -1,0 +1,190 @@
+"""Server-side observability: /metrics exposition and traced jobs.
+
+The registry/exposition mechanics live in ``test_obs_metrics.py``; here we
+pin the HTTP surface: the Prometheus route's shape and coverage, the
+``"trace": true`` job flag (chrome trace attached to the poll payload, never
+served from the memo), and the 400 for a trace on a synchronous request.
+"""
+
+import http.client
+import json
+import re
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.server import ServerThread, create_app
+from server_utils import json_request, request
+
+SAMPLE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? "
+                    r"[0-9eE+.\-]+$")
+COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+
+
+@pytest.fixture
+def app():
+    application = create_app(Session())
+    yield application
+    application.session.close()
+
+
+class TestMetricsRoute:
+    def test_exposition_shape_and_coverage(self, app):
+        status, _, _ = request(app, "POST", "/v1/estimate",
+                               body={"network": "alexnet", "batch": 32})
+        assert status == 200
+        status, headers, raw = request(app, "GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"] == \
+            "text/plain; version=0.0.4; charset=utf-8"
+        text = raw.decode("utf-8")
+        assert text.endswith("\n")
+        series = []
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert COMMENT.match(line), line
+            else:
+                assert SAMPLE.match(line), line
+                series.append(line.split("{")[0].split(" ")[0])
+        # the stack-wide criterion: a healthy scrape after one request
+        # carries at least 20 distinct series across all layers.
+        assert len(set(series)) >= 20
+        for prefix in ("repro_server_", "repro_session_",
+                       "repro_coalesce_", "repro_jobs_"):
+            assert any(name.startswith(prefix) for name in set(series)), \
+                f"no {prefix}* series in exposition"
+
+    def test_counters_reflect_traffic(self, app):
+        request(app, "GET", "/healthz")
+        body = {"network": "alexnet", "batch": 32}
+        request(app, "POST", "/v1/estimate", body=body)
+        request(app, "POST", "/v1/estimate", body=body)  # memo hit
+        _, _, raw = request(app, "GET", "/metrics")
+        text = raw.decode("utf-8")
+
+        def value(name):
+            for line in text.splitlines():
+                if line.startswith(name + " "):
+                    return float(line.split(" ")[1])
+            raise AssertionError(f"{name} not exposed")
+
+        assert value("repro_server_requests") == 4  # incl. this scrape
+        assert value("repro_session_requests_run") == 1
+        assert value("repro_coalesce_memo_hits") == 1
+        assert value("repro_jobs_submitted") == 0
+
+    def test_request_latency_histogram_labels_routes(self, app):
+        request(app, "GET", "/healthz")
+        request(app, "GET", "/v1/jobs/job-000042")  # unbounded id, bounded label
+        _, _, raw = request(app, "GET", "/metrics")
+        text = raw.decode("utf-8")
+        assert 'repro_server_request_seconds_bucket{route="/healthz",' \
+            'le="+Inf"}' in text
+        assert 'route="/v1/jobs/{id}"' in text
+        assert "job-000042" not in text
+
+    def test_stats_route_surfaces_sim_cache_and_dse_sections(self, app):
+        status, payload = json_request(app, "GET", "/v1/stats")
+        assert status == 200
+        assert payload["sim_cache"] == {"hits": 0, "misses": 0}
+        assert payload["dse"] == {"points": 0, "memo_hits": 0}
+
+
+class TestTraceFlagValidation:
+    def test_trace_without_job_is_structured_400(self, app):
+        status, payload = json_request(
+            app, "POST", "/v1/estimate",
+            body={"network": "alexnet", "batch": 32, "trace": True})
+        assert status == 400
+        assert payload["kind"] == "error"
+        message = payload["meta"]["error_message"]
+        assert '"job": true' in message and "timing" in message
+
+    def test_trace_false_is_tolerated_synchronously(self, app):
+        status, _ = json_request(
+            app, "POST", "/v1/estimate",
+            body={"network": "alexnet", "batch": 32, "trace": False})
+        assert status == 200
+
+
+@pytest.fixture
+def server():
+    session = Session()
+    app = create_app(session)
+    with ServerThread(app) as running:
+        yield running, app
+    session.close()
+
+
+def _http(server, method, path, body=None):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=120)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None else None)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _poll_until_done(running, job_id, deadline=120.0):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        status, raw = _http(running, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        payload = json.loads(raw)
+        if payload["status"] in ("done", "error"):
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestTracedJobs:
+    def test_traced_job_attaches_a_chrome_trace(self, server):
+        running, app = server
+        status, raw = _http(running, "POST", "/v1/estimate",
+                            body={"network": "alexnet", "batch": 32,
+                                  "job": True, "trace": True})
+        assert status == 202
+        payload = _poll_until_done(running, json.loads(raw)["job_id"])
+        assert payload["status"] == "done"
+        trace = payload["trace"]
+        assert trace["displayTimeUnit"] == "ms"
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        assert any(name.startswith("request:") for name in names)
+        assert "model.estimate" in names
+
+    def test_untraced_job_poll_has_no_trace_key(self, server):
+        running, _ = server
+        status, raw = _http(running, "POST", "/v1/estimate",
+                            body={"network": "alexnet", "batch": 32,
+                                  "job": True})
+        assert status == 202
+        payload = _poll_until_done(running, json.loads(raw)["job_id"])
+        assert payload["status"] == "done"
+        assert "trace" not in payload
+
+    def test_traced_job_bypasses_the_request_memo(self, server):
+        running, app = server
+        body = {"network": "alexnet", "batch": 32}
+        status, first = _http(running, "POST", "/v1/estimate", body=body)
+        assert status == 200
+        status, raw = _http(running, "POST", "/v1/estimate",
+                            body=dict(body, job=True, trace=True))
+        assert status == 202
+        payload = _poll_until_done(running, json.loads(raw)["job_id"])
+        # a memoized answer would have no spans: the traced job re-executed
+        # even though the same request was already cached.
+        assert payload["trace"]["traceEvents"]
+        assert app.session.stats.requests_run == 2
+        # and the report it returns matches the synchronous one in content.
+        status, report = _http(
+            running, "GET",
+            f"/v1/jobs/{payload['job_id']}/report")
+        assert status == 200
+        sync, job = json.loads(first), json.loads(report)
+        for item in (sync, job):
+            item["meta"].pop("timing", None)
+        assert sync == job
