@@ -77,6 +77,17 @@ def write_bench_summary(name: str, payload: Dict[str, object]) -> str:
     """
     payload = dict(payload)
     payload.setdefault("meta", run_metadata())
+    # derive a points/s rate for every timed phase (warm_elapsed_s used to
+    # land without warm_points_per_s, leaving the warm-path trend invisible
+    # in the committed summaries).
+    points = payload.get("points")
+    if points:
+        for key in [k for k in payload if k.endswith("_elapsed_s")]:
+            rate_key = key[:-len("_elapsed_s")] + "_points_per_s"
+            elapsed = payload[key]
+            if rate_key not in payload and isinstance(elapsed, (int, float)) \
+                    and elapsed > 0:
+                payload[rate_key] = points / elapsed
     out_dir = os.environ.get("BENCH_OUT_DIR", RESULTS_DIR)
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")

@@ -321,7 +321,8 @@ def _run_dse(session: "Session", request: DseRequest) -> Report:
                               objectives=objectives, store=store,
                               session=session, unique=request.unique,
                               timeout=request.timeout,
-                              retries=request.retries)
+                              retries=request.retries,
+                              eval_mode=request.eval_mode)
     finally:
         if store is not None:
             store.close()
@@ -381,6 +382,7 @@ def _run_dse(session: "Session", request: DseRequest) -> Report:
         "objectives": list(request.objectives),
         "unique": request.unique,
         "space_size": len(request.space),
+        "eval_mode": request.eval_mode,
     })
     if request.store_path:
         meta["store_path"] = str(request.store_path)

@@ -304,7 +304,8 @@ class Session:
         return effective_timeout, budget
 
     def _run_tasks(self, func, tasks: Sequence, *, jobs: Optional[int] = None,
-                   timeout=_UNSET, retries: Optional[int] = None
+                   timeout=_UNSET, retries: Optional[int] = None,
+                   isolate: bool = False
                    ) -> List[Union[object, TaskFailure]]:
         """Execute tasks with crash recovery, retries and timeouts.
 
@@ -319,9 +320,12 @@ class Session:
         effective_timeout, budget = self._resolve_policy(timeout, retries)
         workers = jobs if jobs is not None else self.jobs
         # a timeout needs a pool even for serial work: an in-process task
-        # cannot be cancelled, a worker process can be killed.
+        # cannot be cancelled, a worker process can be killed; ``isolate``
+        # likewise forces worker processes because the task may crash its
+        # host (one batched DSE chunk would otherwise run — and die — in
+        # the driver).
         use_pool = ((workers > 1 and len(tasks) > 1)
-                    or effective_timeout is not None)
+                    or effective_timeout is not None or isolate)
         if not use_pool:
             return self._run_tasks_serial(func, tasks, budget)
         return self._run_tasks_pool(func, tasks, max(1, int(workers)),
@@ -610,12 +614,16 @@ class Session:
 
     def map_tasks(self, func, tasks: Sequence, jobs: Optional[int] = None,
                   timeout=_UNSET, retries: Optional[int] = None,
-                  return_failures: bool = False) -> List:
+                  return_failures: bool = False,
+                  isolate: bool = False) -> List:
         """Map a picklable function over tasks on the session's process pool.
 
         The generic fan-out primitive the design-space exploration uses for
         per-point model evaluations; falls back to a serial loop when the
         effective job count (or the task count) is 1 and no timeout is set.
+        ``isolate=True`` disables that fallback: tasks always run in worker
+        processes, so a task that crashes its host process (fault injection,
+        native-code faults) can never take the driver down with it.
 
         Fault tolerance follows the session policy (overridable per call):
         crashed workers relaunch the pool and the unfinished tasks retry with
@@ -628,7 +636,8 @@ class Session:
         tasks = list(tasks)
         with obs_spans.trace("map_tasks", tasks=len(tasks)):
             outcomes = self._run_tasks(func, tasks, jobs=jobs,
-                                       timeout=timeout, retries=retries)
+                                       timeout=timeout, retries=retries,
+                                       isolate=isolate)
         if not return_failures:
             failures = [outcome for outcome in outcomes
                         if isinstance(outcome, TaskFailure)]

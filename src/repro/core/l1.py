@@ -87,9 +87,17 @@ def ifmap_request_ratio(pattern: PatternLike) -> float:
 
 
 def _streaming_mli(ratio: float, gpu: GpuSpec, dtype_bytes: int) -> float:
-    """Eq. 3: column-streaming load inefficiency for a given span ratio."""
+    """Eq. 3: column-streaming load inefficiency for a given span ratio.
+
+    Both request counts are whole requests: a warp whose footprint is smaller
+    than one L1 request (sub-request warps, e.g. fp16's 64-byte loads against
+    128-byte requests) still issues — and ideally needs — exactly one request,
+    so the denominator is clamped at one request.  Without the clamp a
+    perfectly coalesced fp16 stream would be charged a phantom
+    ``request_bytes / warp_bytes`` inefficiency.
+    """
     warp_bytes = WARP_SIZE * dtype_bytes
-    requests_ideal = warp_bytes / gpu.l1_request_bytes
+    requests_ideal = max(1.0, warp_bytes / gpu.l1_request_bytes)
     requests_made = math.ceil(ratio * warp_bytes / gpu.l1_request_bytes)
     return requests_made / requests_ideal
 

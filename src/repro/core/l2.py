@@ -144,12 +144,17 @@ def sliding_tile_unique_elements(pattern: PatternLike, rows: int, cols: int,
                                  ) -> float:
     """Unique elements one (rows x cols) sliding-window tile requests from L2.
 
-    ``cols_extent`` caps the pointwise case at the matrix's real extent along
-    the filter-offset axis (K for a forward A operand, N for a wgrad B one).
+    ``cols_extent`` caps both branches at the matrix's real extent along the
+    filter-offset axis (K for a forward A operand, N for a wgrad B one): a
+    tile of a degenerate GEMM with fewer offsets than ``blk_k`` can only
+    touch the offsets that exist, so Eq. 5-8 are evaluated over the clamped
+    tile (previously only the pointwise branch clamped, letting narrow-K
+    layers claim a footprint larger than their matrix slice).
     """
+    cols = min(cols, cols_extent)
     if pattern.is_pointwise:
         # No reuse within the tile: every element is unique.
-        return float(rows * min(cols, cols_extent))
+        return float(rows * cols)
     unique = (_average_vertical_distance(pattern, rows, cols, options)
               + _average_horizontal_distance(pattern, rows, cols))
     # The unique footprint can never exceed the tile itself.
@@ -208,8 +213,9 @@ def average_horizontal_distance(pattern: PatternLike, tile: CtaTile) -> float:
 def ifmap_tile_unique_elements(layer: ConvLayerConfig, tile: CtaTile,
                                options: L2ModelOptions = L2ModelOptions()) -> float:
     """Unique IFmap elements requested from L2 per forward main loop."""
-    return sliding_tile_unique_elements(layer, tile.blk_m, tile.blk_k,
-                                        layer.gemm_shape().k, options)
+    gemm = layer.gemm_shape()
+    return sliding_tile_unique_elements(layer, min(tile.blk_m, gemm.m),
+                                        tile.blk_k, gemm.k, options)
 
 
 def filter_tile_elements(layer: ConvLayerConfig, tile: CtaTile) -> float:
@@ -242,14 +248,18 @@ def operand_tile_elements(workload: GemmWorkload, operand: OperandSpec,
 
     if operand.l2_reuse == "sliding":
         if axis == "m":
-            # Forward binding: rows along M (positions), cols along K.
+            # Forward binding: rows along M (positions), cols along K.  Both
+            # extents clamp to the matrix: a single-CTA / batch=1 geometry
+            # with fewer output positions than blkM only slides over the
+            # positions that exist.
             return sliding_tile_unique_elements(
-                operand.pattern, tile.blk_m, tile.blk_k, gemm.k, options)
+                operand.pattern, min(tile.blk_m, gemm.m), tile.blk_k, gemm.k,
+                options)
         # Wgrad binding: rows along K (positions), cols along N (offsets);
         # blkN spans many filter rows, so the footprint comes from the
         # direct window union rather than Eq. 7's one-row extrapolation.
         return offset_window_unique_elements(
-            operand.pattern, tile.blk_k, tile.blk_n, gemm.n)
+            operand.pattern, min(tile.blk_k, gemm.k), tile.blk_n, gemm.n)
     if operand.l2_reuse == "unique":
         return float(min(own_tile, own_extent) * min(tile.blk_k, gemm.k))
     raise ValueError(f"unknown L2 reuse mode {operand.l2_reuse!r}")

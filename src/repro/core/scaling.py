@@ -40,6 +40,11 @@ class ScalingResult:
             return {}
         shares: Counter = Counter()
         for est in self.estimates:
+            # A zero-time layer contributes no time to wait on its
+            # bottleneck; including it would add a spurious zero-share
+            # category to the distribution.
+            if est.time_seconds <= 0:
+                continue
             shares[est.bottleneck] += est.time_seconds
         return {key: value / total for key, value in shares.items()}
 

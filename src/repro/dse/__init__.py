@@ -39,7 +39,9 @@ from .drivers import (
     build_driver,
     driver_names,
 )
+from .batch import evaluate_points
 from .runner import (
+    EVAL_MODES,
     Exploration,
     ExplorationStats,
     PointFailure,
@@ -48,6 +50,7 @@ from .runner import (
     evaluate_point,
     explore,
     store_key,
+    store_keys,
     workload_fingerprint,
 )
 from .space import (
@@ -103,8 +106,11 @@ __all__ = [
     "PointFailure",
     "explore",
     "evaluate_point",
+    "evaluate_points",
+    "EVAL_MODES",
     "confirm_frontier",
     "store_key",
+    "store_keys",
     "workload_fingerprint",
     "Objective",
     "OBJECTIVES",

@@ -138,6 +138,107 @@ class DesignPoint:
                            passes=self.passes, dtype_bytes=self.dtype_bytes)
 
 
+#: DesignOption field defaults, for the fast grid-enumeration path below.
+_OPTION_DEFAULTS: Dict[str, float] = {key: 1.0 for key in GPU_AXIS_KEYS}
+
+
+def _grid_points(axes: Sequence[Axis], base: DesignPoint
+                 ) -> Tuple[DesignPoint, ...]:
+    """Fast cartesian enumeration, equivalent to ``_point_from_values``.
+
+    Axis normalization (``Axis.__post_init__``) already guarantees every
+    value is validated and canonical — GPU multipliers are positive floats,
+    networks lowercase, passes normalized — so the per-point re-validation
+    of the dataclass constructors is redundant; points are assembled
+    directly (name fragments precomputed per axis value), which is what
+    keeps enumerating a multi-thousand-point grid off a sweep's hot path.
+    """
+    keys = [ax.key for ax in axes]
+    # (field key, combo index, {value: "key=value" fragment or None}).
+    gpu_axes = [
+        (key, keys.index(key),
+         {value: (f"{key}={value:g}" if value != 1.0 else None)
+          for value in axes[keys.index(key)].values})
+        for key in GPU_AXIS_KEYS if key in keys]
+    cta_index = keys.index("cta_tile") if "cta_tile" in keys else None
+    base_cta = base.option.cta_tile_hw
+    option_indices = [index for _, index, _ in gpu_axes]
+    if cta_index is not None:
+        option_indices.append(cta_index)
+    workload = {key: (keys.index(key) if key in keys else None)
+                for key in WORKLOAD_AXIS_KEYS}
+    base_workload = {key: getattr(base, key) for key in WORKLOAD_AXIS_KEYS}
+
+    cta_fragments = ({value: (f"cta_tile={value}" if value != 128 else None)
+                      for value in axes[cta_index].values}
+                     if cta_index is not None else None)
+
+    if all(index is None for index in workload.values()):
+        # Design-only grid (the common sweep shape): every combo is a
+        # distinct option, so the option cache below would never hit, and
+        # the workload fields are one constant dict — build each point with
+        # a single dict merge and a wholesale __dict__ assignment.
+        points = []
+        for combo in itertools.product(*(ax.values for ax in axes)):
+            fields = dict(_OPTION_DEFAULTS)
+            parts = []
+            for key, index, fragments in gpu_axes:
+                value = combo[index]
+                fields[key] = value
+                fragment = fragments[value]
+                if fragment is not None:
+                    parts.append(fragment)
+            if cta_fragments is not None:
+                cta = combo[cta_index]
+                fragment = cta_fragments[cta]
+                if fragment is not None:
+                    parts.append(fragment)
+            else:
+                cta = base_cta
+            fields["name"] = ",".join(parts) if parts else "baseline"
+            fields["cta_tile_hw"] = cta
+            option = object.__new__(DesignOption)
+            object.__setattr__(option, "__dict__", fields)
+            point = object.__new__(DesignPoint)
+            object.__setattr__(point, "__dict__",
+                               {"option": option, **base_workload})
+            points.append(point)
+        return tuple(points)
+
+    # One option object per distinct design, shared across workload combos —
+    # downstream consumers (key templating, batched evaluation) memoize per
+    # option object, so sharing turns those caches into near-pure hits.
+    option_cache: Dict[Tuple, DesignOption] = {}
+    points = []
+    for combo in itertools.product(*(ax.values for ax in axes)):
+        option_key = tuple(combo[index] for index in option_indices)
+        option = option_cache.get(option_key)
+        if option is None:
+            fields = dict(_OPTION_DEFAULTS)
+            parts = []
+            for key, index, fragments in gpu_axes:
+                value = combo[index]
+                fields[key] = value
+                fragment = fragments[value]
+                if fragment is not None:
+                    parts.append(fragment)
+            cta = combo[cta_index] if cta_index is not None else base_cta
+            if cta != 128:
+                parts.append(f"cta_tile={cta}")
+            fields["name"] = ",".join(parts) if parts else "baseline"
+            fields["cta_tile_hw"] = cta
+            option = object.__new__(DesignOption)
+            option.__dict__.update(fields)
+            option_cache[option_key] = option
+        point = object.__new__(DesignPoint)
+        point.__dict__["option"] = option
+        for key, index in workload.items():
+            point.__dict__[key] = (combo[index] if index is not None
+                                   else base_workload[key])
+        points.append(point)
+    return tuple(points)
+
+
 def _point_from_values(values: Mapping[str, object], base: DesignPoint) -> DesignPoint:
     """Build a design point from per-axis values over ``base``'s defaults."""
     gpu_kwargs = {key: float(values[key]) for key in GPU_AXIS_KEYS if key in values}
@@ -195,10 +296,7 @@ class GridSpace(SearchSpace):
         _check_axes(self.axes)
 
     def points(self) -> Tuple[DesignPoint, ...]:
-        keys = [ax.key for ax in self.axes]
-        return tuple(
-            _point_from_values(dict(zip(keys, combo)), self.base)
-            for combo in itertools.product(*(ax.values for ax in self.axes)))
+        return _grid_points(self.axes, self.base)
 
     def __len__(self) -> int:
         size = 1

@@ -26,6 +26,7 @@ instead of silently interleaving lines.
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -36,6 +37,60 @@ except ImportError:  # non-POSIX platform: advisory locking degrades to no-op
 
 #: field distinguishing a failure record from a metrics record.
 FAILURE_FIELD = "failure"
+
+#: insertion-ordered keys of the standard evaluation metrics dict (see
+#: ``repro.dse.runner.evaluate_point``) — the fast-serialization template
+#: below applies only to records of exactly this shape.
+_METRIC_KEYS = ("time_s", "throughput_tflops", "dram_gb", "l2_gb",
+                "resource_cost", "layers", "gemms", "bottlenecks")
+#: the numeric metric keys in sorted order — the splice order of the template.
+_NUMERIC_KEYS = tuple(sorted(_METRIC_KEYS[:-1]))
+#: the metrics dict as ``json.dumps(..., sort_keys=True)`` renders it.
+_METRICS_TEMPLATE = ('{"bottlenecks": {%s}, "dram_gb": %s, "gemms": %s, '
+                     '"l2_gb": %s, "layers": %s, "resource_cost": %s, '
+                     '"throughput_tflops": %s, "time_s": %s}')
+#: one C-level repr pass over all numeric values (template splice order).
+_NUMERIC_FMT = "\n".join(["%r"] * len(_NUMERIC_KEYS))
+#: every character ``repr`` of a plain int / finite float can produce, plus
+#: the ``\n`` separator above.  ``inf``/``nan``/``True``, numpy scalars
+#: (``np.float64(...)`` reprs), strings, containers all introduce other
+#: characters, so a whitelist scan catches anything json would spell
+#: differently (or reject).
+_NUMERIC_CHARS = frozenset("0123456789+-.e\n")
+#: bottleneck labels already checked to serialize as a plain quoted string.
+_SAFE_LABELS = set()
+
+
+def _metrics_json(record: Dict[str, object]) -> str:
+    """``json.dumps(record, sort_keys=True)``, fast-pathed for metrics dicts.
+
+    A standard metrics record is all finite numbers with a fixed key set;
+    ``repr`` of a Python int/finite float is byte-identical to json's number
+    serialization, so the record can be spliced into a template instead of
+    walked by the json encoder.  Anything shape- or type-unexpected falls
+    back to the real encoder.
+    """
+    if tuple(record) == _METRIC_KEYS:
+        rendered = _NUMERIC_FMT % tuple(map(record.__getitem__,
+                                            _NUMERIC_KEYS))
+        if _NUMERIC_CHARS.issuperset(rendered):
+            shares = record["bottlenecks"]
+            if type(shares) is dict:
+                parts = []
+                for label in sorted(shares):
+                    share = shares[label]
+                    if label not in _SAFE_LABELS:
+                        if (type(label) is not str
+                                or json.dumps(label) != '"%s"' % label):
+                            break
+                        _SAFE_LABELS.add(label)
+                    if type(share) is not float or not math.isfinite(share):
+                        break
+                    parts.append('"%s": %r' % (label, share))
+                else:
+                    return _METRICS_TEMPLATE % (
+                        (", ".join(parts),) + tuple(rendered.split("\n")))
+    return json.dumps(record, sort_keys=True)
 
 
 def is_failure_record(record: Optional[Dict[str, object]]) -> bool:
@@ -101,24 +156,28 @@ class ResultStore:
                 f"result store {self.path!r} is locked by another writer; "
                 "point concurrent sweeps at distinct store files") from exc
 
+    def _open_for_append(self) -> None:
+        if self._file is not None:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._lock_file()
+        # a kill mid-append can leave a torn line without a newline;
+        # start clean so the next record does not fuse with the debris.
+        if self._file.tell() > 0:
+            with open(self.path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    self._file.write("\n")
+
     def _append(self, key: str,
                 descriptor: Optional[Dict[str, object]],
                 body_field: str, body: Dict[str, object]) -> None:
         if self.path is None:
             return
-        if self._file is None:
-            directory = os.path.dirname(self.path)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
-            self._file = open(self.path, "a", encoding="utf-8")
-            self._lock_file()
-            # a kill mid-append can leave a torn line without a newline;
-            # start clean so the next record does not fuse with the debris.
-            if self._file.tell() > 0:
-                with open(self.path, "rb") as tail:
-                    tail.seek(-1, os.SEEK_END)
-                    if tail.read(1) != b"\n":
-                        self._file.write("\n")
+        self._open_for_append()
         line = json.dumps({"key": key, "point": descriptor or {},
                            body_field: body}, sort_keys=True)
         self._file.write(line + "\n")
@@ -140,6 +199,43 @@ class ResultStore:
         if descriptor is not None:
             self._descriptors[key] = descriptor
         self._append(key, descriptor, "metrics", metrics)
+
+    def put_many(self, records) -> None:
+        """Batch insert: one buffered write + flush for a whole sweep chunk.
+
+        ``records`` is an iterable of ``(key, descriptor_json, record)`` —
+        or ``(key, descriptor_json, record, metrics_json)`` — where
+        ``descriptor_json`` (and the optional ``metrics_json``) are already
+        serialized with ``json.dumps(..., sort_keys=True)`` and ``record``
+        is either a metrics dict or a ``{FAILURE_FIELD: ...}`` failure
+        record.  Each emitted line is byte-identical to the one :meth:`put`
+        / :meth:`put_failure` would write (``json.dumps`` with sorted keys
+        serializes nested values context-free, so splicing pre-serialized
+        fragments into the line template is exact); existing keys are
+        skipped, exactly like the single-record paths.
+        """
+        lines = []
+        for item in records:
+            key, descriptor_json, record = item[0], item[1], item[2]
+            if key in self._records:
+                continue
+            self._records[key] = record
+            if self.path is None:
+                continue
+            if FAILURE_FIELD in record:
+                body_json = json.dumps(record[FAILURE_FIELD], sort_keys=True)
+                lines.append('{"failure": %s, "key": "%s", "point": %s}\n'
+                             % (body_json, key, descriptor_json))
+            else:
+                metrics_json = item[3] if len(item) > 3 else None
+                if metrics_json is None:
+                    metrics_json = _metrics_json(record)
+                lines.append('{"key": "%s", "metrics": %s, "point": %s}\n'
+                             % (key, metrics_json, descriptor_json))
+        if lines:
+            self._open_for_append()
+            self._file.write("".join(lines))
+            self._file.flush()
 
     def put_failure(self, key: str, failure: Dict[str, object],
                     descriptor: Optional[Dict[str, object]] = None) -> None:

@@ -228,8 +228,11 @@ class TestDseFaultIsolation:
         store_path = str(tmp_path / "sweep.jsonl")
         # pin the crash to one specific point; it fires on every retry, so
         # that point permanently fails while every other point completes.
+        # The batched path retries at two levels — the whole chunk first,
+        # then the per-point scalar fallback — so the ticket budget covers
+        # both ladders: 2 * (retries + 1) fires.
         with faults.injected(
-                faults.crash(site="dse", match="num_sm=2,mac_bw=2", times=5),
+                faults.crash(site="dse", match="num_sm=2,mac_bw=2", times=12),
                 state_dir=str(tmp_path / "state")):
             with Session(jobs=2, retries=2, retry_backoff=0.01) as session:
                 with ResultStore(store_path) as store:
